@@ -1,0 +1,27 @@
+"""Ablation: host-IDS quality sweep (p1 = p2 from 0.1% to 5%).
+
+Extension beyond the paper's fixed ``p1 = p2 = 1%``: quantifies how much
+survivability the voting layer buys as the underlying host IDS degrades.
+Asserted structure: MTTSF decreases monotonically in the per-node error
+rate at fixed ``TIDS``, and the voting layer compresses a 50× host-IDS
+degradation into a ~20× MTTSF loss (majority voting absorbs most of the
+per-node error inflation until colluders tip ballots).
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_ablation_hostids(once):
+    result = once(lambda: run("abl-hostids", quick=True))
+    mttsf_series = result.series[0]
+    ys = mttsf_series.series["mttsf"]
+
+    # Monotone degradation.
+    assert all(a >= b for a, b in zip(ys, ys[1:])), f"MTTSF not monotone: {ys}"
+
+    # Voting-layer robustness: 50x worse host IDS costs < 25x MTTSF.
+    assert ys[0] / ys[-1] < 25.0
+
+    # Cost stays within a sane band across the sweep.
+    cost = result.series[1].series["ctotal"]
+    assert max(cost) / min(cost) < 5.0

@@ -1,0 +1,40 @@
+"""Ablation: attacker tempo (λc) and traffic rate (λq) sensitivity.
+
+Extension sweep around the paper's fixed λc = 1/12 h, λq = 1/min.
+Asserted structure:
+
+* a faster attacker (larger λc) never extends survival, point-wise;
+* the optimal ``TIDS`` shifts (weakly) toward shorter intervals as the
+  attacker accelerates — the tempo-matching intuition behind the
+  paper's adaptive-IDS recommendation;
+* a chattier workload (larger λq) shortens MTTSF at large ``TIDS``
+  where the C1 leak channel dominates.
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_ablation_workload(once):
+    result = once(lambda: run("abl-workload", quick=True))
+    by_lc = result.series[0]
+    by_lq = result.series[1]
+
+    # Point-wise: faster attacker => lower (or equal) MTTSF.
+    slow = by_lc.series["lc=1/48h"]
+    mid = by_lc.series["lc=1/12h"]
+    fast = by_lc.series["lc=1/3h"]
+    for s, m, f in zip(slow, mid, fast):
+        assert s >= m * 0.999 and m >= f * 0.999
+
+    # Optimal TIDS shifts (weakly) shorter as the attacker accelerates.
+    x_slow, _ = by_lc.argbest("lc=1/48h")
+    x_fast, _ = by_lc.argbest("lc=1/3h")
+    assert x_fast <= x_slow
+
+    # Chatty workload hurts most at large TIDS (C1-dominated regime).
+    quiet = by_lq.series["lq=1/300s"]
+    chatty = by_lq.series["lq=1/15s"]
+    assert chatty[-1] < quiet[-1]
+    # ... and the gap at large TIDS exceeds the gap at the optimum.
+    rel_gap_tail = quiet[-1] / chatty[-1]
+    assert rel_gap_tail > 1.5

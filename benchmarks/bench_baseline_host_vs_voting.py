@@ -1,0 +1,38 @@
+"""Baseline: host-based IDS (m=1) vs the paper's voting-based IDS (m=5).
+
+Asserted structure:
+
+* the voting layer multiplies peak MTTSF severalfold — a single juror's
+  false positives (``p2`` per evaluation, plus colluding jurors) drain
+  the group orders of magnitude faster than a 5-voter majority;
+* voting's advantage concentrates at small/moderate ``TIDS`` (frequent
+  evaluation amplifies per-round false-positive exposure);
+* voting costs at least as much as host-based detection in the
+  mid-``TIDS`` band (more ballots, bigger surviving group).
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_baseline_host_vs_voting(once):
+    result = once(lambda: run("baseline-host", quick=True))
+    mttsf = result.series[0]
+    ctotal = result.series[1]
+
+    host = mttsf.series["host-based (m=1)"]
+    voting = mttsf.series["voting (m=5)"]
+
+    peak_gain = max(voting) / max(host)
+    assert peak_gain > 3.0, f"voting layer gain only {peak_gain:.2f}x"
+
+    # Voting dominates point-wise at small and moderate TIDS.
+    for h, v, x in zip(host, voting, mttsf.x):
+        if x <= 240:
+            assert v > h, f"voting loses at TIDS={x}"
+
+    # Cost: voting is at least as expensive in the mid band.
+    mid = mttsf.x.index(120.0)
+    assert (
+        ctotal.series["voting (m=5)"][mid]
+        >= ctotal.series["host-based (m=1)"][mid]
+    )

@@ -1,0 +1,29 @@
+"""Figure 3: Ĉtotal vs TIDS for m in {3, 5, 7, 9}.
+
+Paper claims asserted:
+
+* each curve has an interior (or left-edge) cost minimum and rises
+  toward large ``TIDS`` (lingering members keep the group big and
+  chatty) — i.e. the minimum is never at the right edge;
+* a larger ``m`` costs uniformly more in the mid-``TIDS`` band (more
+  voting traffic and fewer false evictions keeping the group large).
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_fig3_ctotal_vs_m(once):
+    result = once(lambda: run("fig3", quick=True))
+    series = result.series[0]
+    grid = series.x
+
+    for m in (3, 5, 7, 9):
+        ys = series.series[f"m={m}"]
+        best_x, best_y = series.argbest(f"m={m}", maximize=False)
+        assert best_x < grid[-1], f"m={m}: cost minimum sits at the right edge"
+        assert ys[-1] > best_y, f"m={m}: cost does not rise toward large TIDS"
+
+    # Cost ordering with m in the mid band (paper: larger m, higher cost).
+    mid = grid.index(120.0)
+    costs = [series.series[f"m={m}"][mid] for m in (3, 5, 7, 9)]
+    assert costs == sorted(costs), f"cost not increasing with m at TIDS=120: {costs}"

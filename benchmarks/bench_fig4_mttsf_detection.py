@@ -1,0 +1,40 @@
+"""Figure 4: MTTSF vs TIDS per detection function (linear attacker, m=5).
+
+Paper claims asserted:
+
+* conservative (logarithmic) detection dominates at small ``TIDS``
+  (aggressive detection over-triggers and drains the group);
+* aggressive (polynomial) detection dominates at large ``TIDS``
+  (something must compensate the long base interval);
+* the curves cross between those regimes, and every curve has an
+  interior optimum.
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_fig4_mttsf_detection(once):
+    result = once(lambda: run("fig4", quick=True))
+    series = result.series[0]
+    log_ys = series.series["logarithmic"]
+    lin_ys = series.series["linear"]
+    poly_ys = series.series["polynomial"]
+
+    # Small-TIDS regime: log >= linear >= poly.
+    assert log_ys[0] > lin_ys[0] > poly_ys[0]
+
+    # Large-TIDS regime: poly wins.
+    assert poly_ys[-1] > lin_ys[-1]
+    assert poly_ys[-1] > log_ys[-1]
+
+    # Crossover exists: poly is NOT uniformly worse.
+    assert any(p > l for p, l in zip(poly_ys, lin_ys))
+
+    # Interior optimum for each curve.
+    for name, ys in series.series.items():
+        assert max(ys) > ys[0] and max(ys) > ys[-1], f"{name} lacks interior optimum"
+
+    # Aggressiveness delays the optimum: poly peaks at larger TIDS.
+    x_log, _ = series.argbest("logarithmic")
+    x_poly, _ = series.argbest("polynomial")
+    assert x_poly > x_log

@@ -1,0 +1,34 @@
+"""Figure 5: Ĉtotal vs TIDS per detection function (linear attacker, m=5).
+
+Paper claims asserted:
+
+* the cost-optimal ``TIDS`` grows with detection aggressiveness —
+  "a shorter optimal TIDS is preferred with less aggressive logarithmic
+  detection [...] as the detection function becomes aggressive, a longer
+  optimal TIDS is favorable";
+* polynomial detection at small ``TIDS`` is catastrophically expensive
+  (orders of magnitude above the others — the paper plots Figure 5 on a
+  log axis for this reason).
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_fig5_ctotal_detection(once):
+    result = once(lambda: run("fig5", quick=True))
+    series = result.series[0]
+
+    x_log, c_log = series.argbest("logarithmic", maximize=False)
+    x_lin, c_lin = series.argbest("linear", maximize=False)
+    x_poly, c_poly = series.argbest("polynomial", maximize=False)
+
+    # Cost-optimal TIDS ordering by aggressiveness.
+    assert x_log <= x_lin <= x_poly
+
+    # Polynomial detection is >10x costlier than linear at the smallest
+    # cost-grid TIDS (30 s).
+    assert series.series["polynomial"][0] > 10 * series.series["linear"][0]
+
+    # At the log/linear optima the two conservative schemes are close
+    # (within 25%) — they only diverge through the md ramp.
+    assert abs(c_log - c_lin) / c_lin < 0.25

@@ -1,0 +1,30 @@
+"""Micro-benchmarks: model construction and solve, fast path vs SPN.
+
+Times the two equivalent pipelines at a size where both are practical
+(N = 24) and the fast path alone at paper scale (N = 100). Asserts the
+speedup that justifies the fast path's existence and the equality of the
+two models' MTTSF.
+"""
+
+import pytest
+
+from repro.core import evaluate
+from repro.params import GCSParameters
+
+
+def bench_fastpath_paper_scale(benchmark):
+    params = GCSParameters.paper_defaults()
+    result = benchmark.pedantic(
+        lambda: evaluate(params, method="fast"), rounds=1, iterations=1
+    )
+    assert result.num_states == 101 * 102 * 103 // 6 + 1
+    assert result.mttsf_s > 1e5
+
+
+def bench_spn_generic_path(benchmark):
+    params = GCSParameters.paper_defaults(num_nodes=24)
+    result = benchmark.pedantic(
+        lambda: evaluate(params, method="spn"), rounds=1, iterations=1
+    )
+    fast = evaluate(params, method="fast")
+    assert result.mttsf_s == pytest.approx(fast.mttsf_s, rel=1e-9)

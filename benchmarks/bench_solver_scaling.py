@@ -1,0 +1,25 @@
+"""Engineering: solver wall-time and state-space scaling with N.
+
+The security chain has ``(N+1)(N+2)(N+3)/6 + 1`` states; the acyclic
+sweep solver is O(states). Asserted: cubic state growth, and the quick
+sweep (N <= 60, ~40k states) builds and solves well under a second per
+point — the property the figure sweeps rely on.
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_solver_scaling(once):
+    result = once(lambda: run("scale", quick=True))
+    series = result.series[0]
+    sizes = series.x
+    states = series.series["states"]
+
+    # Exact state counts.
+    for n, s in zip(sizes, states):
+        n = int(n)
+        assert s == (n + 1) * (n + 2) * (n + 3) // 6 + 1
+
+    # Wall-time sanity at quick scale.
+    assert all(b < 2.0 for b in series.series["build_s"])
+    assert all(v < 2.0 for v in series.series["solve_s"])

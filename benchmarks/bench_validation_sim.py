@@ -1,0 +1,29 @@
+"""Validation: Monte Carlo simulation vs the analytic model.
+
+The rates-mode simulator fires the SPN's exact transition rates, so its
+replication mean estimates the same MTTSF the CTMC solver computes
+exactly. Asserted: the analytic value sits inside the 95% confidence
+interval at (almost) every grid point — allowing one unlucky point in
+four, which keeps the bench seed-robust at 150 replications.
+"""
+
+from repro.analysis.experiments import run
+
+
+def bench_validation_sim(once):
+    result = once(lambda: run("val-sim", quick=True))
+    series = result.series[0]
+
+    analytic = series.series["analytic"]
+    lo = series.series["sim_ci_lo"]
+    hi = series.series["sim_ci_hi"]
+    mean = series.series["sim_mean"]
+
+    inside = sum(1 for a, l, h in zip(analytic, lo, hi) if l <= a <= h)
+    assert inside >= len(analytic) - 1, (
+        f"analytic MTTSF outside the sim CI at {len(analytic) - inside} points"
+    )
+
+    # Even points outside the CI must be close (< 15% relative error).
+    for a, m in zip(analytic, mean):
+        assert abs(a - m) / a < 0.15

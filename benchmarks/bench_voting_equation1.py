@@ -1,0 +1,25 @@
+"""Micro-benchmark: Equation 1 voting-probability tables.
+
+The fast model pipeline needs a (2N+1)² table of ``Pfp``/``Pfn`` per
+scenario; this bench times the vectorised construction at paper scale
+(N = 100 ⇒ 201×201 grid) and pins its numerical agreement with the
+scalar closed form.
+"""
+
+import numpy as np
+
+from repro.voting import VotingErrorModel
+
+
+def bench_voting_table_paper_scale(benchmark):
+    model = VotingErrorModel(5, 0.01, 0.01)
+    pfp, pfn = benchmark(lambda: model.table(200))
+    assert pfp.shape == (201, 201)
+
+    # Spot-check vectorised vs scalar on a diagonal of mixes.
+    for g, b in ((1, 0), (10, 3), (60, 30), (150, 50)):
+        assert np.isclose(pfp[g, b], model.false_positive_probability(g, b), atol=1e-12)
+        if b >= 1:
+            assert np.isclose(
+                pfn[g, b], model.false_negative_probability(g, b), atol=1e-12
+            )

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper figure (or ablation) through the
+experiment registry and asserts the paper's qualitative *shape* claims
+on the result — so ``pytest benchmarks/ --benchmark-only`` is
+simultaneously a performance run and a reproduction check.
+
+Figure experiments run in quick mode (N=40) so the full suite finishes
+in about a minute; DESIGN.md records that the shapes are scale-stable
+(verified at N=100 in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The figure pipelines take seconds each; multiple rounds would add
+    minutes for no statistical benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(fn)`` -> fn's return value, timed by pytest-benchmark."""
+
+    def _once(fn):
+        return run_once(benchmark, fn)
+
+    return _once

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a GCS scenario and find its optimal TIDS.
+
+Reproduces the paper's headline workflow in four steps:
+
+1. build the Section 5 default scenario (shrunk to N=40 so this example
+   finishes in seconds — pass --full for the paper's N=100);
+2. evaluate MTTSF and Ĉtotal at the default detection interval;
+3. sweep the paper's TIDS grid to expose the security/performance
+   tradeoff;
+4. pick the MTTSF-optimal interval subject to a communication budget.
+
+Run:  python examples/quickstart.py [--full]
+"""
+
+import argparse
+
+from repro import GCSParameters, Scenario
+from repro.constants import PAPER_TIDS_GRID_S
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale N=100 (slower)"
+    )
+    args = parser.parse_args()
+
+    n = 100 if args.full else 40
+    params = GCSParameters.paper_defaults(num_nodes=n)
+    scenario = Scenario(params)
+    print(scenario.describe(), "\n")
+
+    # -- single evaluation with a cost breakdown -------------------------
+    result = scenario.evaluate(include_breakdown=True)
+    print("Default operating point (TIDS = 60 s):")
+    print(result.summary(), "\n")
+
+    # -- the tradeoff curve ------------------------------------------------
+    print(f"TIDS sweep ({len(PAPER_TIDS_GRID_S)} points):")
+    print(f"{'TIDS(s)':>8}  {'MTTSF(s)':>12}  {'Ctotal(hop-bits/s)':>20}")
+    for point in scenario.sweep_tids(PAPER_TIDS_GRID_S):
+        print(
+            f"{point.tids_s:8g}  {point.mttsf_s:12.4g}  "
+            f"{point.ctotal_hop_bits_s:20.4g}"
+        )
+    print()
+
+    # -- constrained optimisation ------------------------------------------
+    budget = 5e5  # hop-bits/s the mission can afford
+    best = scenario.optimize(
+        PAPER_TIDS_GRID_S,
+        objective="max-mttsf",
+        cost_ceiling_hop_bits_s=budget,
+    )
+    print(f"Maximise MTTSF subject to Ctotal <= {budget:g} hop-bits/s:")
+    print(best.summary())
+
+
+if __name__ == "__main__":
+    main()

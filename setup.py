@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where
+the ``wheel`` package (required by the PEP 660 editable-install path) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

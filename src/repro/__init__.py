@@ -1,0 +1,64 @@
+"""repro — reproduction of Cho & Chen (IPDPS 2009).
+
+*Performance analysis of distributed intrusion detection protocols for
+mobile group communication systems.*
+
+Public API quick reference::
+
+    from repro import GCSParameters, Scenario, evaluate
+
+    params = GCSParameters.paper_defaults()      # Section 5 defaults
+    result = evaluate(params)                    # MTTSF + Ctotal
+    print(result.summary())
+
+    scenario = Scenario(params)
+    best = scenario.optimize([15, 30, 60, 120, 240, 480])
+    print(best.summary())
+
+Subpackages (see DESIGN.md for the full inventory):
+
+=================  =====================================================
+``repro.core``     the paper's SPN model, metrics, optimiser
+``repro.ctmc``     CTMC solvers (absorbing / transient / stationary)
+``repro.spn``      stochastic Petri net engine
+``repro.voting``   Equation 1 voting probabilities + protocol
+``repro.attackers`` / ``repro.detection``  rate-function families
+``repro.manet``    mobility, connectivity, partition/merge estimation
+``repro.groupkey`` GDH contributory key agreement + rekey costs
+``repro.costs``    communication-cost model (Ĉtotal components)
+``repro.sim``      discrete-event Monte Carlo validation
+``repro.analysis`` experiment registry (figures + ablations) and CLI
+=================  =====================================================
+"""
+
+from .core.metrics import evaluate
+from .core.optimizer import optimize_tids, tradeoff_curve
+from .core.results import GCSResult
+from .core.scenario import Scenario
+from .errors import ReproError
+from .params import (
+    AttackParameters,
+    DetectionParameters,
+    GCSParameters,
+    GroupDynamicsParameters,
+    NetworkParameters,
+    WorkloadParameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GCSParameters",
+    "NetworkParameters",
+    "WorkloadParameters",
+    "AttackParameters",
+    "DetectionParameters",
+    "GroupDynamicsParameters",
+    "GCSResult",
+    "Scenario",
+    "evaluate",
+    "optimize_tids",
+    "tradeoff_curve",
+]

@@ -1,0 +1,82 @@
+"""Tabular data series (one per regenerated figure)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["DataSeries"]
+
+
+@dataclass(frozen=True)
+class DataSeries:
+    """An x-axis plus named y-series — the content of one figure.
+
+    ``x`` is the swept variable (e.g. ``TIDS`` seconds); each entry of
+    ``series`` is one curve (e.g. ``m=5`` or ``linear detection``).
+    """
+
+    name: str
+    x_label: str
+    x: tuple[float, ...]
+    y_label: str
+    series: Mapping[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.x:
+            raise ParameterError("x axis must be non-empty")
+        for key, ys in self.series.items():
+            if len(ys) != len(self.x):
+                raise ParameterError(
+                    f"series {key!r} has {len(ys)} points, x has {len(self.x)}"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        x_label: str,
+        x: Sequence[float],
+        y_label: str,
+        series: Mapping[str, Sequence[float]],
+    ) -> "DataSeries":
+        return cls(
+            name=name,
+            x_label=x_label,
+            x=tuple(float(v) for v in x),
+            y_label=y_label,
+            series={k: tuple(float(v) for v in vs) for k, vs in series.items()},
+        )
+
+    # ------------------------------------------------------------------
+    def argbest(self, key: str, *, maximize: bool = True) -> tuple[float, float]:
+        """``(x*, y*)`` of the max (or min) of one series."""
+        if key not in self.series:
+            raise ParameterError(f"unknown series {key!r}; have {sorted(self.series)}")
+        ys = self.series[key]
+        idx = max(range(len(ys)), key=lambda i: ys[i]) if maximize else min(
+            range(len(ys)), key=lambda i: ys[i]
+        )
+        return self.x[idx], ys[idx]
+
+    def to_rows(self) -> list[list[str]]:
+        """Header + rows for table rendering / CSV."""
+        header = [self.x_label] + list(self.series)
+        rows: list[list[str]] = [header]
+        for i, xv in enumerate(self.x):
+            rows.append(
+                [f"{xv:g}"] + [f"{self.series[k][i]:.4e}" for k in self.series]
+            )
+        return rows
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "x": list(self.x),
+            "y_label": self.y_label,
+            "series": {k: list(v) for k, v in self.series.items()},
+        }

@@ -1,0 +1,48 @@
+"""Artifact output: CSV + JSON per experiment."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .figures import DataSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .experiments import ExperimentResult
+
+__all__ = ["write_series_csv", "write_experiment_artifacts"]
+
+
+def write_series_csv(series: DataSeries, path: "str | Path") -> Path:
+    """Write one data series as CSV (header = x label + series names)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        for row in series.to_rows():
+            writer.writerow(row)
+    return path
+
+
+def write_experiment_artifacts(
+    result: "ExperimentResult", out_dir: "str | Path"
+) -> list[Path]:
+    """Write every series of an experiment (CSV each + one JSON bundle)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for series in result.series:
+        written.append(write_series_csv(series, out / f"{series.name}.csv"))
+    bundle = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "elapsed_seconds": result.elapsed_seconds,
+        "series": [s.to_dict() for s in result.series],
+    }
+    json_path = out / f"{result.experiment_id}.json"
+    json_path.write_text(json.dumps(bundle, indent=2))
+    written.append(json_path)
+    return written

@@ -1,0 +1,89 @@
+"""ASCII line plots for :class:`~repro.analysis.figures.DataSeries`.
+
+Matplotlib is unavailable offline, so the CLI renders figures as
+terminal plots: one character glyph per series, optional logarithmic
+axes (the paper plots Figures 2–5 on log-y), a legend, and axis labels.
+Good enough to *see* the interior optima and crossovers the benchmarks
+assert.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..errors import ParameterError
+from .figures import DataSeries
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool, axis: str) -> list[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0.0:
+                raise ParameterError(
+                    f"log {axis}-axis requires positive values, got {v}"
+                )
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def ascii_plot(
+    series: DataSeries,
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render a data series as an ASCII scatter/line chart.
+
+    ``log_x``/``log_y`` default to true because every figure in the
+    paper spans decades on both axes.
+    """
+    if width < 16 or height < 6:
+        raise ParameterError("plot needs width >= 16 and height >= 6")
+    xs = _transform(series.x, log_x, "x")
+    names = list(series.series)
+    if len(names) > len(_GLYPHS):
+        raise ParameterError(f"too many series for glyphs ({len(names)})")
+
+    ys_all: list[list[float]] = [
+        _transform(series.series[name], log_y, "y") for name in names
+    ]
+    y_min = min(min(ys) for ys in ys_all)
+    y_max = max(max(ys) for ys in ys_all)
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for ys, glyph in zip(ys_all, _GLYPHS):
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    def y_tick(level: float) -> str:
+        value = 10**level if log_y else level
+        return f"{value:9.3g}"
+
+    lines = [title or f"{series.y_label} vs {series.x_label}"]
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        label = y_tick(y_min + frac * y_span) if i % 4 == 0 or i == height - 1 else " " * 9
+        lines.append(f"{label} |{''.join(row)}|")
+    x_lo = 10**x_min if log_x else x_min
+    x_hi = 10**x_max if log_x else x_max
+    footer = f"{'':9} +{'-' * width}+"
+    axis = f"{'':10}{x_lo:<10.4g}{series.x_label:^{width - 20}}{x_hi:>10.4g}"
+    legend = "  ".join(f"{g}={n}" for g, n in zip(_GLYPHS, names))
+    lines.extend([footer, axis, f"{'':10}legend: {legend}"])
+    return "\n".join(lines)

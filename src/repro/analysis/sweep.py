@@ -1,0 +1,47 @@
+"""Generic parameter sweep utilities."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["SweepPoint", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point."""
+
+    assignment: Mapping[str, Any]
+    value: Any
+
+
+def grid_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    evaluate: Callable[..., Any],
+    *,
+    progress: Callable[[SweepPoint], None] | None = None,
+) -> list[SweepPoint]:
+    """Cartesian-product sweep.
+
+    ``grid`` maps parameter names to value lists; ``evaluate`` is called
+    with each assignment as keyword arguments, in deterministic
+    lexicographic order of the grid definition.
+    """
+    if not grid:
+        raise ParameterError("grid must be non-empty")
+    names = list(grid)
+    for name, values in grid.items():
+        if len(values) == 0:
+            raise ParameterError(f"grid axis {name!r} is empty")
+    points: list[SweepPoint] = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        assignment = dict(zip(names, combo))
+        point = SweepPoint(assignment=assignment, value=evaluate(**assignment))
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    return points

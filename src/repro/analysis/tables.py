@@ -1,0 +1,34 @@
+"""Aligned plain-text table rendering (the harness's "plots")."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ParameterError
+from .figures import DataSeries
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(rows: Sequence[Sequence[str]], *, indent: str = "") -> str:
+    """Align columns; first row is treated as a header."""
+    if not rows:
+        raise ParameterError("no rows to render")
+    width = len(rows[0])
+    for r in rows:
+        if len(r) != width:
+            raise ParameterError("ragged rows")
+    col_w = [max(len(str(r[c])) for r in rows) for c in range(width)]
+    lines = []
+    for i, row in enumerate(rows):
+        line = indent + "  ".join(str(v).rjust(col_w[c]) for c, v in enumerate(row))
+        lines.append(line)
+        if i == 0:
+            lines.append(indent + "  ".join("-" * col_w[c] for c in range(width)))
+    return "\n".join(lines)
+
+
+def render_series(series: DataSeries, *, title: Optional[str] = None) -> str:
+    """Render a :class:`DataSeries` with a heading."""
+    head = title or f"{series.name}: {series.y_label} vs {series.x_label}"
+    return f"{head}\n{render_table(series.to_rows())}"

@@ -1,0 +1,21 @@
+"""Inside-attacker behaviour models.
+
+The paper models attacker strength as a marking-dependent node
+compromise rate ``A(mc)`` where ``mc = (#Tm + #UCm) / #Tm`` reflects the
+current degree of compromise. Three strengths are provided —
+logarithmic (slowing), linear (proportional) and polynomial
+(accelerating) — plus simulator-facing profiles with collusion and
+data-leak behaviour, and an estimator that identifies the attacker
+function from observed compromise counts (used by the adaptive IDS
+controller).
+"""
+
+from .functions import AttackerFunction, compromise_ratio
+from .profiles import AttackerProfile, estimate_attacker_function
+
+__all__ = [
+    "AttackerFunction",
+    "compromise_ratio",
+    "AttackerProfile",
+    "estimate_attacker_function",
+]

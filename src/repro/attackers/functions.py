@@ -1,0 +1,107 @@
+"""Attacker rate functions ``A(mc)`` (paper Section 4.1).
+
+``mc = (#Tm + #UCm) / #Tm ≥ 1`` measures the degree of compromise: 1
+when nobody is compromised, growing as undetected compromised members
+accumulate (and as the trusted population shrinks). The three forms:
+
+* ``A_linear(mc) = λc · mc`` — compromise rate proportional to ``mc``;
+* ``A_poly(mc)   = λc · mc^p`` — accelerating ("the attacker takes
+  increasingly *shorter* time"), ``p = 3`` in the paper;
+* ``A_log(mc)    = λc · log_p(mc)`` — decelerating. The literal form is
+  zero at ``mc = 1`` (the attacker could never compromise the first
+  node), so by default we use the *shifted* form
+  ``λc · (1 + log_p(mc))`` which equals ``λc`` at ``mc = 1`` and keeps
+  the ordering log ≤ linear ≤ poly for ``mc ≥ 1`` (DESIGN.md §4.3).
+  Pass ``shifted=False`` for the literal paper form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..params import ATTACKER_FUNCTIONS, AttackParameters
+from ..validation import require_in, require_positive
+
+__all__ = ["AttackerFunction", "compromise_ratio"]
+
+
+def compromise_ratio(n_trusted: int, n_compromised_undetected: int) -> float:
+    """``mc = (#Tm + #UCm) / #Tm``.
+
+    Undefined (raises) when no trusted member remains — the compromise
+    transition is structurally disabled in that case, so model code
+    never asks.
+    """
+    if n_trusted < 0 or n_compromised_undetected < 0:
+        raise ParameterError(
+            f"node counts must be >= 0, got ({n_trusted}, {n_compromised_undetected})"
+        )
+    if n_trusted == 0:
+        raise ParameterError("mc undefined with no trusted members (#Tm = 0)")
+    return (n_trusted + n_compromised_undetected) / n_trusted
+
+
+@dataclass(frozen=True)
+class AttackerFunction:
+    """A parameterised attacker strength ``A(mc)``.
+
+    ``base_rate_hz`` is λc — the compromise rate of an untouched group.
+    """
+
+    form: str
+    base_rate_hz: float
+    base_index_p: float = 3.0
+    shifted_log: bool = True
+
+    def __post_init__(self) -> None:
+        require_in("form", self.form, ATTACKER_FUNCTIONS)
+        require_positive("base_rate_hz", self.base_rate_hz)
+        p = require_positive("base_index_p", self.base_index_p)
+        if p <= 1.0:
+            raise ParameterError(f"base_index_p must be > 1, got {p}")
+
+    @classmethod
+    def from_params(cls, params: AttackParameters) -> "AttackerFunction":
+        """Build from an :class:`~repro.params.AttackParameters` bundle."""
+        return cls(
+            form=params.attacker_function,
+            base_rate_hz=params.base_compromise_rate_hz,
+            base_index_p=params.base_index_p,
+            shifted_log=params.shifted_log,
+        )
+
+    # ------------------------------------------------------------------
+    def rate_at_ratio(self, mc: float) -> float:
+        """``A(mc)`` for a given compromise ratio (``mc >= 1``)."""
+        if mc < 1.0:
+            raise ParameterError(f"mc must be >= 1, got {mc}")
+        lam, p = self.base_rate_hz, self.base_index_p
+        if self.form == "linear":
+            return lam * mc
+        if self.form == "polynomial":
+            return lam * mc**p
+        # logarithmic
+        log_term = math.log(mc) / math.log(p)
+        if self.shifted_log:
+            return lam * (1.0 + log_term)
+        return lam * log_term
+
+    def rate(self, n_trusted: int, n_compromised_undetected: int) -> float:
+        """``A(mc)`` evaluated from group counts (``#Tm``, ``#UCm``)."""
+        return self.rate_at_ratio(
+            compromise_ratio(n_trusted, n_compromised_undetected)
+        )
+
+    def describe(self) -> str:
+        """Human-readable formula string (docs, experiment logs)."""
+        lam = self.base_rate_hz
+        p = self.base_index_p
+        if self.form == "linear":
+            return f"A(mc) = {lam:.3g}·mc"
+        if self.form == "polynomial":
+            return f"A(mc) = {lam:.3g}·mc^{p:g}"
+        if self.shifted_log:
+            return f"A(mc) = {lam:.3g}·(1 + log_{p:g}(mc))"
+        return f"A(mc) = {lam:.3g}·log_{p:g}(mc)"

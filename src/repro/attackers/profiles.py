@@ -1,0 +1,143 @@
+"""Simulator-facing attacker profiles and attacker-strength estimation.
+
+:class:`AttackerProfile` packages an :class:`AttackerFunction` with the
+behavioural flags the discrete-event simulator needs (vote collusion,
+data-leak attempts). :func:`estimate_attacker_function` identifies
+which of the three paper attacker forms best explains an observed
+compromise history — the runtime half of the paper's "select the best
+detection function in response to the attacker function detected at
+runtime" adaptation loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import ATTACKER_FUNCTIONS
+from ..validation import require_positive_int
+from .functions import AttackerFunction, compromise_ratio
+
+__all__ = ["AttackerProfile", "estimate_attacker_function"]
+
+
+@dataclass(frozen=True)
+class AttackerProfile:
+    """Behavioural description of the inside attacker for simulation.
+
+    ``colludes_in_votes``: compromised voters vote against good targets
+    and for bad targets (the paper assumes this; turning it off gives an
+    ablation where compromised voters behave honestly).
+    ``leaks_data``: compromised-undetected members issue data requests
+    (the C1 failure channel); turning it off isolates the C2 channel.
+    """
+
+    function: AttackerFunction
+    colludes_in_votes: bool = True
+    leaks_data: bool = True
+    name: str = "insider"
+
+    def compromise_rate(self, n_trusted: int, n_compromised_undetected: int) -> float:
+        """Current group-level compromise rate ``A(mc)``."""
+        return self.function.rate(n_trusted, n_compromised_undetected)
+
+    def sample_compromise_delay(
+        self,
+        n_trusted: int,
+        n_compromised_undetected: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Exponential delay to the next compromise at the current rate.
+
+        The simulator resamples after every state change, which is
+        exactly correct for exponential (memoryless) delays with
+        state-dependent rates.
+        """
+        if n_trusted == 0:
+            return float("inf")
+        rate = self.compromise_rate(n_trusted, n_compromised_undetected)
+        if rate <= 0.0:
+            return float("inf")
+        return float(rng.exponential(1.0 / rate))
+
+
+def estimate_attacker_function(
+    compromise_times_s: Sequence[float],
+    num_nodes: int,
+    *,
+    base_index_p: float = 3.0,
+    shifted_log: bool = True,
+    candidates: Optional[Sequence[str]] = None,
+) -> tuple[str, float, dict[str, float]]:
+    """Identify the attacker form from observed compromise instants.
+
+    Parameters
+    ----------
+    compromise_times_s:
+        Strictly increasing times of the first, second, ... compromise
+        in a group that started fully trusted (as reconstructed from IDS
+        detections; at least 3 events).
+    num_nodes:
+        Group size ``N`` at mission start. After ``k`` compromises the
+        ratio is ``mc_k = N / (N - k)`` (no detections assumed inside
+        the estimation window — the paper's first-order approximation of
+        λc makes the same simplification).
+
+    Returns
+    -------
+    ``(best_form, fitted_base_rate_hz, log_likelihood_by_form)`` — the
+    candidate maximising the *profile log-likelihood* of the observed
+    exponential inter-compromise gaps. For form ``f`` with unit rates
+    ``u_k = A_f(mc_k)/λc``, the gap ``g_k`` is Exp(λc·u_k); profiling
+    out λc gives ``λ̂c = K / Σ u_k g_k`` and
+    ``ℓ_f = K log λ̂c + Σ log u_k − K``. This is the likelihood-ratio
+    discriminator; note logarithmic and linear attackers are genuinely
+    hard to tell apart until the compromised fraction is substantial
+    (their rate curves differ by <10% near ``mc = 1``).
+    """
+    t = np.asarray(compromise_times_s, dtype=float)
+    if t.ndim != 1 or t.size < 3:
+        raise ParameterError("need at least 3 compromise times")
+    if np.any(np.diff(t) <= 0) or t[0] <= 0:
+        raise ParameterError("compromise times must be positive and strictly increasing")
+    require_positive_int("num_nodes", num_nodes)
+    if t.size >= num_nodes:
+        raise ParameterError(
+            f"cannot observe {t.size} compromises in a group of {num_nodes}"
+        )
+
+    candidates = tuple(candidates or ATTACKER_FUNCTIONS)
+    for cand in candidates:
+        if cand not in ATTACKER_FUNCTIONS:
+            raise ParameterError(f"unknown attacker function {cand!r}")
+
+    gaps = np.diff(np.concatenate([[0.0], t]))
+    # mc before the (k+1)-th compromise, k = 0..K-1 compromises so far.
+    mcs = np.array(
+        [compromise_ratio(num_nodes - k, k) for k in range(t.size)]
+    )
+
+    scores: dict[str, float] = {}
+    best_form, best_ll, best_rate = "", -np.inf, np.nan
+    k_obs = t.size
+    for form in candidates:
+        fn = AttackerFunction(form, 1.0, base_index_p, shifted_log)
+        unit_rates = np.array([fn.rate_at_ratio(mc) for mc in mcs])
+        if np.any(unit_rates <= 0.0):
+            # Literal log form has zero rate at mc=1: it cannot explain
+            # the first compromise at all.
+            scores[form] = -np.inf
+            continue
+        denom = float(unit_rates @ gaps)
+        lam_hat = k_obs / denom
+        ll = k_obs * math.log(lam_hat) + float(np.log(unit_rates).sum()) - k_obs
+        scores[form] = ll
+        if ll > best_ll:
+            best_form, best_ll, best_rate = form, ll, lam_hat
+    if not best_form:
+        raise ParameterError("no candidate attacker function can explain the history")
+    return best_form, float(best_rate), scores

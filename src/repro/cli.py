@@ -1,0 +1,146 @@
+"""Command-line interface: ``repro-experiments`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``list`` — show the experiment registry;
+* ``run <id> [--full] [--seed S] [--out DIR]`` — run one experiment,
+  print its tables, optionally write CSV/JSON artifacts;
+* ``paper [--full] [--out DIR]`` — run every figure experiment
+  (``fig2`` … ``fig5``);
+* ``evaluate [--n N] [--m M] [--tids T] ...`` — single model evaluation
+  with a summary report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.experiments import ExperimentConfig, get_experiment, list_experiments
+from .analysis.io import write_experiment_artifacts
+from .core.metrics import evaluate as evaluate_model
+from .errors import ReproError
+from .params import GCSParameters
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction harness for Cho & Chen (IPDPS 2009): distributed "
+            "intrusion detection for mobile group communication systems."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment id (see 'list')")
+    p_run.add_argument("--full", action="store_true", help="paper-scale N=100")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--out", default=None, help="artifact directory")
+    p_run.add_argument(
+        "--plot", action="store_true", help="render ASCII plots of each series"
+    )
+
+    p_paper = sub.add_parser("paper", help="run all figure experiments")
+    p_paper.add_argument("--full", action="store_true")
+    p_paper.add_argument("--seed", type=int, default=0)
+    p_paper.add_argument("--out", default=None)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one parameter point")
+    p_eval.add_argument("--n", type=int, default=100, help="group size N")
+    p_eval.add_argument("--m", type=int, default=5, help="vote participants")
+    p_eval.add_argument("--tids", type=float, default=60.0, help="TIDS seconds")
+    p_eval.add_argument(
+        "--attacker",
+        default="linear",
+        choices=("logarithmic", "linear", "polynomial"),
+    )
+    p_eval.add_argument(
+        "--detection",
+        default="linear",
+        choices=("logarithmic", "linear", "polynomial"),
+    )
+    p_eval.add_argument("--breakdown", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp in list_experiments():
+        print(f"{exp.id:14s} {exp.paper_artifact:32s} {exp.title}")
+    return 0
+
+
+def _cmd_run(
+    experiment: str,
+    full: bool,
+    seed: int,
+    out: Optional[str],
+    plot: bool = False,
+) -> int:
+    exp = get_experiment(experiment)
+    result = exp.run(ExperimentConfig(quick=not full, seed=seed))
+    print(result.render())
+    if plot:
+        from .analysis.plots import ascii_plot
+
+        for series in result.series:
+            try:
+                print("\n" + ascii_plot(series))
+            except ReproError as exc:
+                print(f"\n(plot skipped for {series.name}: {exc})")
+    if out:
+        paths = write_experiment_artifacts(result, out)
+        print(f"\nartifacts: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_paper(full: bool, seed: int, out: Optional[str]) -> int:
+    status = 0
+    for fig in ("fig2", "fig3", "fig4", "fig5"):
+        status |= _cmd_run(fig, full, seed, out)
+        print()
+    return status
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    params = GCSParameters.paper_defaults(
+        num_nodes=args.n,
+        num_voters=args.m,
+        detection_interval_s=args.tids,
+        attacker_function=args.attacker,
+        detection_function=args.detection,
+    )
+    result = evaluate_model(params, include_breakdown=args.breakdown)
+    print(result.summary())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(
+                args.experiment, args.full, args.seed, args.out, plot=args.plot
+            )
+        if args.command == "paper":
+            return _cmd_paper(args.full, args.seed, args.out)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

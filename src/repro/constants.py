@@ -1,0 +1,88 @@
+"""Physical constants, unit helpers and paper default values.
+
+All internal computations use SI base units: **seconds** for time,
+**meters** for distance, **bits** for information, rates in **Hz**
+(events per second). Costs are reported in **hop-bits per second** as in
+the paper.
+
+The ``PAPER_*`` constants mirror Section 5 of Cho & Chen (2009) and are
+consumed by :func:`repro.params.GCSParameters.paper_defaults`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "KILOBIT",
+    "MEGABIT",
+    "BYTE_BITS",
+    "PAPER_NUM_NODES",
+    "PAPER_RADIUS_M",
+    "PAPER_WIRELESS_RANGE_M",
+    "PAPER_BANDWIDTH_BPS",
+    "PAPER_JOIN_RATE_HZ",
+    "PAPER_LEAVE_RATE_HZ",
+    "PAPER_DATA_RATE_HZ",
+    "PAPER_BASE_COMPROMISE_RATE_HZ",
+    "PAPER_HOST_FALSE_NEGATIVE",
+    "PAPER_HOST_FALSE_POSITIVE",
+    "PAPER_NUM_VOTERS",
+    "PAPER_BASE_INDEX_P",
+    "PAPER_TIDS_GRID_S",
+    "PAPER_TIDS_GRID_COST_S",
+    "PAPER_M_VALUES",
+    "BYZANTINE_FRACTION",
+]
+
+# ---------------------------------------------------------------------------
+# Unit helpers (multiply to convert into base units).
+# ---------------------------------------------------------------------------
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+
+BYTE_BITS: float = 8.0
+KILOBIT: float = 1e3
+MEGABIT: float = 1e6
+
+# ---------------------------------------------------------------------------
+# Paper Section 5 default operating point.
+# ---------------------------------------------------------------------------
+#: Initial number of group members (N).
+PAPER_NUM_NODES: int = 100
+#: Radius of the circular operational area (m).
+PAPER_RADIUS_M: float = 500.0
+#: Radio range used for the unit-disk connectivity model (m). The paper
+#: does not state it; 250 m is the standard 802.11 outdoor figure used by
+#: the MANET literature the paper builds on.
+PAPER_WIRELESS_RANGE_M: float = 250.0
+#: Shared wireless bandwidth (bits/s).
+PAPER_BANDWIDTH_BPS: float = 1e6
+#: Per-node join rate λ = 1 per hour.
+PAPER_JOIN_RATE_HZ: float = 1.0 / HOUR
+#: Per-node leave rate μ = 1 per 4 hours.
+PAPER_LEAVE_RATE_HZ: float = 1.0 / (4.0 * HOUR)
+#: Per-node group data packet rate λq = 1 per minute.
+PAPER_DATA_RATE_HZ: float = 1.0 / MINUTE
+#: Base node compromise rate λc = 1 per 12 hours.
+PAPER_BASE_COMPROMISE_RATE_HZ: float = 1.0 / (12.0 * HOUR)
+#: Host-based IDS per-node false negative probability p1.
+PAPER_HOST_FALSE_NEGATIVE: float = 0.01
+#: Host-based IDS per-node false positive probability p2.
+PAPER_HOST_FALSE_POSITIVE: float = 0.01
+#: Default number of vote-participants m.
+PAPER_NUM_VOTERS: int = 5
+#: Base index parameter p of the log/poly attacker and detection functions.
+PAPER_BASE_INDEX_P: float = 3.0
+#: TIDS grid of Figures 2 and 4 (seconds).
+PAPER_TIDS_GRID_S: tuple[float, ...] = (5, 15, 30, 60, 120, 240, 480, 600, 1200)
+#: TIDS grid of Figures 3 and 5 (seconds) — the cost figures start at 30 s.
+PAPER_TIDS_GRID_COST_S: tuple[float, ...] = (30, 60, 120, 240, 480, 600, 1200)
+#: Vote-participant counts swept in Figures 2-3.
+PAPER_M_VALUES: tuple[int, ...] = (3, 5, 7, 9)
+#: Byzantine failure threshold of security condition C2.
+BYZANTINE_FRACTION: float = 1.0 / 3.0

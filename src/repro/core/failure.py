@@ -1,0 +1,67 @@
+"""Security failure conditions C1 and C2 (paper Section 3).
+
+* **C1 (data leak / loss of integrity)** — a compromised-but-undetected
+  member obtained group data: modelled by a token in place ``GF``.
+* **C2 (Byzantine takeover / loss of availability)** — more than 1/3 of
+  the live members are compromised-undetected:
+  ``#UCm / (#Tm + #UCm) > 1/3``, evaluated in exact integer arithmetic
+  as ``3·#UCm > #Tm + #UCm``, i.e. ``2·#UCm > #Tm``.
+* **Depletion (modelling corner, DESIGN.md §4.5)** — every member has
+  been evicted before C1/C2 fired. Classified as an availability
+  failure alongside C2 but reported separately.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..spn.marking import MarkingView
+
+__all__ = [
+    "FailureClass",
+    "c1_data_leak",
+    "c2_byzantine",
+    "depleted",
+    "security_failure_condition",
+    "is_absorbed",
+]
+
+
+class FailureClass(str, Enum):
+    """Absorbing-state classification of the GCS model."""
+
+    C1_DATA_LEAK = "c1_data_leak"
+    C2_BYZANTINE = "c2_byzantine"
+    DEPLETION = "depletion"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def c1_data_leak(t: int, u: int, gf: int) -> bool:
+    """C1: data leaked to a compromised undetected member."""
+    return gf > 0
+
+
+def c2_byzantine(t: int, u: int, gf: int) -> bool:
+    """C2: ``u/(t+u) > 1/3`` in exact integer form (requires u > 0)."""
+    return gf == 0 and u > 0 and 2 * u > t
+
+
+def depleted(t: int, u: int, gf: int) -> bool:
+    """All members evicted without a C1/C2 event (live count zero)."""
+    return gf == 0 and t + u == 0
+
+
+def security_failure_condition(t: int, u: int, gf: int) -> bool:
+    """True when the group is in a security failure state (C1 or C2).
+
+    This is the predicate every SPN transition's enabling guard negates:
+    once it holds, the marking is absorbing (paper Section 4).
+    """
+    return c1_data_leak(t, u, gf) or c2_byzantine(t, u, gf)
+
+
+def is_absorbed(view: MarkingView) -> bool:
+    """Marking-level variant of :func:`security_failure_condition`."""
+    return security_failure_condition(view["Tm"], view["UCm"], view["GF"])

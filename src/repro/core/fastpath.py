@@ -1,0 +1,198 @@
+"""Vectorised direct construction of the GCS security CTMC.
+
+The Figure 1 SPN's reachable markings form the lattice
+``{(t, u, d) : t + u + d ≤ N}`` plus one shared C1 (data-leak) absorbing
+state — the marking details beyond C1 are irrelevant because every
+transition is guard-disabled after failure. This module enumerates that
+lattice with NumPy and emits the identical CTMC the generic SPN
+reachability produces (equality is a test), ~50× faster for ``N = 100``
+(pure array arithmetic instead of per-marking Python closures; the HPC
+guide's vectorise-the-bottleneck idiom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ctmc.chain import CTMC
+from ..detection.functions import vector_shape_factor
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from .rates import GCSRates
+
+__all__ = ["LatticeChain", "build_lattice_chain"]
+
+
+@dataclass(frozen=True)
+class LatticeChain:
+    """The lattice CTMC plus state metadata for rewards/classes."""
+
+    chain: CTMC
+    #: Per-lattice-state token counts (C1 state excluded; it is last).
+    t: np.ndarray
+    u: np.ndarray
+    d: np.ndarray
+    initial_state: int
+    c1_state: int
+    c2_states: np.ndarray
+    depletion_states: np.ndarray
+    #: 3-D lookup ``state_id[t, u, d]`` (−1 where t+u+d > N).
+    state_id: np.ndarray
+
+    @property
+    def num_states(self) -> int:
+        return self.chain.num_states
+
+    def state_of(self, t: int, u: int, d: int) -> int:
+        """Lattice state index of marking ``(t, u, d)``."""
+        n = self.state_id.shape[0] - 1
+        if not (0 <= t <= n and 0 <= u <= n and 0 <= d <= n) or t + u + d > n:
+            raise ParameterError(f"({t}, {u}, {d}) outside the lattice")
+        return int(self.state_id[t, u, d])
+
+    def absorbing_classes(self) -> dict[str, list[int]]:
+        """Failure classes keyed as the metrics pipeline expects."""
+        return {
+            "c1_data_leak": [self.c1_state],
+            "c2_byzantine": self.c2_states.tolist(),
+            "depletion": self.depletion_states.tolist(),
+        }
+
+
+def build_lattice_chain(
+    params: GCSParameters,
+    network: NetworkModel,
+    *,
+    rates: Optional[GCSRates] = None,
+    expected_groups: float = 1.0,
+) -> LatticeChain:
+    """Build the (decoupled-``NG``) security CTMC for the scenario.
+
+    Semantics identical to ``build_gcs_spn(...)`` + reachability + CTMC
+    compilation, restricted to the default decoupled-group variant.
+    """
+    rates = rates or GCSRates.from_scenario(
+        params, network, expected_groups=expected_groups
+    )
+    n = params.num_nodes
+    scale = rates.group_scale
+
+    # ---- lattice enumeration ------------------------------------------
+    grid = np.indices((n + 1, n + 1, n + 1), dtype=np.int32)
+    mask = grid.sum(axis=0) <= n
+    t_all, u_all, d_all = (g[mask].astype(np.int64) for g in grid)
+    n_lattice = t_all.size
+    state_id = np.full((n + 1, n + 1, n + 1), -1, dtype=np.int64)
+    state_id[t_all, u_all, d_all] = np.arange(n_lattice)
+    c1_state = n_lattice  # shared absorbing data-leak state
+    num_states = n_lattice + 1
+
+    # ---- per-state quantities ------------------------------------------
+    live = t_all + u_all
+    failed_c2 = (u_all > 0) & (2 * u_all > t_all)
+    active = ~failed_c2
+
+    att = rates.attacker
+    det = rates.detection
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mc = np.where(t_all > 0, live / np.maximum(t_all, 1), 1.0)
+        md = np.where(live > 0, n / np.maximum(live, 1), 1.0)
+    a_rate = att.base_rate_hz * vector_shape_factor(
+        att.form, mc, att.base_index_p, att.shifted_log
+    )
+    d_rate = (
+        vector_shape_factor(det.form, md, det.base_index_p, det.shifted_log)
+        / det.base_interval_s
+    )
+
+    # Voting probabilities at per-group counts (matching GCSRates). The
+    # table spans 2n so the boundary max(·, 1) adjustments below never
+    # leave its simplex (g + b <= 2n always holds for g, b <= n).
+    pfp_table, pfn_table = rates.voting.table(2 * n)
+    tg = np.clip(np.rint(t_all * scale).astype(np.int64), 0, n)
+    ug = np.clip(np.rint(u_all * scale).astype(np.int64), 0, n)
+    tg_fa = np.maximum(tg, 1)
+    ug_ids = np.maximum(ug, 1)
+    pfn = pfn_table[tg, ug_ids]
+    pfp = pfp_table[tg_fa, ug]
+
+    # Rekey rate via a precomputed Tcm lookup.
+    tcm = np.array([rates.rekey.tcm_s(max(k, 2)) for k in range(n + 2)])
+    members = np.clip(np.rint((t_all + u_all + d_all) * scale).astype(np.int64), 0, n + 1)
+    rk_rate = 1.0 / tcm[members]
+
+    # ---- transitions -----------------------------------------------------
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    src_ids = state_id[t_all, u_all, d_all]
+
+    def add_edges(mask: np.ndarray, dst: np.ndarray, rate: np.ndarray) -> None:
+        keep = mask & (rate > 0.0)
+        rows.append(src_ids[keep])
+        cols.append(dst[keep])
+        vals.append(rate[keep])
+
+    # T_CP: (t, u, d) -> (t-1, u+1, d)
+    m_cp = active & (t_all > 0)
+    dst_cp = np.where(m_cp, state_id[t_all - 1, np.minimum(u_all + 1, n), d_all], 0)
+    add_edges(m_cp, dst_cp, np.where(m_cp, a_rate, 0.0))
+
+    # T_DRQ: (t, u, d) -> C1
+    m_drq = active & (u_all > 0)
+    leak_rate = (
+        rates.params.detection.host_false_negative
+        * rates.params.workload.data_rate_hz
+        * u_all
+    )
+    add_edges(m_drq, np.full(n_lattice, c1_state), np.where(m_drq, leak_rate, 0.0))
+
+    # T_IDS: (t, u, d) -> (t, u-1, d+1)
+    m_ids = active & (u_all > 0)
+    dst_ids = np.where(
+        m_ids, state_id[t_all, np.maximum(u_all - 1, 0), np.minimum(d_all + 1, n)], 0
+    )
+    add_edges(m_ids, dst_ids, np.where(m_ids, u_all * d_rate * (1.0 - pfn), 0.0))
+
+    # T_FA: (t, u, d) -> (t-1, u, d+1)
+    m_fa = active & (t_all > 0)
+    dst_fa = np.where(
+        m_fa, state_id[np.maximum(t_all - 1, 0), u_all, np.minimum(d_all + 1, n)], 0
+    )
+    add_edges(m_fa, dst_fa, np.where(m_fa, t_all * d_rate * pfp, 0.0))
+
+    # T_RK: (t, u, d) -> (t, u, d-1)
+    m_rk = active & (d_all > 0)
+    dst_rk = np.where(m_rk, state_id[t_all, u_all, np.maximum(d_all - 1, 0)], 0)
+    add_edges(m_rk, dst_rk, np.where(m_rk, rk_rate, 0.0))
+
+    import scipy.sparse as sp
+
+    R = sp.coo_matrix(
+        (
+            np.concatenate(vals),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(num_states, num_states),
+    ).tocsr()
+    chain = CTMC(R)
+
+    # ---- absorbing classes ----------------------------------------------
+    depletion = np.flatnonzero((t_all == 0) & (u_all == 0) & (d_all == 0))
+    c2_states = np.flatnonzero(failed_c2)
+
+    return LatticeChain(
+        chain=chain,
+        t=t_all,
+        u=u_all,
+        d=d_all,
+        initial_state=int(state_id[n, 0, 0]),
+        c1_state=c1_state,
+        c2_states=c2_states,
+        depletion_states=depletion,
+        state_id=state_id,
+    )

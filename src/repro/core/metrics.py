@@ -1,0 +1,335 @@
+"""The ``evaluate()`` pipeline: parameters → MTTSF + Ĉtotal.
+
+This is the reproduction's main entry point. It assembles the scenario
+(network model, ``NG`` birth–death distribution, rate bundle, cost
+model), builds the security chain (vectorised lattice by default, the
+literal Figure 1 SPN on request), and runs the absorbing analysis:
+
+* **MTTSF** = mean time to absorption from the all-trusted marking;
+* **Ĉtotal** = expected accumulated communication cost ÷ MTTSF;
+* failure-mode split across C1 / C2 / depletion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..costs.aggregate import GCSCostModel
+from ..costs.sizes import MessageSizes
+from ..ctmc.absorbing import analyze_absorbing
+from ..ctmc.birth_death import BirthDeathProcess
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..spn.analysis import analyze_spn
+from .failure import FailureClass
+from .fastpath import build_lattice_chain
+from .model import build_gcs_spn
+from .rates import GCSRates
+from .results import GCSResult
+
+__all__ = ["GCSEvaluation", "evaluate", "resolve_network"]
+
+
+def resolve_network(
+    params: GCSParameters,
+    network: Optional[NetworkModel] = None,
+    *,
+    use_mobility: bool = False,
+    mobility_duration_s: float = 1800.0,
+    seed: Optional[int] = None,
+) -> NetworkModel:
+    """Build the network model a scenario should use.
+
+    Priority: an explicitly supplied ``network``; else explicit
+    partition/merge rates from ``params.groups`` grafted onto the
+    analytic model; else a mobility-measured model when
+    ``use_mobility``; else the closed-form analytic model.
+    """
+    if network is not None:
+        return network
+    if params.groups.has_explicit_rates:
+        base = NetworkModel.analytic(params.network)
+        return NetworkModel(
+            params=params.network,
+            avg_hops=base.avg_hops,
+            partition_rate_hz=params.groups.partition_rate_hz,
+            merge_rate_hz=params.groups.merge_rate_hz,
+            measured=False,
+        )
+    if use_mobility:
+        return NetworkModel.from_mobility(
+            params.network,
+            duration_s=mobility_duration_s,
+            rng=np.random.default_rng(seed),
+        )
+    return NetworkModel.analytic(params.network)
+
+
+@dataclass
+class GCSEvaluation:
+    """A reusable evaluation engine for one (params, network) scenario.
+
+    Sweeps that vary only the detection configuration should construct a
+    fresh engine per point (rates and cost cache are configuration-
+    specific) but *reuse the network model* — see
+    :class:`repro.core.scenario.Scenario`, which manages exactly that.
+    """
+
+    params: GCSParameters
+    network: NetworkModel
+
+    def __post_init__(self) -> None:
+        bd = BirthDeathProcess.for_group_count(
+            self.network.partition_rate_hz,
+            self.network.merge_rate_hz,
+            self.params.groups.max_groups,
+        )
+        self.ng_distribution = bd.level_distribution()
+        self.expected_groups = bd.mean_level()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        method: str = "fast",
+        include_breakdown: bool = False,
+        include_variance: bool = False,
+        sizes: Optional[MessageSizes] = None,
+        max_states: int = 2_000_000,
+    ) -> GCSResult:
+        """Evaluate the scenario.
+
+        ``method``: ``"fast"`` (vectorised lattice, decoupled groups —
+        the default), ``"spn"`` (generic Figure 1 SPN, decoupled), or
+        ``"spn-coupled"`` (``NG`` embedded in the marking; cyclic chain,
+        linear solver — small ``N`` only).
+
+        ``include_variance`` additionally computes the exact standard
+        deviation of the time to security failure (one extra solver
+        sweep; fast path only).
+        """
+        if method not in ("fast", "spn", "spn-coupled"):
+            raise ParameterError(
+                f"method must be fast|spn|spn-coupled, got {method!r}"
+            )
+        if include_variance and method != "fast":
+            raise ParameterError(
+                "include_variance is only supported by the fast method"
+            )
+        cost_model = GCSCostModel(
+            self.params,
+            self.network,
+            sizes=sizes,
+            ng_distribution=self.ng_distribution,
+        )
+        if method == "fast":
+            return self._run_fast(cost_model, include_breakdown, include_variance)
+        return self._run_spn(cost_model, include_breakdown, method, max_states)
+
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        cost_model: GCSCostModel,
+        include_breakdown: bool,
+        include_variance: bool = False,
+    ) -> GCSResult:
+        t0 = time.perf_counter()
+        lattice = build_lattice_chain(
+            self.params, self.network, expected_groups=self.expected_groups
+        )
+        n_states = lattice.num_states
+        costs = cost_model.cost_vector(
+            lattice.t, lattice.u, lattice.d, per_component=include_breakdown
+        )
+        rewards: dict[str, np.ndarray] = {}
+        if include_breakdown:
+            total = np.zeros(n_states)
+            for name, vec in costs.items():
+                padded = np.append(vec, 0.0)  # C1 state accrues nothing
+                rewards[f"cost_{name}"] = padded
+                total += padded
+            rewards["cost"] = total
+        else:
+            rewards["cost"] = np.append(costs, 0.0)
+        build_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        solution = analyze_absorbing(
+            lattice.chain,
+            initial=lattice.initial_state,
+            rewards=rewards,
+            absorbing_classes=lattice.absorbing_classes(),
+            second_moment=include_variance,
+        )
+        solve_s = time.perf_counter() - t1
+
+        return self._package(
+            solution.mtta,
+            solution.expected_reward("cost"),
+            {
+                str(FailureClass.C1_DATA_LEAK): solution.absorption_probability("c1_data_leak"),
+                str(FailureClass.C2_BYZANTINE): solution.absorption_probability("c2_byzantine"),
+                str(FailureClass.DEPLETION): solution.absorption_probability("depletion"),
+            },
+            cost_model,
+            n_states,
+            solution.method,
+            build_s,
+            solve_s,
+            breakdown={
+                name.removeprefix("cost_"): solution.expected_reward(name)
+                for name in rewards
+                if name != "cost"
+            }
+            if include_breakdown
+            else None,
+            mttsf_std=solution.mtta_std if include_variance else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_spn(
+        self,
+        cost_model: GCSCostModel,
+        include_breakdown: bool,
+        method: str,
+        max_states: int,
+    ) -> GCSResult:
+        coupled = method == "spn-coupled"
+        t0 = time.perf_counter()
+        rates = GCSRates.from_scenario(
+            self.params,
+            self.network,
+            expected_groups=1.0 if coupled else self.expected_groups,
+        )
+        net = build_gcs_spn(
+            self.params, self.network, rates=rates, coupled_groups=coupled
+        )
+
+        if coupled:
+            context = cost_model.context
+
+            def cost_fn(m):
+                return context.component_rates(
+                    m["Tm"],
+                    m["UCm"],
+                    m["DCm"],
+                    max(m["NG"], 1),
+                    detection=cost_model.detection,
+                    voting=cost_model.voting,
+                ).total
+
+        else:
+
+            def cost_fn(m):
+                return cost_model.state_cost_rate(m["Tm"], m["UCm"], m["DCm"])
+
+        def c1(m):
+            return m["GF"] > 0
+
+        def c2(m):
+            t, u = m["Tm"], m["UCm"]
+            return m["GF"] == 0 and u > 0 and 2 * u > t
+
+        def dep(m):
+            return m["GF"] == 0 and m["Tm"] + m["UCm"] == 0 and m["DCm"] == 0
+
+        build_s = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        analysis = analyze_spn(
+            net,
+            rewards={"cost": cost_fn},
+            absorbing_classes={
+                "c1_data_leak": c1,
+                "c2_byzantine": c2,
+                "depletion": dep,
+            },
+            max_states=max_states,
+        )
+        solve_s = time.perf_counter() - t1
+
+        if include_breakdown:
+            raise ParameterError(
+                "include_breakdown is only supported by the fast method; "
+                "the SPN paths exist for cross-validation"
+            )
+
+        return self._package(
+            analysis.mtta,
+            analysis.expected_reward("cost"),
+            {
+                str(FailureClass.C1_DATA_LEAK): analysis.absorption_probability("c1_data_leak"),
+                str(FailureClass.C2_BYZANTINE): analysis.absorption_probability("c2_byzantine"),
+                str(FailureClass.DEPLETION): analysis.absorption_probability("depletion"),
+            },
+            cost_model,
+            analysis.chain.num_states,
+            f"spn/{analysis.solution.method}",
+            build_s,
+            solve_s,
+        )
+
+    # ------------------------------------------------------------------
+    def _package(
+        self,
+        mttsf: float,
+        accumulated_cost: float,
+        probs: dict[str, float],
+        cost_model: GCSCostModel,
+        n_states: int,
+        solver: str,
+        build_s: float,
+        solve_s: float,
+        *,
+        breakdown: Optional[dict[str, float]] = None,
+        mttsf_std: Optional[float] = None,
+    ) -> GCSResult:
+        if mttsf <= 0.0:
+            raise ParameterError(
+                "MTTSF evaluated to zero: the initial marking is already failed"
+            )
+        ctotal = accumulated_cost / mttsf
+        if breakdown is not None and "total" not in breakdown:
+            breakdown = {
+                **{k: v / mttsf for k, v in breakdown.items()},
+                "total": ctotal,
+            }
+        return GCSResult(
+            params=self.params,
+            mttsf_s=mttsf,
+            ctotal_hop_bits_s=ctotal,
+            failure_probabilities=probs,
+            channel_utilization=cost_model.channel_utilization(ctotal),
+            num_states=n_states,
+            solver=solver,
+            build_seconds=build_s,
+            solve_seconds=solve_s,
+            cost_breakdown=breakdown,
+            mttsf_std_s=mttsf_std,
+        )
+
+
+def evaluate(
+    params: GCSParameters,
+    network: Optional[NetworkModel] = None,
+    *,
+    method: str = "fast",
+    include_breakdown: bool = False,
+    include_variance: bool = False,
+    sizes: Optional[MessageSizes] = None,
+    use_mobility: bool = False,
+    seed: Optional[int] = None,
+) -> GCSResult:
+    """One-shot convenience wrapper around :class:`GCSEvaluation`."""
+    net = resolve_network(params, network, use_mobility=use_mobility, seed=seed)
+    engine = GCSEvaluation(params, net)
+    return engine.run(
+        method=method,
+        include_breakdown=include_breakdown,
+        include_variance=include_variance,
+        sizes=sizes,
+    )

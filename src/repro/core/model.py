@@ -1,0 +1,164 @@
+"""The paper's Figure 1 SPN, built on :mod:`repro.spn`.
+
+Places: ``Tm`` (trusted members, initially ``N``), ``UCm`` (compromised
+undetected), ``DCm`` (compromised/accused detected, pending eviction),
+``GF`` (data-leak failure flag), and — in the coupled variant — ``NG``
+(number of groups).
+
+Transitions and rates come from :class:`repro.core.rates.GCSRates`.
+Every transition carries the enabling guard that disables it once C1 or
+C2 holds, which makes failure markings absorbing exactly as the paper
+describes ("we associate every transition in the SPN model with an
+enabling function that returns false when either C1 or C2 is met").
+
+The default build *decouples* group dynamics (DESIGN.md §4.4): the
+security chain stays acyclic (fast exact solver) and costs are weighted
+by the stationary ``NG`` distribution. ``coupled_groups=True`` embeds
+``NG`` in the marking with ``T_PAR``/``T_MER`` transitions — the CTMC
+becomes cyclic and is solved by sparse LU; use it for small ``N`` (the
+validation benchmark does).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..spn.marking import MarkingView
+from ..spn.petri import StochasticPetriNet
+from .failure import security_failure_condition
+from .rates import GCSRates
+
+__all__ = ["build_gcs_spn"]
+
+
+def _not_failed(view: MarkingView) -> bool:
+    return not security_failure_condition(view["Tm"], view["UCm"], view["GF"])
+
+
+def build_gcs_spn(
+    params: GCSParameters,
+    network: NetworkModel,
+    *,
+    rates: Optional[GCSRates] = None,
+    coupled_groups: bool = False,
+    expected_groups: float = 1.0,
+) -> StochasticPetriNet:
+    """Construct the Figure 1 SPN for one scenario.
+
+    Parameters
+    ----------
+    params, network:
+        Scenario description.
+    rates:
+        Pre-built rate bundle (defaults to
+        :meth:`GCSRates.from_scenario`).
+    coupled_groups:
+        Embed the group-count place ``NG`` with partition/merge
+        transitions. Partition halves per-group sizes inside the rate
+        functions via a live ``1/ng`` scale; merge restores them.
+    expected_groups:
+        Decoupled-mode scale ``E[NG]`` (ignored when coupled).
+    """
+    if coupled_groups and params.groups.max_groups < 1:
+        raise ParameterError("max_groups must be >= 1 for the coupled model")
+    rates = rates or GCSRates.from_scenario(
+        params, network, expected_groups=1.0 if coupled_groups else expected_groups
+    )
+
+    net = StochasticPetriNet("gcs_ids")
+    net.add_place("Tm", tokens=params.num_nodes)
+    net.add_place("UCm")
+    net.add_place("DCm")
+    net.add_place("GF")
+    if coupled_groups:
+        net.add_place("NG", tokens=1)
+
+    def scale_of(view: MarkingView) -> Optional[float]:
+        if not coupled_groups:
+            return None  # GCSRates falls back to its configured scale
+        return 1.0 / max(view["NG"], 1)
+
+    # -- T_CP: a trusted member becomes compromised ----------------------
+    net.add_transition(
+        "T_CP",
+        inputs={"Tm": 1},
+        outputs={"UCm": 1},
+        rate=lambda m: rates.rate_compromise(m["Tm"], m["UCm"]),
+        guard=_not_failed,
+    )
+
+    # -- T_DRQ: data leak to a compromised undetected member (C1) --------
+    net.add_transition(
+        "T_DRQ",
+        inputs={"UCm": 1},
+        outputs={"GF": 1},
+        rate=lambda m: rates.rate_data_leak(m["UCm"]),
+        guard=_not_failed,
+    )
+
+    # -- T_IDS: voting IDS detects a compromised member ------------------
+    net.add_transition(
+        "T_IDS",
+        inputs={"UCm": 1},
+        outputs={"DCm": 1},
+        rate=lambda m: rates.rate_detection(
+            m["Tm"], m["UCm"], group_scale=scale_of(m)
+        ),
+        guard=_not_failed,
+    )
+
+    # -- T_FA: voting IDS falsely accuses a trusted member ---------------
+    net.add_transition(
+        "T_FA",
+        inputs={"Tm": 1},
+        outputs={"DCm": 1},
+        rate=lambda m: rates.rate_false_accusation(
+            m["Tm"], m["UCm"], group_scale=scale_of(m)
+        ),
+        guard=_not_failed,
+    )
+
+    # -- T_RK: eviction rekey completes, detected member leaves ----------
+    net.add_transition(
+        "T_RK",
+        inputs={"DCm": 1},
+        rate=lambda m: rates.rate_rekey(
+            m["Tm"], m["UCm"], m["DCm"], group_scale=scale_of(m)
+        ),
+        guard=_not_failed,
+    )
+
+    if coupled_groups:
+        max_groups = params.groups.max_groups
+        partition_rate = network.partition_rate_hz
+        merge_rate = network.merge_rate_hz
+
+        # -- T_PAR: one group splits (NG += 1) ----------------------------
+        # Requires each resulting group to retain at least 2 live members.
+        def partition_guard(m: MarkingView) -> bool:
+            if not _not_failed(m):
+                return False
+            live = m["Tm"] + m["UCm"] + m["DCm"]
+            return m["NG"] < max_groups and live / (m["NG"] + 1) >= 2.0
+
+        net.add_transition(
+            "T_PAR",
+            inputs={"NG": 1},
+            outputs={"NG": 2},
+            rate=lambda m: partition_rate * m["NG"],
+            guard=partition_guard,
+        )
+
+        # -- T_MER: two groups merge (NG -= 1) -----------------------------
+        net.add_transition(
+            "T_MER",
+            inputs={"NG": 2},
+            outputs={"NG": 1},
+            rate=lambda m: merge_rate * (m["NG"] - 1),
+            guard=_not_failed,
+        )
+
+    return net

@@ -1,0 +1,196 @@
+"""Optimal-``TIDS`` identification and the security↔performance tradeoff.
+
+The paper's design question: given the attacker strength observed at
+runtime, pick the base detection interval ``TIDS`` (and the detection
+function) that maximises MTTSF while keeping the total communication
+cost within the system's performance requirement. This module provides:
+
+* :func:`optimize_tids` — sweep a ``TIDS`` grid, return the best point
+  by a chosen objective (max MTTSF, min Ĉtotal, or max MTTSF subject to
+  a Ĉtotal ceiling);
+* :func:`tradeoff_curve` — the full (TIDS, MTTSF, Ĉtotal) frontier a
+  system designer reads the tradeoff from (Figures 2–5 are exactly
+  these curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..validation import require_sorted_unique
+from .metrics import GCSEvaluation, resolve_network
+from .results import GCSResult
+
+__all__ = ["TradeoffPoint", "OptimizationResult", "tradeoff_curve", "optimize_tids"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One sweep point of the tradeoff frontier."""
+
+    tids_s: float
+    result: GCSResult
+
+    @property
+    def mttsf_s(self) -> float:
+        return self.result.mttsf_s
+
+    @property
+    def ctotal_hop_bits_s(self) -> float:
+        return self.result.ctotal_hop_bits_s
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of an optimal-``TIDS`` search."""
+
+    objective: str
+    best: Optional[TradeoffPoint]
+    curve: tuple[TradeoffPoint, ...]
+    cost_ceiling_hop_bits_s: Optional[float] = None
+
+    @property
+    def feasible(self) -> bool:
+        """False when a cost ceiling excluded every grid point."""
+        return self.best is not None
+
+    @property
+    def optimal_tids_s(self) -> float:
+        if self.best is None:
+            raise ParameterError("no feasible point; inspect .curve")
+        return self.best.tids_s
+
+    def summary(self) -> str:
+        lines = [f"objective: {self.objective}"]
+        if self.cost_ceiling_hop_bits_s is not None:
+            lines[0] += f" (Ctotal <= {self.cost_ceiling_hop_bits_s:g} hop-bits/s)"
+        for point in self.curve:
+            marker = " <== optimal" if self.best is not None and point.tids_s == self.best.tids_s else ""
+            lines.append(
+                f"  TIDS={point.tids_s:7.4g}s  MTTSF={point.mttsf_s:10.4g}s  "
+                f"Ctotal={point.ctotal_hop_bits_s:10.4g}{marker}"
+            )
+        if self.best is None:
+            lines.append("  NO FEASIBLE POINT under the cost ceiling")
+        return "\n".join(lines)
+
+
+def _evaluate_point(
+    params: GCSParameters,
+    tids: float,
+    network: NetworkModel,
+    method: str,
+) -> TradeoffPoint:
+    """Worker for one sweep point (module-level: multiprocessing needs
+    a picklable callable)."""
+    p = params.replacing(detection_interval_s=float(tids))
+    engine = GCSEvaluation(p, network)
+    return TradeoffPoint(tids_s=float(tids), result=engine.run(method=method))
+
+
+def tradeoff_curve(
+    params: GCSParameters,
+    tids_grid_s: Sequence[float],
+    *,
+    network: Optional[NetworkModel] = None,
+    method: str = "fast",
+    progress: Optional[Callable[[TradeoffPoint], None]] = None,
+    workers: Optional[int] = None,
+) -> list[TradeoffPoint]:
+    """Evaluate the scenario at every ``TIDS`` in the grid.
+
+    The network/mobility stage is resolved once and shared across the
+    sweep (the detection interval does not affect mobility).
+
+    ``workers`` > 1 evaluates grid points in parallel with a process
+    pool — sweep points are embarrassingly parallel and each solve is
+    single-threaded, so the speedup is near-linear until memory
+    bandwidth saturates. Results are returned in grid order either way;
+    ``progress`` fires in completion order when parallel.
+    """
+    grid = require_sorted_unique("tids_grid_s", tids_grid_s)
+    net = resolve_network(params, network)
+
+    if workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if workers and workers > 1 and len(grid) > 1:
+        import concurrent.futures
+
+        points_by_tids: dict[float, TradeoffPoint] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(grid))
+        ) as pool:
+            futures = {
+                pool.submit(_evaluate_point, params, tids, net, method): tids
+                for tids in grid
+            }
+            for future in concurrent.futures.as_completed(futures):
+                point = future.result()
+                points_by_tids[point.tids_s] = point
+                if progress is not None:
+                    progress(point)
+        return [points_by_tids[float(t)] for t in grid]
+
+    points: list[TradeoffPoint] = []
+    for tids in grid:
+        point = _evaluate_point(params, tids, net, method)
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    return points
+
+
+def optimize_tids(
+    params: GCSParameters,
+    tids_grid_s: Sequence[float],
+    *,
+    objective: str = "max-mttsf",
+    cost_ceiling_hop_bits_s: Optional[float] = None,
+    network: Optional[NetworkModel] = None,
+    method: str = "fast",
+    workers: Optional[int] = None,
+) -> OptimizationResult:
+    """Pick the best ``TIDS`` on a grid.
+
+    Objectives:
+
+    * ``"max-mttsf"`` — maximise MTTSF (optionally subject to
+      ``cost_ceiling_hop_bits_s``, the paper's "maximise MTTSF while
+      satisfying imposed performance requirements");
+    * ``"min-ctotal"`` — minimise Ĉtotal (Figure 3/5 reading).
+    """
+    if objective not in ("max-mttsf", "min-ctotal"):
+        raise ParameterError(
+            f"objective must be max-mttsf|min-ctotal, got {objective!r}"
+        )
+    if cost_ceiling_hop_bits_s is not None and cost_ceiling_hop_bits_s <= 0:
+        raise ParameterError("cost_ceiling_hop_bits_s must be > 0")
+    if objective == "min-ctotal" and cost_ceiling_hop_bits_s is not None:
+        raise ParameterError("a cost ceiling only applies to max-mttsf")
+
+    curve = tradeoff_curve(
+        params, tids_grid_s, network=network, method=method, workers=workers
+    )
+    candidates = curve
+    if cost_ceiling_hop_bits_s is not None:
+        candidates = [
+            p for p in curve if p.ctotal_hop_bits_s <= cost_ceiling_hop_bits_s
+        ]
+
+    best: Optional[TradeoffPoint] = None
+    if candidates:
+        if objective == "max-mttsf":
+            best = max(candidates, key=lambda p: p.mttsf_s)
+        else:
+            best = min(candidates, key=lambda p: p.ctotal_hop_bits_s)
+
+    return OptimizationResult(
+        objective=objective,
+        best=best,
+        curve=tuple(curve),
+        cost_ceiling_hop_bits_s=cost_ceiling_hop_bits_s,
+    )

@@ -1,0 +1,148 @@
+"""Shared marking-dependent rate functions of the Figure 1 SPN.
+
+One :class:`GCSRates` instance bundles the attacker function, detection
+function, voting error model and rekey timing for a scenario, and
+exposes the five transition rates:
+
+====== ============================  =========================================
+trans  paper rate                    method
+====== ============================  =========================================
+T_CP   ``A(mc)``                     :meth:`GCSRates.rate_compromise`
+T_DRQ  ``p1·λq·#UCm``                :meth:`GCSRates.rate_data_leak`
+T_IDS  ``#UCm·D(md)·(1-Pfn)``        :meth:`GCSRates.rate_detection`
+T_FA   ``#Tm·D(md)·Pfp``             :meth:`GCSRates.rate_false_accusation`
+T_RK   ``1/Tcm``                     :meth:`GCSRates.rate_rekey`
+====== ============================  =========================================
+
+Group-count treatment: ``mc`` and ``md`` are ratios and therefore
+invariant under dividing all counts by the number of groups; the voting
+probabilities and the rekey time are *not*, so they are evaluated at
+per-group counts obtained with ``group_scale = 1/E[NG]`` (exactly 1 when
+group dynamics are disabled; the coupled model passes the live ``ng``
+instead — see :func:`repro.core.model.build_gcs_spn`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..attackers.functions import AttackerFunction
+from ..detection.functions import DetectionFunction
+from ..errors import ParameterError
+from ..groupkey.rekey import RekeyCostModel
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..voting.majority import VotingErrorModel
+
+__all__ = ["GCSRates"]
+
+
+@dataclass(frozen=True)
+class GCSRates:
+    """Transition-rate bundle for one scenario."""
+
+    params: GCSParameters
+    attacker: AttackerFunction
+    detection: DetectionFunction
+    voting: VotingErrorModel
+    rekey: RekeyCostModel
+    group_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.group_scale <= 1.0:
+            raise ParameterError(
+                f"group_scale must be in (0, 1], got {self.group_scale}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        params: GCSParameters,
+        network: NetworkModel,
+        *,
+        expected_groups: float = 1.0,
+        element_bits: Optional[int] = None,
+    ) -> "GCSRates":
+        """Assemble the rate bundle from parameter objects."""
+        if expected_groups < 1.0:
+            raise ParameterError(
+                f"expected_groups must be >= 1, got {expected_groups}"
+            )
+        return cls(
+            params=params,
+            attacker=AttackerFunction.from_params(params.attack),
+            detection=DetectionFunction.from_params(params.detection),
+            voting=VotingErrorModel(
+                num_voters=params.detection.num_voters,
+                host_false_negative=params.detection.host_false_negative,
+                host_false_positive=params.detection.host_false_positive,
+            ),
+            rekey=RekeyCostModel(network, element_bits or 1024),
+            group_scale=1.0 / expected_groups,
+        )
+
+    # ------------------------------------------------------------------
+    def _per_group(self, count: int, scale: Optional[float]) -> int:
+        s = self.group_scale if scale is None else scale
+        return max(int(round(count * s)), 0)
+
+    # ------------------------------------------------------------------
+    def rate_compromise(self, t: int, u: int) -> float:
+        """T_CP: ``A(mc)`` (0 when no trusted member remains)."""
+        if t <= 0:
+            return 0.0
+        return self.attacker.rate(t, u)
+
+    def rate_data_leak(self, u: int) -> float:
+        """T_DRQ: ``p1 · λq · #UCm``."""
+        if u <= 0:
+            return 0.0
+        return (
+            self.params.detection.host_false_negative
+            * self.params.workload.data_rate_hz
+            * u
+        )
+
+    def rate_detection(
+        self, t: int, u: int, *, group_scale: Optional[float] = None
+    ) -> float:
+        """T_IDS: ``#UCm · D(md) · (1 - Pfn)``."""
+        if u <= 0 or t + u <= 0:
+            return 0.0
+        d_rate = self.detection.rate(self.params.num_nodes, t + u)
+        tg, ug = self._per_group(t, group_scale), max(self._per_group(u, group_scale), 1)
+        pfn = self.voting.false_negative_probability(tg, ug)
+        return u * d_rate * (1.0 - pfn)
+
+    def rate_false_accusation(
+        self, t: int, u: int, *, group_scale: Optional[float] = None
+    ) -> float:
+        """T_FA: ``#Tm · D(md) · Pfp``."""
+        if t <= 0:
+            return 0.0
+        d_rate = self.detection.rate(self.params.num_nodes, t + u)
+        tg, ug = max(self._per_group(t, group_scale), 1), self._per_group(u, group_scale)
+        pfp = self.voting.false_positive_probability(tg, ug)
+        return t * d_rate * pfp
+
+    def rate_rekey(
+        self, t: int, u: int, d: int, *, group_scale: Optional[float] = None
+    ) -> float:
+        """T_RK: ``1 / Tcm`` for the current per-group member count.
+
+        Rekeys serialise on the shared channel, so the rate does not
+        scale with the backlog ``#DCm`` (single-server semantics).
+        """
+        if d <= 0:
+            return 0.0
+        members = self._per_group(t + u + d, group_scale)
+        return 1.0 / self.rekey.tcm_s(max(members, 2))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"GCSRates({self.attacker.describe()}; {self.detection.describe()}; "
+            f"m={self.voting.num_voters}; scale={self.group_scale:g})"
+        )

@@ -1,0 +1,122 @@
+"""Result containers for GCS model evaluations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..params import GCSParameters
+
+__all__ = ["GCSResult"]
+
+
+@dataclass(frozen=True)
+class GCSResult:
+    """Outcome of one model evaluation (one parameter point).
+
+    ``mttsf_s`` is the paper's security metric; ``ctotal_hop_bits_s``
+    the performance metric (lifetime-averaged total communication
+    traffic). ``failure_probabilities`` splits absorption mass across
+    C1 (data leak), C2 (Byzantine) and depletion.
+    """
+
+    params: GCSParameters
+    mttsf_s: float
+    ctotal_hop_bits_s: float
+    failure_probabilities: Mapping[str, float]
+    channel_utilization: float
+    num_states: int
+    solver: str
+    build_seconds: float
+    solve_seconds: float
+    cost_breakdown: Optional[Mapping[str, float]] = None
+    #: Exact standard deviation of the time to security failure (only
+    #: when evaluated with ``include_variance=True``).
+    mttsf_std_s: Optional[float] = None
+
+    @property
+    def mttsf_hours(self) -> float:
+        return self.mttsf_s / 3600.0
+
+    @property
+    def mttsf_days(self) -> float:
+        return self.mttsf_s / 86400.0
+
+    @property
+    def dominant_failure_mode(self) -> str:
+        """The absorbing class with the largest probability."""
+        return max(self.failure_probabilities, key=self.failure_probabilities.get)
+
+    def meets_mission_time(self, mission_time_s: float) -> bool:
+        """Does the MTTSF exceed the required mission time?"""
+        return self.mttsf_s >= mission_time_s
+
+    @property
+    def mttsf_cv(self) -> float:
+        """Coefficient of variation of the time to security failure."""
+        if self.mttsf_std_s is None:
+            raise ValueError(
+                "variance not computed; evaluate with include_variance=True"
+            )
+        return self.mttsf_std_s / self.mttsf_s
+
+    def survival_probability_lower_bound(self, mission_time_s: float) -> float:
+        """Distribution-free lower bound on P(survive past ``t``).
+
+        One-sided Cantelli inequality on the failure time ``T`` with the
+        exact first two moments: for ``t < E[T]``,
+        ``P(T <= t) <= σ² / (σ² + (E[T] - t)²)``, hence
+        ``P(T > t) >= (E[T] - t)² / (σ² + (E[T] - t)²)``. Returns 0 for
+        ``t >= E[T]`` (the bound is vacuous there).
+        """
+        if self.mttsf_std_s is None:
+            raise ValueError(
+                "variance not computed; evaluate with include_variance=True"
+            )
+        if mission_time_s < 0:
+            raise ValueError("mission_time_s must be >= 0")
+        gap = self.mttsf_s - mission_time_s
+        if gap <= 0:
+            return 0.0
+        var = self.mttsf_std_s**2
+        return gap**2 / (var + gap**2)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        probs = ", ".join(
+            f"{k}={v:.3f}" for k, v in sorted(self.failure_probabilities.items())
+        )
+        lines = [
+            f"{self.params.describe()}",
+            f"  MTTSF     = {self.mttsf_s:.4g} s ({self.mttsf_days:.2f} days)",
+            f"  Ctotal    = {self.ctotal_hop_bits_s:.4g} hop-bits/s "
+            f"(channel utilization {self.channel_utilization:.1%})",
+            f"  failure   : {probs}",
+            f"  solved    : {self.num_states} states via {self.solver} "
+            f"(build {self.build_seconds:.2f}s, solve {self.solve_seconds:.2f}s)",
+        ]
+        if self.cost_breakdown:
+            parts = ", ".join(
+                f"{k}={v:.3g}" for k, v in self.cost_breakdown.items()
+            )
+            lines.append(f"  cost/s    : {parts}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (analysis artifacts)."""
+        out = {
+            "mttsf_s": self.mttsf_s,
+            "ctotal_hop_bits_s": self.ctotal_hop_bits_s,
+            "failure_probabilities": dict(self.failure_probabilities),
+            "channel_utilization": self.channel_utilization,
+            "num_states": self.num_states,
+            "solver": self.solver,
+            "build_seconds": self.build_seconds,
+            "solve_seconds": self.solve_seconds,
+            "params": self.params.to_dict(),
+        }
+        if self.cost_breakdown is not None:
+            out["cost_breakdown"] = dict(self.cost_breakdown)
+        if self.mttsf_std_s is not None:
+            out["mttsf_std_s"] = self.mttsf_std_s
+        return out

@@ -1,0 +1,31 @@
+"""Communication-cost model (Ĉtotal and its components).
+
+The paper reports a single performance metric — the total communication
+traffic Ĉtotal in **hop-bits per second**, a lifetime average over the
+system's time to security failure — decomposed into group communication,
+status exchange, rekeying, intrusion detection (voting), beacons, and
+group partition/merge traffic. The component equations are omitted from
+the paper ("due to space limitation"); this package is the documented
+reconstruction (DESIGN.md §4.2):
+
+* :mod:`repro.costs.sizes` — message size catalog;
+* :mod:`repro.costs.components` — per-state component rate equations;
+* :mod:`repro.costs.aggregate` — the state-dependent total used as the
+  accumulated-reward function over the security SPN, weighted by the
+  group-count (``NG``) distribution.
+"""
+
+from .aggregate import GCSCostModel
+from .components import ComponentRates, CostContext
+from .delay import DelayModel
+from .energy import EnergyModel
+from .sizes import MessageSizes
+
+__all__ = [
+    "MessageSizes",
+    "CostContext",
+    "ComponentRates",
+    "GCSCostModel",
+    "DelayModel",
+    "EnergyModel",
+]

@@ -1,0 +1,229 @@
+"""Aggregate state-cost model: ``c(state)`` for the Ĉtotal reward.
+
+``GCSCostModel`` closes over the scenario (parameters, network, message
+sizes, detection function, voting model, ``NG`` distribution) and maps a
+security-SPN state ``(t, u, d)`` to its total communication cost rate:
+
+.. math::
+   c(t, u, d) = \\sum_{i} P(NG = i)\\; Ĉ_{total}(t, u, d \\mid ng = i)
+
+which is exactly the probability-weighted per-``i`` construction the
+paper describes for Ĉtotal. The lifetime average Ĉtotal is then the
+expected accumulated ``c`` until absorption divided by MTTSF, computed
+by :func:`repro.ctmc.absorbing.analyze_absorbing`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..ctmc.birth_death import BirthDeathProcess
+from ..detection.functions import DetectionFunction, vector_shape_factor
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..voting.majority import VotingErrorModel
+from .components import COMPONENT_NAMES, CostContext
+from .sizes import MessageSizes
+
+__all__ = ["GCSCostModel"]
+
+
+class GCSCostModel:
+    """State-dependent communication cost for one GCS scenario."""
+
+    def __init__(
+        self,
+        params: GCSParameters,
+        network: NetworkModel,
+        *,
+        sizes: Optional[MessageSizes] = None,
+        ng_distribution: Optional[Mapping[int, float]] = None,
+    ) -> None:
+        self.params = params
+        self.network = network
+        self.context = CostContext(params, network, sizes or MessageSizes())
+        self.detection = DetectionFunction.from_params(params.detection)
+        self.voting = VotingErrorModel(
+            num_voters=params.detection.num_voters,
+            host_false_negative=params.detection.host_false_negative,
+            host_false_positive=params.detection.host_false_positive,
+        )
+        if ng_distribution is None:
+            bd = BirthDeathProcess.for_group_count(
+                network.partition_rate_hz,
+                network.merge_rate_hz,
+                params.groups.max_groups,
+            )
+            ng_distribution = bd.level_distribution()
+        total = sum(ng_distribution.values())
+        if not ng_distribution or abs(total - 1.0) > 1e-6:
+            raise ParameterError(
+                f"ng_distribution must sum to 1, got {total!r}"
+            )
+        for ng in ng_distribution:
+            if ng < 1:
+                raise ParameterError(f"group counts must be >= 1, got {ng}")
+        self.ng_distribution: dict[int, float] = {
+            int(k): float(v) for k, v in sorted(ng_distribution.items())
+        }
+        self._cache: dict[tuple[int, int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def state_cost_rate(self, t: int, u: int, d: int) -> float:
+        """Total cost rate ``c(t, u, d)`` in hop-bits/s (NG-weighted).
+
+        Cached per instance: the SPN reward sweep evaluates every
+        reachable marking once; the cache dies with the model so
+        parameter sweeps do not accumulate stale entries.
+        """
+        key = (int(t), int(u), int(d))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for ng, prob in self.ng_distribution.items():
+            if prob == 0.0:
+                continue
+            rates = self.context.component_rates(
+                t, u, d, ng, detection=self.detection, voting=self.voting
+            )
+            total += prob * rates.total
+        self._cache[key] = total
+        return total
+
+    def breakdown(self, t: int, u: int, d: int) -> dict[str, float]:
+        """NG-weighted per-component rates for one state (reporting)."""
+        acc: dict[str, float] = {}
+        for ng, prob in self.ng_distribution.items():
+            rates = self.context.component_rates(
+                t, u, d, ng, detection=self.detection, voting=self.voting
+            )
+            for name, value in rates.as_dict().items():
+                acc[name] = acc.get(name, 0.0) + prob * value
+        acc["total"] = sum(acc.values())
+        return acc
+
+    def cost_vector(
+        self,
+        t: np.ndarray,
+        u: np.ndarray,
+        d: np.ndarray,
+        *,
+        per_component: bool = False,
+    ) -> "np.ndarray | dict[str, np.ndarray]":
+        """Vectorised ``c(t, u, d)`` over whole state arrays.
+
+        Semantics identical to :meth:`state_cost_rate` element-wise
+        (verified by test); used by the fast lattice pipeline where
+        ~2·10⁵ scalar evaluations per model would dominate the solve.
+        With ``per_component=True`` returns one array per component
+        (for lifetime-averaged cost breakdowns).
+        """
+        t = np.asarray(t, dtype=np.int64)
+        u = np.asarray(u, dtype=np.int64)
+        d = np.asarray(d, dtype=np.int64)
+        if not (t.shape == u.shape == d.shape):
+            raise ParameterError("t, u, d arrays must share a shape")
+        p = self.params
+        s = self.context.sizes
+        net = self.network
+        n_nodes = p.num_nodes
+        live = t + u
+        alive = live > 0
+
+        # Detection rate (vectorised); md pinned to 1 where dead.
+        md = np.where(alive, n_nodes / np.maximum(live, 1), 1.0)
+        det = self.detection
+        d_rate = (
+            vector_shape_factor(det.form, md, det.base_index_p, det.shifted_log)
+            / det.base_interval_s
+        )
+
+        # Voting probabilities at system counts (as in state_cost_rate).
+        pfp_tab, pfn_tab = self._voting_tables()
+        pfp = pfp_tab[t, u]
+        pfn = pfn_tab[t, u]
+
+        e_bits = s.key_element_bits
+        hops = net.avg_hops
+
+        def join_cost(n_g: np.ndarray) -> np.ndarray:
+            return np.where(n_g > 1.0, n_g * e_bits * hops + n_g * e_bits * n_g, 0.0)
+
+        def leave_cost(n_g: np.ndarray) -> np.ndarray:
+            return np.where(n_g > 1.0, (n_g - 1.0) * e_bits * n_g, 0.0)
+
+        def part_cost(n_g: np.ndarray) -> np.ndarray:
+            half = n_g / 2.0
+            return np.where(half > 1.0, 2.0 * (half - 1.0) * e_bits * half, 0.0)
+
+        def merge_cost(n_g: np.ndarray) -> np.ndarray:
+            return np.where(
+                n_g > 0.5,
+                2.0 * n_g * e_bits * hops + 2.0 * n_g * e_bits * 2.0 * n_g,
+                0.0,
+            )
+
+        acc = {name: np.zeros(t.shape, dtype=float) for name in COMPONENT_NAMES}
+        for ng, prob in self.ng_distribution.items():
+            if prob == 0.0:
+                continue
+            n_g = live / ng
+            acc["group_communication"] += prob * (
+                live * p.workload.data_rate_hz * s.data_packet_bits * n_g
+            )
+            acc["status_exchange"] += prob * (
+                live * (1.0 / p.network.status_interval_s) * s.status_bits * n_g
+            )
+            acc["beacon"] += prob * (
+                live * (1.0 / p.network.beacon_interval_s) * s.beacon_bits
+            )
+            acc["rekey_membership"] += prob * live * (
+                p.workload.join_rate_hz * join_cost(n_g)
+                + p.workload.leave_rate_hz * leave_cost(n_g)
+            )
+            acc["ids_voting"] += prob * (
+                live
+                * d_rate
+                * self.voting.num_voters
+                * (s.vote_bits + s.status_bits)
+                * hops
+            )
+            ev_rate = u * d_rate * (1.0 - pfn) + t * d_rate * pfp
+            acc["eviction_rekey"] += prob * ev_rate * leave_cost(n_g)
+            mp = ng * net.partition_rate_hz * part_cost(n_g)
+            if ng > 1:
+                mp = mp + (ng - 1) * net.merge_rate_hz * merge_cost(n_g)
+            acc["partition_merge"] += prob * mp
+
+        for name in acc:
+            acc[name] = np.where(alive, acc[name], 0.0)
+        if per_component:
+            return acc
+        return sum(acc.values())
+
+    def _voting_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(Pfp, Pfn)`` tables over system counts."""
+        tables = getattr(self, "_tables", None)
+        if tables is None:
+            tables = self.voting.table(self.params.num_nodes)
+            self._tables = tables
+        return tables
+
+    def channel_utilization(self, cost_rate_hop_bits_s: float) -> float:
+        """Fraction of the shared channel consumed by ``cost_rate``.
+
+        hop-bits/s divided by the channel bit rate — the paper's
+        "maximum network traffic rate which bounds the delay" check.
+        Values above ~0.7 mean the delay requirement cannot hold.
+        """
+        if cost_rate_hop_bits_s < 0:
+            raise ParameterError("cost rate must be >= 0")
+        return cost_rate_hop_bits_s / self.params.network.bandwidth_bps
+
+    def expected_group_count(self) -> float:
+        """Mean of the ``NG`` distribution in use."""
+        return sum(ng * p for ng, p in self.ng_distribution.items())

@@ -1,0 +1,208 @@
+"""Per-state communication cost component equations.
+
+All components are *rates* in hop-bits/second, evaluated for a system
+state ``(t, u, d)`` = (trusted, compromised-undetected, detected-
+pending-eviction) **given** the system currently runs as ``ng`` groups
+of ``n_g = (t + u) / ng`` live members each. The aggregate model
+(:mod:`repro.costs.aggregate`) weights these by the stationary ``NG``
+distribution, mirroring the paper's "Ĉ_{x,i} given that the number of
+groups in the system is i" construction.
+
+Reconstructed equations (DESIGN.md §4.2); ``E`` = key element bits,
+``H̄`` = mean hops, ``S_x`` = message sizes, ``λ, μ, λq`` = per-node
+join/leave/data rates, ``D`` = detection rate, ``m`` = voters:
+
+========== =====================================================================
+component  hop-bits/s (per system, summed over ``ng`` groups)
+========== =====================================================================
+GC         ``(t+u) · λq · S_data · n_g``              (flooded data packets)
+status     ``(t+u) · (1/T_status) · S_status · n_g``  (flooded status records)
+beacon     ``(t+u) · (1/T_beacon) · S_beacon``        (single-hop)
+rekey      ``(t+u)·λ·join(n_g) + (t+u)·μ·leave(n_g)`` (membership rekeys)
+IDS        ``(t+u) · D(md) · m · (S_vote + S_status) · H̄``  (voting rounds)
+eviction   ``[u·D·(1-Pfn) + t·D·Pfp] · evict(n_g)``   (IDS-triggered rekeys)
+mp         ``ng·ν_p · part(n_g) + (ng-1)·ν_m · merge(n_g)``
+========== =====================================================================
+
+with the GDH rekey operation costs (flood = payload × members):
+
+* ``join(n) = n·E·H̄ + n·E·n``
+* ``leave(n) = evict(n) = (n-1)·E·n``
+* ``part(n)``: the splitting group rekeys both halves:
+  ``2 · (n/2 - 1)·E·(n/2)``
+* ``merge(n)``: two groups of ``n`` form one of ``2n``:
+  ``2n·E·H̄ + 2n·E·2n``
+
+Group sizes enter as real numbers (state counts divided by ``ng``); at
+integer sizes the rekey expressions coincide exactly with the
+message-ledger accounting of :class:`repro.groupkey.rekey.RekeyCostModel`
+(verified by test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..detection.functions import DetectionFunction
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..voting.majority import VotingErrorModel
+from .sizes import MessageSizes
+
+__all__ = ["CostContext", "ComponentRates"]
+
+COMPONENT_NAMES = (
+    "group_communication",
+    "status_exchange",
+    "beacon",
+    "rekey_membership",
+    "ids_voting",
+    "eviction_rekey",
+    "partition_merge",
+)
+
+
+@dataclass(frozen=True)
+class ComponentRates:
+    """Cost component rates (hop-bits/s) for one state and one ``ng``."""
+
+    group_communication: float
+    status_exchange: float
+    beacon: float
+    rekey_membership: float
+    ids_voting: float
+    eviction_rekey: float
+    partition_merge: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.group_communication
+            + self.status_exchange
+            + self.beacon
+            + self.rekey_membership
+            + self.ids_voting
+            + self.eviction_rekey
+            + self.partition_merge
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in COMPONENT_NAMES}
+
+
+@dataclass(frozen=True)
+class CostContext:
+    """Everything the component equations need, bundled once per scenario."""
+
+    params: GCSParameters
+    network: NetworkModel
+    sizes: MessageSizes = field(default_factory=MessageSizes)
+
+    def __post_init__(self) -> None:
+        if self.network.params.num_nodes != self.params.num_nodes:
+            raise ParameterError(
+                "network model and GCS parameters disagree on num_nodes "
+                f"({self.network.params.num_nodes} vs {self.params.num_nodes})"
+            )
+
+    # -- GDH rekey operation costs (continuous group size) --------------
+    def rekey_join_hop_bits(self, n: float) -> float:
+        if n <= 1.0:
+            return 0.0
+        e = self.sizes.key_element_bits
+        return n * e * self.network.avg_hops + n * e * n
+
+    def rekey_leave_hop_bits(self, n: float) -> float:
+        if n <= 1.0:
+            return 0.0
+        e = self.sizes.key_element_bits
+        return (n - 1.0) * e * n
+
+    def rekey_partition_hop_bits(self, n: float) -> float:
+        """The group of size ``n`` splits; both halves re-establish keys."""
+        half = n / 2.0
+        if half <= 1.0:
+            return 0.0
+        e = self.sizes.key_element_bits
+        return 2.0 * (half - 1.0) * e * half
+
+    def rekey_merge_hop_bits(self, n: float) -> float:
+        """Two groups of size ``n`` merge into one of ``2n``."""
+        if n <= 0.5:
+            return 0.0
+        e = self.sizes.key_element_bits
+        return 2.0 * n * e * self.network.avg_hops + 2.0 * n * e * 2.0 * n
+
+    # ------------------------------------------------------------------
+    def component_rates(
+        self,
+        n_trusted: int,
+        n_undetected: int,
+        n_detected: int,
+        ng: int,
+        *,
+        detection: DetectionFunction,
+        voting: VotingErrorModel,
+    ) -> ComponentRates:
+        """Evaluate all component equations for one state and ``ng``."""
+        if ng < 1:
+            raise ParameterError(f"ng must be >= 1, got {ng}")
+        t, u = int(n_trusted), int(n_undetected)
+        if t < 0 or u < 0 or n_detected < 0:
+            raise ParameterError("state counts must be >= 0")
+        live = t + u
+        if live == 0:
+            # Depleted group: only partition/merge control traffic is
+            # conceivable and there are no members to send it.
+            return ComponentRates(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+        p = self.params
+        s = self.sizes
+        net = self.network
+        n_g = live / ng  # per-group live membership
+
+        # -- group communication (flooded data packets) -----------------
+        gc = live * p.workload.data_rate_hz * s.data_packet_bits * n_g
+
+        # -- status exchange (flooded status records) --------------------
+        status = (
+            live
+            * (1.0 / p.network.status_interval_s)
+            * s.status_bits
+            * n_g
+        )
+
+        # -- beacons (single hop) ----------------------------------------
+        beacon = live * (1.0 / p.network.beacon_interval_s) * s.beacon_bits
+
+        # -- membership rekeys -------------------------------------------
+        rekey = live * (
+            p.workload.join_rate_hz * self.rekey_join_hop_bits(n_g)
+            + p.workload.leave_rate_hz * self.rekey_leave_hop_bits(n_g)
+        )
+
+        # -- IDS voting traffic ------------------------------------------
+        d_rate = detection.rate(p.num_nodes, live)
+        m = voting.num_voters
+        ids = live * d_rate * m * (s.vote_bits + s.status_bits) * net.avg_hops
+
+        # -- IDS-triggered eviction rekeys --------------------------------
+        pfp, pfn = voting.probabilities(t, u)
+        eviction_event_rate = u * d_rate * (1.0 - pfn) + t * d_rate * pfp
+        eviction = eviction_event_rate * self.rekey_leave_hop_bits(n_g)
+
+        # -- partition / merge --------------------------------------------
+        mp = ng * net.partition_rate_hz * self.rekey_partition_hop_bits(n_g)
+        if ng > 1:
+            mp += (ng - 1) * net.merge_rate_hz * self.rekey_merge_hop_bits(n_g)
+
+        return ComponentRates(
+            group_communication=gc,
+            status_exchange=status,
+            beacon=beacon,
+            rekey_membership=rekey,
+            ids_voting=ids,
+            eviction_rekey=eviction,
+            partition_merge=mp,
+        )

@@ -1,0 +1,83 @@
+"""Packet-delay model: the paper's timeliness requirement.
+
+"The timeliness requirement is the delay requirement per packet. This
+translates into a maximum network traffic rate which bounds the delay
+or response time per packet." (paper, Section 2.1)
+
+We make that translation explicit with the standard M/M/1
+shared-channel approximation: per-hop transmission takes
+``S̄/BW`` seconds and the channel is utilised at
+``ρ = Ĉtotal / BW`` (hop-bits/s over bits/s), so
+
+.. math::
+   E[delay] \\approx H̄ · \\frac{S̄/BW}{1 - ρ}
+
+Inverting gives the **maximum admissible Ĉtotal** for a per-packet
+delay budget — the cost ceiling fed into
+:func:`repro.core.optimizer.optimize_tids`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..validation import require_positive
+from .sizes import MessageSizes
+
+__all__ = ["DelayModel"]
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """M/M/1-style shared-channel delay estimates."""
+
+    network: NetworkModel
+    sizes: MessageSizes
+
+    # ------------------------------------------------------------------
+    @property
+    def per_hop_service_time_s(self) -> float:
+        """Mean transmission time of one data packet over one hop."""
+        return self.sizes.data_packet_bits / self.network.params.bandwidth_bps
+
+    def utilization(self, ctotal_hop_bits_s: float) -> float:
+        """Channel utilisation ``ρ`` induced by a traffic level."""
+        if ctotal_hop_bits_s < 0:
+            raise ParameterError("ctotal_hop_bits_s must be >= 0")
+        return ctotal_hop_bits_s / self.network.params.bandwidth_bps
+
+    def mean_packet_delay_s(self, ctotal_hop_bits_s: float) -> float:
+        """Expected end-to-end delay of a data packet at this load.
+
+        ``H̄`` hops, each an M/M/1 queue at utilisation ``ρ``; returns
+        ``inf`` at or beyond saturation.
+        """
+        rho = self.utilization(ctotal_hop_bits_s)
+        if rho >= 1.0:
+            return float("inf")
+        return self.network.avg_hops * self.per_hop_service_time_s / (1.0 - rho)
+
+    def max_traffic_for_delay(self, delay_budget_s: float) -> float:
+        """Largest Ĉtotal (hop-bits/s) meeting a delay budget.
+
+        Inverts :meth:`mean_packet_delay_s`:
+        ``ρ_max = 1 - H̄·S̄/(BW·D)``. Raises if the budget is below the
+        unloaded (zero-queueing) delay — no traffic level can meet it.
+        """
+        require_positive("delay_budget_s", delay_budget_s)
+        base = self.network.avg_hops * self.per_hop_service_time_s
+        if delay_budget_s <= base:
+            raise ParameterError(
+                f"delay budget {delay_budget_s}s is below the unloaded "
+                f"end-to-end delay {base:.3g}s; unachievable at any load"
+            )
+        rho_max = 1.0 - base / delay_budget_s
+        return rho_max * self.network.params.bandwidth_bps
+
+    def meets_delay_requirement(
+        self, ctotal_hop_bits_s: float, delay_budget_s: float
+    ) -> bool:
+        """Does this traffic level satisfy the per-packet delay budget?"""
+        return self.mean_packet_delay_s(ctotal_hop_bits_s) <= delay_budget_s

@@ -1,0 +1,168 @@
+"""Level-dependent birth–death chains.
+
+The paper models the number of concurrent mobile groups ``NG`` as a
+birth–death process — birth = group partition, death = group merge — with
+rates obtained from mobility simulation. This module provides the
+closed-form stationary distribution (detailed balance, computed in log
+space), moments, and conversion to a full :class:`~repro.ctmc.chain.CTMC`
+for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import require_positive_int
+from .chain import CTMC
+
+__all__ = ["BirthDeathProcess"]
+
+RateSpec = Union[Sequence[float], Callable[[int], float]]
+
+
+class BirthDeathProcess:
+    """A finite birth–death CTMC on levels ``lo..hi``.
+
+    Parameters
+    ----------
+    lo, hi:
+        Inclusive level bounds (e.g. 1..max_groups for ``NG``).
+    birth:
+        Birth rate per level: a callable ``level -> rate`` or a sequence
+        of ``hi - lo`` rates for levels ``lo..hi-1``.
+    death:
+        Death rate per level: callable or sequence of ``hi - lo`` rates
+        for levels ``lo+1..hi``. All death rates must be positive;
+        birth rates may be zero (truncation).
+    """
+
+    def __init__(self, lo: int, hi: int, birth: RateSpec, death: RateSpec) -> None:
+        if lo > hi:
+            raise ParameterError(f"lo ({lo}) must be <= hi ({hi})")
+        self._lo = int(lo)
+        self._hi = int(hi)
+        levels_up = range(self._lo, self._hi)  # transitions level -> level+1
+        levels_down = range(self._lo + 1, self._hi + 1)  # level -> level-1
+        self._birth = self._materialise("birth", birth, levels_up)
+        self._death = self._materialise("death", death, levels_down)
+        if np.any(self._birth < 0.0):
+            raise ParameterError("birth rates must be non-negative")
+        if np.any(self._death <= 0.0) and self.num_levels > 1:
+            raise ParameterError("death rates must be positive")
+
+    @staticmethod
+    def _materialise(name: str, spec: RateSpec, levels: range) -> np.ndarray:
+        if callable(spec):
+            vals = np.array([float(spec(level)) for level in levels])
+        else:
+            vals = np.asarray(list(spec), dtype=float)
+            if vals.shape != (len(levels),):
+                raise ParameterError(
+                    f"{name} rates must have length {len(levels)}, got {vals.shape}"
+                )
+        if not np.all(np.isfinite(vals)):
+            raise ParameterError(f"{name} rates must be finite")
+        return vals
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_group_count(
+        cls,
+        partition_rate_hz: float,
+        merge_rate_hz: float,
+        max_groups: int,
+        *,
+        scale_with_level: bool = True,
+    ) -> "BirthDeathProcess":
+        """The ``NG`` model: levels ``1..max_groups``.
+
+        With ``scale_with_level`` (default) each existing group may
+        partition (birth rate ``ν_p · g``) and each *extra* group may
+        merge back (death rate ``ν_m · (g - 1)``), matching the intuition
+        that more groups give more opportunities for both events.
+        """
+        require_positive_int("max_groups", max_groups)
+        if partition_rate_hz < 0.0:
+            raise ParameterError("partition_rate_hz must be >= 0")
+        if merge_rate_hz <= 0.0 and max_groups > 1:
+            raise ParameterError("merge_rate_hz must be > 0")
+        if scale_with_level:
+            birth = lambda g: partition_rate_hz * g  # noqa: E731
+            death = lambda g: merge_rate_hz * (g - 1)  # noqa: E731
+        else:
+            birth = lambda g: partition_rate_hz  # noqa: E731
+            death = lambda g: merge_rate_hz  # noqa: E731
+        return cls(1, int(max_groups), birth, death)
+
+    # ------------------------------------------------------------------
+    @property
+    def lo(self) -> int:
+        return self._lo
+
+    @property
+    def hi(self) -> int:
+        return self._hi
+
+    @property
+    def num_levels(self) -> int:
+        return self._hi - self._lo + 1
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Array of level values ``lo..hi``."""
+        return np.arange(self._lo, self._hi + 1)
+
+    def birth_rate(self, level: int) -> float:
+        """Birth rate out of ``level`` (0 at the top level)."""
+        if not self._lo <= level <= self._hi:
+            raise ParameterError(f"level {level} outside [{self._lo}, {self._hi}]")
+        return float(self._birth[level - self._lo]) if level < self._hi else 0.0
+
+    def death_rate(self, level: int) -> float:
+        """Death rate out of ``level`` (0 at the bottom level)."""
+        if not self._lo <= level <= self._hi:
+            raise ParameterError(f"level {level} outside [{self._lo}, {self._hi}]")
+        return float(self._death[level - self._lo - 1]) if level > self._lo else 0.0
+
+    # ------------------------------------------------------------------
+    def stationary_distribution(self) -> np.ndarray:
+        """Exact stationary distribution by detailed balance.
+
+        ``π_{k+1}/π_k = birth_k / death_{k+1}``, accumulated in log space
+        to avoid overflow on long chains.
+        """
+        n = self.num_levels
+        if n == 1:
+            return np.array([1.0])
+        with np.errstate(divide="ignore"):
+            log_ratios = np.log(self._birth) - np.log(self._death)
+        log_pi = np.concatenate([[0.0], np.cumsum(log_ratios)])
+        # Levels beyond a zero birth rate get -inf ⇒ probability 0.
+        log_pi -= log_pi.max()
+        pi = np.exp(log_pi)
+        return pi / pi.sum()
+
+    def mean_level(self) -> float:
+        """Stationary mean of the level (e.g. E[number of groups])."""
+        return float(self.stationary_distribution() @ self.levels)
+
+    def level_distribution(self) -> dict[int, float]:
+        """Stationary distribution keyed by level value."""
+        pi = self.stationary_distribution()
+        return {int(level): float(p) for level, p in zip(self.levels, pi)}
+
+    def to_ctmc(self) -> CTMC:
+        """Export as a dense :class:`CTMC` (for cross-validation)."""
+        n = self.num_levels
+        transitions = []
+        for i in range(n - 1):
+            if self._birth[i] > 0.0:
+                transitions.append((i, i + 1, float(self._birth[i])))
+            transitions.append((i + 1, i, float(self._death[i])))
+        return CTMC.from_transitions(n, transitions, labels=list(self.levels))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BirthDeathProcess(levels={self._lo}..{self._hi})"

@@ -1,0 +1,85 @@
+"""General (possibly cyclic) absorbing-chain solver via sparse LU.
+
+Solves the restricted linear system
+
+.. math:: (\\operatorname{diag}(q) - R)_{TT}\\, x_T
+          = b_T + R_{TA}\\, x_A
+
+for the transient block ``T`` given prescribed boundary values on the
+absorbing block ``A``. One LU factorisation is reused across all
+right-hand sides (hitting time, every reward, every absorption class),
+which is what :func:`repro.ctmc.absorbing.analyze_absorbing` relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SolverError
+from .chain import CTMC
+
+__all__ = ["solve_linear_system"]
+
+
+def solve_linear_system(
+    chain: CTMC,
+    numerators: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Solve the absorbing boundary-value problem on a general chain.
+
+    Same contract as :func:`repro.ctmc.acyclic.solve_dag` (per-state
+    numerators ``b``, prescribed ``boundary`` on absorbing states) but
+    with no acyclicity requirement. Raises
+    :class:`~repro.errors.SolverError` when the transient block is
+    singular, which happens exactly when absorption is not almost-sure
+    from some transient state.
+    """
+    n = chain.num_states
+    b = np.asarray(numerators, dtype=float)
+    g = np.asarray(boundary, dtype=float)
+    squeeze = b.ndim == 1
+    if b.ndim == 1:
+        b = b[:, None]
+    if g.ndim == 1:
+        g = g[:, None]
+    if b.shape[0] != n or g.shape[0] != n:
+        raise SolverError(
+            f"numerators/boundary first dimension must be {n}, got {b.shape[0]}/{g.shape[0]}"
+        )
+    if g.shape[1] != b.shape[1]:
+        raise SolverError("numerators and boundary must have matching column counts")
+
+    absorbing = chain.absorbing_mask
+    transient = ~absorbing
+    x = np.zeros_like(b)
+    x[absorbing] = g[absorbing]
+    t_idx = np.flatnonzero(transient)
+    if t_idx.size == 0:
+        return x[:, 0] if squeeze else x
+
+    R = chain.rates
+    q = chain.out_rates
+    a_idx = np.flatnonzero(absorbing)
+
+    R_tt = R[t_idx][:, t_idx].tocsc()
+    A = sp.diags(q[t_idx]) - R_tt
+    rhs = b[t_idx].copy()
+    if a_idx.size:
+        rhs += R[t_idx][:, a_idx] @ x[a_idx]
+
+    try:
+        lu = spla.splu(A.tocsc())
+        sol = lu.solve(np.ascontiguousarray(rhs))
+    except RuntimeError as exc:  # SuperLU signals singularity this way
+        raise SolverError(
+            "transient block is singular: absorption is not almost-sure "
+            "from every transient state"
+        ) from exc
+    if not np.all(np.isfinite(sol)):
+        raise SolverError("linear solve produced non-finite values")
+
+    x[t_idx] = sol
+    return x[:, 0] if squeeze else x

@@ -1,0 +1,98 @@
+"""Stationary distributions of irreducible CTMCs.
+
+Two methods:
+
+* **GTH elimination** (Grassmann–Taksar–Heyman) on the uniformized jump
+  chain — subtraction-free, numerically excellent, O(n³); the default for
+  small chains such as the group-count (``NG``) birth–death model.
+* **Power iteration** on the uniformized jump chain for larger sparse
+  chains.
+
+The caller is responsible for irreducibility; reducible inputs raise
+:class:`~repro.errors.SolverError` when detected (absorbing states) and
+otherwise produce the stationary distribution of the recurrent class
+reachable from everywhere, which is ill-defined — hence the check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, ParameterError, SolverError
+from .chain import CTMC
+
+__all__ = ["stationary_distribution", "gth_stationary"]
+
+
+def gth_stationary(P: np.ndarray) -> np.ndarray:
+    """Stationary vector of a finite irreducible stochastic matrix.
+
+    Implements the GTH algorithm, which never subtracts and is therefore
+    immune to the catastrophic cancellation direct solvers suffer on
+    stiff chains.
+    """
+    P = np.array(P, dtype=float, copy=True)
+    n = P.shape[0]
+    if P.shape != (n, n):
+        raise ParameterError(f"P must be square, got {P.shape}")
+    if n == 1:
+        return np.array([1.0])
+    for k in range(n - 1, 0, -1):
+        s = P[k, :k].sum()
+        if s <= 0.0:
+            raise SolverError(
+                f"GTH elimination failed at state {k}: chain is reducible"
+            )
+        P[:k, k] /= s
+        P[:k, :k] += np.outer(P[:k, k], P[k, :k])
+    pi = np.zeros(n)
+    pi[0] = 1.0
+    for k in range(1, n):
+        pi[k] = pi[:k] @ P[:k, k]
+    return pi / pi.sum()
+
+
+def stationary_distribution(
+    chain: CTMC,
+    *,
+    method: str = "auto",
+    tol: float = 1e-12,
+    max_iter: int = 200_000,
+) -> np.ndarray:
+    """Stationary distribution ``π`` with ``π Q = 0``, ``Σ π = 1``.
+
+    ``method`` is ``"gth"`` (dense, exact), ``"power"`` (sparse
+    iteration) or ``"auto"`` (GTH below 2000 states).
+    """
+    if method not in ("auto", "gth", "power"):
+        raise ParameterError(f"method must be auto|gth|power, got {method!r}")
+    n = chain.num_states
+    if n == 1:
+        return np.array([1.0])
+    if chain.absorbing_states.size:
+        raise SolverError(
+            "chain has absorbing states; stationary distribution is degenerate "
+            "(use analyze_absorbing instead)"
+        )
+    if method == "auto":
+        method = "gth" if n <= 2000 else "power"
+
+    # Uniformization preserves the stationary distribution.
+    P = chain.uniformized_dtmc()
+    if method == "gth":
+        return gth_stationary(P.toarray())
+
+    pi = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        nxt = pi @ P
+        nxt = np.asarray(nxt).ravel()
+        total = nxt.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            raise SolverError("power iteration diverged")
+        nxt /= total
+        if np.abs(nxt - pi).max() < tol:
+            return nxt
+        pi = nxt
+    raise ConvergenceError(
+        f"power iteration did not converge within {max_iter} iterations"
+    )

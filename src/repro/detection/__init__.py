@@ -1,0 +1,29 @@
+"""Intrusion-detection scheduling and host IDS abstraction.
+
+* :mod:`repro.detection.functions` — the paper's three periodic
+  detection rate functions ``D(md)`` driven by the base interval
+  ``TIDS``;
+* :mod:`repro.detection.hostids` — per-node host-based IDS characterised
+  by its false negative/positive probabilities (``p1``, ``p2``), with
+  misuse- and anomaly-detection presets;
+* :mod:`repro.detection.adaptive` — the adaptive controller that matches
+  the detection function to the attacker strength observed at runtime
+  (the paper's closing recommendation).
+"""
+
+from .adaptive import AdaptiveIDSController, recommend_detection_function
+from .audit import AnomalyDetector, AuditFeatureModel, MisuseDetector
+from .functions import DetectionFunction, detection_ratio, vector_shape_factor
+from .hostids import HostIDS
+
+__all__ = [
+    "DetectionFunction",
+    "detection_ratio",
+    "vector_shape_factor",
+    "HostIDS",
+    "AuditFeatureModel",
+    "AnomalyDetector",
+    "MisuseDetector",
+    "AdaptiveIDSController",
+    "recommend_detection_function",
+]

@@ -1,0 +1,140 @@
+"""Adaptive IDS control: match detection strength to attacker strength.
+
+The paper's Section 5 concludes that the system should "adjust the IDS
+detection strength in response to the attacker strength detected at
+runtime": a linear attacker is best countered by linear detection, a
+polynomial attacker by polynomial detection, and so on — because a
+detection curve steeper than the attack curve over-triggers (false
+positives shrink the group via C2) while a shallower one under-triggers
+(compromised nodes linger and leak via C1).
+
+:func:`recommend_detection_function` encodes that matched-strength rule;
+:class:`AdaptiveIDSController` closes the loop: ingest compromise
+observations, re-estimate the attacker form
+(:func:`repro.attackers.profiles.estimate_attacker_function`), and emit
+the recommended detection configuration, optionally re-optimising
+``TIDS`` through a caller-supplied evaluator (the model pipeline in
+:mod:`repro.core.optimizer`, kept injectable to avoid an import cycle
+and to allow simulation-based evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from ..attackers.profiles import estimate_attacker_function
+from ..errors import ParameterError
+from ..params import ATTACKER_FUNCTIONS, DETECTION_FUNCTIONS, DetectionParameters
+from ..validation import require_positive_int
+from .functions import DetectionFunction
+
+__all__ = ["recommend_detection_function", "AdaptiveIDSController"]
+
+#: The matched-strength map the paper's evaluation supports.
+_MATCHED: dict[str, str] = {
+    "logarithmic": "logarithmic",
+    "linear": "linear",
+    "polynomial": "polynomial",
+}
+
+
+def recommend_detection_function(attacker_function: str) -> str:
+    """Detection function matched to an identified attacker function."""
+    if attacker_function not in ATTACKER_FUNCTIONS:
+        raise ParameterError(
+            f"unknown attacker function {attacker_function!r}; "
+            f"expected one of {ATTACKER_FUNCTIONS}"
+        )
+    return _MATCHED[attacker_function]
+
+
+#: Evaluator signature: params -> figure of merit (higher is better).
+Evaluator = Callable[[DetectionParameters], float]
+
+
+@dataclass
+class AdaptiveIDSController:
+    """Runtime adaptation loop for the voting IDS.
+
+    Parameters
+    ----------
+    detection:
+        Current detection configuration (mutable state of the loop).
+    num_nodes:
+        Group size at mission start (for attacker estimation).
+    min_observations:
+        Compromise events required before re-identification (below
+        this, the controller keeps its current configuration).
+    """
+
+    detection: DetectionParameters
+    num_nodes: int
+    min_observations: int = 3
+
+    def __post_init__(self) -> None:
+        require_positive_int("num_nodes", self.num_nodes)
+        require_positive_int("min_observations", self.min_observations)
+        if self.min_observations < 3:
+            raise ParameterError("min_observations must be >= 3 (estimator requirement)")
+        self._compromise_times: list[float] = []
+        self.last_estimate: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def observe_compromise(self, time_s: float) -> None:
+        """Record a compromise instant (from an IDS detection event)."""
+        if self._compromise_times and time_s <= self._compromise_times[-1]:
+            raise ParameterError("compromise times must be strictly increasing")
+        self._compromise_times.append(float(time_s))
+
+    @property
+    def observations(self) -> Sequence[float]:
+        return tuple(self._compromise_times)
+
+    # ------------------------------------------------------------------
+    def adapt(
+        self,
+        *,
+        evaluator: Optional[Evaluator] = None,
+        tids_grid_s: Optional[Sequence[float]] = None,
+    ) -> DetectionParameters:
+        """Re-identify the attacker and update the detection config.
+
+        Without an ``evaluator`` only the detection *function* is
+        switched, by the paper's matched-strength heuristic. With an
+        ``evaluator`` and a ``tids_grid_s``, the controller performs a
+        full model-driven search over detection function × interval
+        (maximising the evaluator, e.g. model-predicted MTTSF given the
+        identified attacker) — strictly stronger than the heuristic, and
+        necessary because under the paper's literal ``mc`` definition
+        the attacker-function identity has only second-order effect on
+        MTTSF (see EXPERIMENTS.md, abl-attacker).
+        """
+        if len(self._compromise_times) >= self.min_observations:
+            form, _rate, _res = estimate_attacker_function(
+                self._compromise_times, self.num_nodes
+            )
+            self.last_estimate = form
+            matched = recommend_detection_function(form)
+            if matched != self.detection.detection_function:
+                self.detection = replace(self.detection, detection_function=matched)
+
+        if evaluator is not None and tids_grid_s:
+            best_cfg, best_score = None, -float("inf")
+            for fn in DETECTION_FUNCTIONS:
+                for tids in tids_grid_s:
+                    candidate = replace(
+                        self.detection,
+                        detection_function=fn,
+                        detection_interval_s=float(tids),
+                    )
+                    score = evaluator(candidate)
+                    if score > best_score:
+                        best_cfg, best_score = candidate, score
+            if best_cfg is not None:
+                self.detection = best_cfg
+        return self.detection
+
+    def current_function(self) -> DetectionFunction:
+        """The active detection function object."""
+        return DetectionFunction.from_params(self.detection)

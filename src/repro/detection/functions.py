@@ -1,0 +1,131 @@
+"""Detection rate functions ``D(md)`` (paper Section 4.1).
+
+``md = N_init / (#Tm + #UCm) ≥ 1`` grows as members are evicted (each
+eviction reflects a detected intrusion or false accusation), so all
+three schemes intensify detection as evidence of intrusion accumulates;
+they differ in how aggressively:
+
+* ``D_log(md)    = log_p(md) / TIDS`` — conservative;
+* ``D_linear(md) = md / TIDS`` — proportional;
+* ``D_poly(md)   = md^p / TIDS`` — aggressive.
+
+As with the attacker's log form, the literal ``log_p(1) = 0`` would
+disable logarithmic detection entirely at mission start, contradicting
+the paper's Figures 4–5 where logarithmic detection operates everywhere;
+the default is the shifted form ``(1 + log_p(md)) / TIDS`` (DESIGN.md
+§4.3), with ``shifted=False`` available for the literal form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import DETECTION_FUNCTIONS, DetectionParameters
+from ..validation import require_in, require_positive, require_positive_int
+
+__all__ = ["DetectionFunction", "detection_ratio", "vector_shape_factor"]
+
+
+def vector_shape_factor(
+    form: str, ratio: np.ndarray, base_index_p: float, shifted_log: bool
+) -> np.ndarray:
+    """Vectorised log/linear/poly shape factor over an array of ratios.
+
+    The scalar equivalents live in
+    :meth:`DetectionFunction.rate_at_ratio` and
+    :meth:`repro.attackers.functions.AttackerFunction.rate_at_ratio`;
+    this helper lets the fast lattice builder and the vectorised cost
+    model evaluate whole state spaces at once.
+    """
+    require_in("form", form, DETECTION_FUNCTIONS)
+    ratio = np.asarray(ratio, dtype=float)
+    if form == "linear":
+        return ratio.copy()
+    if form == "polynomial":
+        return ratio**base_index_p
+    log_term = np.log(ratio) / math.log(base_index_p)
+    return 1.0 + log_term if shifted_log else log_term
+
+
+def detection_ratio(n_initial: int, n_live: int) -> float:
+    """``md = N_init / (#Tm + #UCm)``.
+
+    ``n_live`` is the current live membership (trusted + undetected
+    compromised). Undefined for an empty group — detection has nothing
+    to scan, and model code guards that case structurally.
+    """
+    require_positive_int("n_initial", n_initial)
+    if n_live <= 0:
+        raise ParameterError("md undefined for an empty group (#Tm + #UCm = 0)")
+    return n_initial / n_live
+
+
+@dataclass(frozen=True)
+class DetectionFunction:
+    """A parameterised periodic detection scheme ``D(md)``.
+
+    ``base_interval_s`` is the paper's ``TIDS``; the detection *rate* at
+    mission start is ``1 / TIDS`` for every form (with the shifted log).
+    """
+
+    form: str
+    base_interval_s: float
+    base_index_p: float = 3.0
+    shifted_log: bool = True
+
+    def __post_init__(self) -> None:
+        require_in("form", self.form, DETECTION_FUNCTIONS)
+        require_positive("base_interval_s", self.base_interval_s)
+        p = require_positive("base_index_p", self.base_index_p)
+        if p <= 1.0:
+            raise ParameterError(f"base_index_p must be > 1, got {p}")
+
+    @classmethod
+    def from_params(cls, params: DetectionParameters) -> "DetectionFunction":
+        """Build from a :class:`~repro.params.DetectionParameters` bundle."""
+        return cls(
+            form=params.detection_function,
+            base_interval_s=params.detection_interval_s,
+            base_index_p=params.base_index_p,
+            shifted_log=params.shifted_log,
+        )
+
+    # ------------------------------------------------------------------
+    def rate_at_ratio(self, md: float) -> float:
+        """``D(md)`` for a given detection ratio (``md >= 1``)."""
+        if md < 1.0:
+            raise ParameterError(f"md must be >= 1, got {md}")
+        p = self.base_index_p
+        if self.form == "linear":
+            factor = md
+        elif self.form == "polynomial":
+            factor = md**p
+        else:  # logarithmic
+            log_term = math.log(md) / math.log(p)
+            factor = (1.0 + log_term) if self.shifted_log else log_term
+        return factor / self.base_interval_s
+
+    def rate(self, n_initial: int, n_live: int) -> float:
+        """``D(md)`` evaluated from the initial and live member counts."""
+        return self.rate_at_ratio(detection_ratio(n_initial, n_live))
+
+    def interval(self, n_initial: int, n_live: int) -> float:
+        """Current detection interval ``1 / D(md)`` in seconds."""
+        rate = self.rate(n_initial, n_live)
+        return float("inf") if rate <= 0.0 else 1.0 / rate
+
+    def describe(self) -> str:
+        """Human-readable formula string (docs, experiment logs)."""
+        T = self.base_interval_s
+        p = self.base_index_p
+        if self.form == "linear":
+            return f"D(md) = md/{T:g}s"
+        if self.form == "polynomial":
+            return f"D(md) = md^{p:g}/{T:g}s"
+        if self.shifted_log:
+            return f"D(md) = (1 + log_{p:g}(md))/{T:g}s"
+        return f"D(md) = log_{p:g}(md)/{T:g}s"

@@ -1,0 +1,81 @@
+"""Host-based IDS abstraction.
+
+As in the paper, a node's host IDS is characterised entirely by two
+probabilities: ``p1`` (false negative — misses a compromised neighbour)
+and ``p2`` (false positive — flags a healthy neighbour). The presets
+encode the paper's Section 2.2 observation: misuse (signature) detection
+tends to higher ``p1`` / lower ``p2``; anomaly detection the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..rng import as_generator
+from ..validation import require_probability
+
+__all__ = ["HostIDS"]
+
+
+@dataclass(frozen=True)
+class HostIDS:
+    """Per-node intrusion detection characterised by ``(p1, p2)``."""
+
+    false_negative: float = 0.01
+    false_positive: float = 0.01
+    technique: str = "generic"
+
+    def __post_init__(self) -> None:
+        require_probability("false_negative", self.false_negative)
+        require_probability("false_positive", self.false_positive)
+
+    # ------------------------------------------------------------------
+    # Presets (paper Section 2.2)
+    # ------------------------------------------------------------------
+    @classmethod
+    def misuse_detection(cls, scale: float = 1.0) -> "HostIDS":
+        """Signature-based: more false negatives, fewer false positives."""
+        return cls(
+            false_negative=min(0.02 * scale, 1.0),
+            false_positive=min(0.005 * scale, 1.0),
+            technique="misuse",
+        )
+
+    @classmethod
+    def anomaly_detection(cls, scale: float = 1.0) -> "HostIDS":
+        """Anomaly-based: fewer false negatives, more false positives."""
+        return cls(
+            false_negative=min(0.005 * scale, 1.0),
+            false_positive=min(0.02 * scale, 1.0),
+            technique="anomaly",
+        )
+
+    @classmethod
+    def paper_default(cls) -> "HostIDS":
+        """The paper's ``p1 = p2 = 1%`` operating point."""
+        return cls(0.01, 0.01, technique="paper-default")
+
+    # ------------------------------------------------------------------
+    def verdict(
+        self,
+        target_compromised: bool,
+        rng: Optional[np.random.Generator] = None,
+    ) -> bool:
+        """One observation: does this node flag the target as compromised?
+
+        A compromised target is flagged with probability ``1 - p1``; a
+        healthy target with probability ``p2``.
+        """
+        rng = as_generator(rng)
+        if target_compromised:
+            return rng.random() >= self.false_negative
+        return rng.random() < self.false_positive
+
+    def describe(self) -> str:
+        return (
+            f"HostIDS[{self.technique}](p1={self.false_negative:g}, "
+            f"p2={self.false_positive:g})"
+        )

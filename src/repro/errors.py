@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parameter problems (:class:`ParameterError`, also a
+:class:`ValueError`) from numerical/solver issues
+(:class:`SolverError`) and model-construction issues
+(:class:`ModelError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ModelError",
+    "StateSpaceError",
+    "SolverError",
+    "ConvergenceError",
+    "NotAbsorbingError",
+    "ProtocolError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An input parameter is out of its documented domain.
+
+    Subclasses :class:`ValueError` so generic validation code that
+    expects standard-library semantics keeps working.
+    """
+
+
+class ModelError(ReproError):
+    """A model (SPN, CTMC, cost model) was constructed inconsistently."""
+
+
+class StateSpaceError(ModelError):
+    """State-space generation failed or exceeded its configured bound."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a usable answer."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget."""
+
+
+class NotAbsorbingError(SolverError):
+    """An absorbing-chain analysis was requested on a chain in which
+    absorption is not almost-sure from the initial state."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol (GDH key agreement, voting) was driven
+    through an invalid sequence of steps."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment run failed."""

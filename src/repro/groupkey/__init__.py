@@ -1,0 +1,37 @@
+"""Contributory group key agreement (GDH) and rekeying costs.
+
+The paper's GCS rekeys the shared group key with the GDH contributory
+protocol (Steiner, Tsudik & Waidner, CCS'96) on every membership event —
+join, leave, eviction, group partition, group merge — to preserve
+forward/backward secrecy. This subpackage provides:
+
+* :mod:`repro.groupkey.dh` — modular Diffie–Hellman primitives over
+  configurable prime-field groups (functional toy groups for tests, a
+  real 1536-bit MODP group for realism);
+* :mod:`repro.groupkey.gdh` — an executable GDH.2 protocol with an exact
+  per-message ledger (who sends what, how many field elements, how many
+  bits) and end-of-round key-agreement verification;
+* :mod:`repro.groupkey.rekey` — the
+  :class:`~repro.groupkey.rekey.GroupKeyManager` state machine driving
+  initial key agreement and incremental rekeys, and the
+  :class:`~repro.groupkey.rekey.RekeyCostModel` that turns ledgers into
+  hop-bits and into the paper's ``Tcm`` (rekey time, the reciprocal of
+  the SPN's ``T_RK`` rate).
+"""
+
+from .dh import DHGroup, DHKeyPair
+from .gdh import GDHMessage, GDHResult, MessageLedger, run_gdh2, run_gdh3
+from .rekey import GroupKeyManager, RekeyCostModel, RekeyOperation
+
+__all__ = [
+    "DHGroup",
+    "DHKeyPair",
+    "GDHMessage",
+    "GDHResult",
+    "MessageLedger",
+    "run_gdh2",
+    "run_gdh3",
+    "GroupKeyManager",
+    "RekeyCostModel",
+    "RekeyOperation",
+]

@@ -1,0 +1,121 @@
+"""Prime-field Diffie–Hellman primitives.
+
+Nothing here is novel cryptography — it is the minimal, correct modular
+arithmetic the GDH protocol needs, with two practical group choices:
+
+* :meth:`DHGroup.modp_1536` — the RFC 3526 1536-bit MODP group
+  (generator 2), for realistic message sizes;
+* :meth:`DHGroup.toy` — a 61-bit Mersenne-prime group for fast tests
+  (the *protocol logic* is identical; only the field size differs).
+
+Private exponents are sampled uniformly from ``[2, p - 2]``. Security
+parameters are irrelevant for the simulation use-case; message *sizes*
+(``element_bits``) are what the cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import as_generator
+
+__all__ = ["DHGroup", "DHKeyPair"]
+
+#: RFC 3526, group 5 (1536-bit MODP). Generator 2.
+_MODP_1536_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+)
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A multiplicative prime-field group ``(Z_p^*, g)``."""
+
+    prime: int
+    generator: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.prime < 5:
+            raise ParameterError(f"prime must be >= 5, got {self.prime}")
+        if not 2 <= self.generator < self.prime:
+            raise ParameterError(
+                f"generator must be in [2, p-1], got {self.generator}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def modp_1536(cls) -> "DHGroup":
+        """RFC 3526 group 5 — realistic 1536-bit field elements."""
+        return cls(prime=int(_MODP_1536_HEX, 16), generator=2, name="modp1536")
+
+    @classmethod
+    def toy(cls) -> "DHGroup":
+        """61-bit Mersenne prime group — fast, for tests and simulation.
+
+        ``p = 2^61 - 1`` is prime; 3 generates a large subgroup. Key
+        agreement correctness (commuting exponents) holds in any cyclic
+        group, which is all the protocol tests need.
+        """
+        return cls(prime=(1 << 61) - 1, generator=3, name="toy61")
+
+    # ------------------------------------------------------------------
+    @property
+    def element_bits(self) -> int:
+        """Size of one serialised field element in bits."""
+        return self.prime.bit_length()
+
+    def sample_private(self, rng: Optional[np.random.Generator] = None) -> int:
+        """Uniform private exponent in ``[2, p - 2]``."""
+        rng = as_generator(rng)
+        # Draw 64-bit limbs until the value fits the range uniformly.
+        span = self.prime - 3  # maps to [2, p-2]
+        nbits = span.bit_length()
+        while True:
+            limbs = rng.integers(0, 1 << 32, size=(nbits + 31) // 32, dtype=np.int64)
+            value = 0
+            for limb in limbs:
+                value = (value << 32) | int(limb)
+            value &= (1 << nbits) - 1
+            if value <= span:
+                return value + 2
+
+    def exp(self, base: int, exponent: int) -> int:
+        """``base^exponent mod p``."""
+        if not 0 <= base < self.prime:
+            raise ParameterError("base must be reduced modulo p")
+        return pow(base, exponent, self.prime)
+
+    def public_of(self, private: int) -> int:
+        """``g^private mod p``."""
+        return pow(self.generator, private, self.prime)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DHGroup({self.name}, {self.element_bits} bits)"
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    """A member's contributory share."""
+
+    group: DHGroup
+    private: int
+
+    @classmethod
+    def generate(
+        cls, group: DHGroup, rng: Optional[np.random.Generator] = None
+    ) -> "DHKeyPair":
+        return cls(group=group, private=group.sample_private(rng))
+
+    @property
+    def public(self) -> int:
+        return self.group.public_of(self.private)

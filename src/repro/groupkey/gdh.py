@@ -1,0 +1,272 @@
+"""Executable GDH.2 and GDH.3 protocols with exact message ledgers.
+
+GDH.2 (Steiner, Tsudik & Waidner 1996) computes the shared key
+``K = g^(x_1 x_2 ... x_n)`` in two stages:
+
+* **Upflow** — member ``i`` sends member ``i+1`` the set
+  ``{ g^(Π_{k ≤ i, k ≠ j} x_k) : j = 1..i } ∪ { g^(x_1 ... x_i) }``
+  (``i + 1`` field elements);
+* **Broadcast** — the last member ``n`` raises the partial values to
+  ``x_n`` and floods ``{ g^(Π_{k ≠ j} x_k) : j = 1..n-1 }``
+  (``n - 1`` elements); each member ``j`` then computes
+  ``K = (g^(Π_{k ≠ j} x_k))^{x_j}``.
+
+GDH.3 (same paper) trades rounds for bandwidth — four stages totalling
+``3n - 3`` field elements instead of GDH.2's Θ(n²):
+
+1. **Upflow** — single-value chain ``g^(x_1 ... x_i)`` (``n - 2``
+   unicasts of 1 element);
+2. **Broadcast** — ``g^(x_1 ... x_{n-1})`` flooded (1 element);
+3. **Response** — every member ``i < n`` strips its own exponent with
+   ``x_i^{-1} mod (p-1)`` and unicasts ``g^(Π_{k < n, k ≠ i} x_k)`` to
+   member ``n`` (``n - 1`` unicasts of 1 element);
+4. **Final broadcast** — member ``n`` raises each response to ``x_n``
+   and floods the ``n - 1`` values.
+
+Every message is recorded in a :class:`MessageLedger` with its element
+count and bit size, so the communication cost model can charge exactly
+what the protocol sends (unicast upflow/response, flooded broadcasts).
+Each run verifies that all members derive the same key — the functional
+correctness test of the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..rng import as_generator
+from .dh import DHGroup, DHKeyPair
+
+__all__ = ["GDHMessage", "MessageLedger", "GDHResult", "run_gdh2", "run_gdh3"]
+
+
+@dataclass(frozen=True)
+class GDHMessage:
+    """One protocol message (unicast or broadcast)."""
+
+    sender: int
+    receiver: Optional[int]  # None = broadcast to the whole group
+    num_elements: int
+    element_bits: int
+    stage: str  # "upflow" | "broadcast"
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.receiver is None
+
+    @property
+    def payload_bits(self) -> int:
+        return self.num_elements * self.element_bits
+
+
+@dataclass
+class MessageLedger:
+    """Accumulated messages of one protocol run."""
+
+    messages: list[GDHMessage] = field(default_factory=list)
+
+    def record(self, message: GDHMessage) -> None:
+        self.messages.append(message)
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(m.num_elements for m in self.messages)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(m.payload_bits for m in self.messages)
+
+    def unicast_bits(self) -> int:
+        return sum(m.payload_bits for m in self.messages if not m.is_broadcast)
+
+    def broadcast_bits(self) -> int:
+        return sum(m.payload_bits for m in self.messages if m.is_broadcast)
+
+
+@dataclass(frozen=True)
+class GDHResult:
+    """Outcome of a GDH.2 run."""
+
+    group: DHGroup
+    shared_key: int
+    member_keys: tuple[int, ...]
+    ledger: MessageLedger
+
+    @property
+    def num_members(self) -> int:
+        return len(self.member_keys)
+
+
+def _resolve_members(
+    members: "int | Sequence[DHKeyPair]",
+    group: Optional[DHGroup],
+    rng: Optional[np.random.Generator],
+    *,
+    invertible: bool = False,
+) -> tuple[list[DHKeyPair], DHGroup]:
+    """Materialise key pairs (``invertible`` forces gcd(x, p-1) = 1,
+    which GDH.3's response stage needs for exponent stripping)."""
+    import math
+
+    if isinstance(members, (int, np.integer)):
+        n = int(members)
+        if n < 2:
+            raise ProtocolError(f"GDH needs at least 2 members, got {n}")
+        group = group or DHGroup.toy()
+        rng = as_generator(rng)
+        pairs = []
+        while len(pairs) < n:
+            pair = DHKeyPair.generate(group, rng)
+            if invertible and math.gcd(pair.private, group.prime - 1) != 1:
+                continue
+            pairs.append(pair)
+        return pairs, group
+    pairs = list(members)
+    if len(pairs) < 2:
+        raise ProtocolError(f"GDH needs at least 2 members, got {len(pairs)}")
+    groups = {p.group.prime for p in pairs}
+    if len(groups) != 1:
+        raise ProtocolError("all members must share the same DH group")
+    group = pairs[0].group
+    if invertible:
+        for pair in pairs:
+            if math.gcd(pair.private, group.prime - 1) != 1:
+                raise ProtocolError(
+                    "GDH.3 requires private exponents invertible mod p-1; "
+                    f"share {pair.private} is not"
+                )
+    return pairs, group
+
+
+def run_gdh2(
+    members: "int | Sequence[DHKeyPair]",
+    group: Optional[DHGroup] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> GDHResult:
+    """Run GDH.2 initial key agreement.
+
+    Parameters
+    ----------
+    members:
+        Either a member count (key pairs are generated) or explicit
+        :class:`DHKeyPair` shares.
+    group:
+        Field to work in (defaults to the fast toy group; pass
+        :meth:`DHGroup.modp_1536` for realistic sizes — sizes only
+        matter to the cost model, which reads them off the ledger).
+
+    Raises
+    ------
+    ProtocolError
+        If any member derives a different key (never happens with a
+        correct implementation — this is the invariant the tests lean
+        on).
+    """
+    pairs, group = _resolve_members(members, group, rng)
+    n = len(pairs)
+    g, p = group.generator, group.prime
+    bits = group.element_bits
+    ledger = MessageLedger()
+
+    # ---- Upflow ------------------------------------------------------
+    # State carried to member i+1: (partials, cardinal) where
+    # partials[j] = g^(Π_{k<=i, k != j} x_k) for j = 0..i-1 and
+    # cardinal = g^(x_1 ... x_i).
+    x0 = pairs[0].private
+    partials: list[int] = [g % p]  # g^(x1/x1) = g
+    cardinal: int = pow(g, x0, p)
+    ledger.record(GDHMessage(0, 1, len(partials) + 1, bits, "upflow"))
+
+    for i in range(1, n - 1):
+        xi = pairs[i].private
+        new_partials = [pow(v, xi, p) for v in partials]
+        new_partials.append(cardinal)  # missing-own-exponent slot for member i
+        cardinal = pow(cardinal, xi, p)
+        partials = new_partials
+        ledger.record(GDHMessage(i, i + 1, len(partials) + 1, bits, "upflow"))
+
+    # ---- Last member & broadcast --------------------------------------
+    xn = pairs[n - 1].private
+    shared_key = pow(cardinal, xn, p)
+    broadcast_values = [pow(v, xn, p) for v in partials]  # n - 1 elements
+    ledger.record(GDHMessage(n - 1, None, len(broadcast_values), bits, "broadcast"))
+
+    member_keys: list[int] = []
+    for j in range(n - 1):
+        member_keys.append(pow(broadcast_values[j], pairs[j].private, p))
+    member_keys.append(shared_key)
+
+    if any(k != shared_key for k in member_keys):
+        raise ProtocolError("GDH.2 key agreement failed: members derived different keys")
+
+    return GDHResult(
+        group=group,
+        shared_key=shared_key,
+        member_keys=tuple(member_keys),
+        ledger=ledger,
+    )
+
+
+def run_gdh3(
+    members: "int | Sequence[DHKeyPair]",
+    group: Optional[DHGroup] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> GDHResult:
+    """Run GDH.3 initial key agreement (``3n - 3`` total elements).
+
+    Same contract as :func:`run_gdh2`. Private exponents must be
+    invertible modulo ``p - 1`` (generated shares are resampled until
+    they are; explicit shares are validated).
+    """
+    pairs, group = _resolve_members(members, group, rng, invertible=True)
+    n = len(pairs)
+    g, p = group.generator, group.prime
+    order = p - 1
+    bits = group.element_bits
+    ledger = MessageLedger()
+
+    # ---- Stage 1: single-value upflow through members 0..n-2 ----------
+    cardinal = pow(g, pairs[0].private, p)  # g^(x_1)
+    for i in range(1, n - 1):
+        ledger.record(GDHMessage(i - 1, i, 1, bits, "upflow"))
+        cardinal = pow(cardinal, pairs[i].private, p)
+    # cardinal == g^(x_1 ... x_{n-1})
+
+    # ---- Stage 2: broadcast of the joint partial -----------------------
+    ledger.record(GDHMessage(n - 2, None, 1, bits, "broadcast"))
+
+    # ---- Stage 3: exponent-stripped responses to member n --------------
+    responses: list[int] = []
+    for i in range(n - 1):
+        inv = pow(pairs[i].private, -1, order)
+        responses.append(pow(cardinal, inv, p))  # g^(Π_{k<n, k≠i} x_k)
+        ledger.record(GDHMessage(i, n - 1, 1, bits, "response"))
+
+    # ---- Stage 4: final broadcast by member n ---------------------------
+    xn = pairs[n - 1].private
+    finals = [pow(r, xn, p) for r in responses]
+    ledger.record(GDHMessage(n - 1, None, len(finals), bits, "final"))
+    shared_key = pow(cardinal, xn, p)
+
+    member_keys = [
+        pow(finals[i], pairs[i].private, p) for i in range(n - 1)
+    ]
+    member_keys.append(shared_key)
+
+    if any(k != shared_key for k in member_keys):
+        raise ProtocolError("GDH.3 key agreement failed: members derived different keys")
+
+    return GDHResult(
+        group=group,
+        shared_key=shared_key,
+        member_keys=tuple(member_keys),
+        ledger=ledger,
+    )

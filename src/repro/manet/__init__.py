@@ -1,0 +1,42 @@
+"""MANET substrate: mobility, connectivity, partition/merge dynamics.
+
+The paper's model consumes three quantities that come from the mobile
+network rather than the security protocol:
+
+* average **hop counts** for unicast/flooded traffic (the "hop" in the
+  hop-bits/s cost unit),
+* the **group partition and merge rates** feeding the ``NG``
+  birth–death model ("obtained by simulation for a sufficiently long
+  period"),
+* the radio/bandwidth parameters bounding communication.
+
+This subpackage provides the random waypoint mobility model (vectorised
+NumPy), unit-disk connectivity analysis, the partition/merge rate
+estimator, and the :class:`~repro.manet.network.NetworkModel` facade the
+cost model consumes — with both simulation-measured and closed-form
+analytic parameterisations.
+"""
+
+from .connectivity import (
+    adjacency_matrix,
+    average_hop_count,
+    connected_component_count,
+    connected_components,
+)
+from .geometry import pairwise_distances, sample_points_in_disk
+from .network import NetworkModel
+from .partition import PartitionMergeEstimate, estimate_partition_merge_rates
+from .waypoint import RandomWaypointModel
+
+__all__ = [
+    "sample_points_in_disk",
+    "pairwise_distances",
+    "RandomWaypointModel",
+    "adjacency_matrix",
+    "connected_components",
+    "connected_component_count",
+    "average_hop_count",
+    "PartitionMergeEstimate",
+    "estimate_partition_merge_rates",
+    "NetworkModel",
+]

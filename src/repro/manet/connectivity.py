@@ -1,0 +1,76 @@
+"""Unit-disk connectivity analysis.
+
+Nodes within ``wireless_range_m`` of each other share a link; mobile
+groups are the connected components of that graph (the paper defines a
+mobile group by connectivity). Hop counts come from unweighted
+shortest paths (BFS via ``scipy.sparse.csgraph``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from ..errors import ParameterError
+from .geometry import pairwise_distances
+
+__all__ = [
+    "adjacency_matrix",
+    "connected_components",
+    "connected_component_count",
+    "average_hop_count",
+    "hop_count_matrix",
+]
+
+
+def adjacency_matrix(positions: np.ndarray, range_m: float) -> np.ndarray:
+    """Boolean unit-disk adjacency (no self-loops)."""
+    if range_m <= 0:
+        raise ParameterError(f"range_m must be > 0, got {range_m}")
+    dist = pairwise_distances(positions)
+    adj = dist <= range_m
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def connected_components(positions: np.ndarray, range_m: float) -> np.ndarray:
+    """Component label per node (labels are 0-based and contiguous)."""
+    adj = adjacency_matrix(positions, range_m)
+    n_comp, labels = csgraph.connected_components(
+        sp.csr_matrix(adj), directed=False
+    )
+    return labels
+
+
+def connected_component_count(positions: np.ndarray, range_m: float) -> int:
+    """Number of mobile groups in this snapshot."""
+    labels = connected_components(positions, range_m)
+    return int(labels.max()) + 1 if labels.size else 0
+
+
+def hop_count_matrix(positions: np.ndarray, range_m: float) -> np.ndarray:
+    """Pairwise hop counts (``inf`` across partitions, 0 on diagonal)."""
+    adj = adjacency_matrix(positions, range_m)
+    return csgraph.shortest_path(
+        sp.csr_matrix(adj.astype(np.int8)), method="D", unweighted=True, directed=False
+    )
+
+
+def average_hop_count(positions: np.ndarray, range_m: float) -> float:
+    """Mean hop count over *connected* node pairs.
+
+    Returns ``nan`` when no pair is connected (degenerate snapshots of
+    one node). This is the empirical estimate of the ``H̄`` factor the
+    cost model multiplies into every unicast message.
+    """
+    hops = hop_count_matrix(positions, range_m)
+    n = hops.shape[0]
+    if n < 2:
+        return float("nan")
+    iu = np.triu_indices(n, k=1)
+    values = hops[iu]
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return float("nan")
+    return float(finite.mean())

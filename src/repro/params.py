@@ -1,0 +1,321 @@
+"""Validated parameter bundles for the GCS intrusion-detection model.
+
+The top-level object is :class:`GCSParameters`, a frozen dataclass
+aggregating five orthogonal groups:
+
+* :class:`NetworkParameters`     — arena geometry, radios, mobility;
+* :class:`WorkloadParameters`    — join/leave/data-request rates;
+* :class:`AttackParameters`      — attacker function and base rate;
+* :class:`DetectionParameters`   — voting IDS configuration (``TIDS``,
+  ``m``, host-IDS error rates, detection function);
+* :class:`GroupDynamicsParameters` — group partition/merge (``NG``)
+  treatment.
+
+All fields are in SI units (seconds, meters, bits, Hz). Construction
+validates every field, so downstream code never re-checks domains.
+:meth:`GCSParameters.paper_defaults` reproduces the operating point of
+the paper's Section 5; ``dataclasses.replace``-style updates are exposed
+through :meth:`GCSParameters.replacing` for ergonomic sweeps::
+
+    base = GCSParameters.paper_defaults()
+    fast_ids = base.replacing(detection_interval_s=15.0, num_voters=7)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from . import constants as C
+from .errors import ParameterError
+from .validation import (
+    require_in,
+    require_non_negative,
+    require_odd,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "ATTACKER_FUNCTIONS",
+    "DETECTION_FUNCTIONS",
+    "NetworkParameters",
+    "WorkloadParameters",
+    "AttackParameters",
+    "DetectionParameters",
+    "GroupDynamicsParameters",
+    "GCSParameters",
+]
+
+#: Names accepted for the attacker rate function A(mc).
+ATTACKER_FUNCTIONS: tuple[str, ...] = ("logarithmic", "linear", "polynomial")
+#: Names accepted for the detection rate function D(md).
+DETECTION_FUNCTIONS: tuple[str, ...] = ("logarithmic", "linear", "polynomial")
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """MANET arena, radio and mobility parameters.
+
+    The operational area is a disk of radius :attr:`radius_m`; nodes move
+    by the random waypoint model with speeds uniform in
+    [:attr:`speed_min_mps`, :attr:`speed_max_mps`] and pause time
+    :attr:`pause_s`. Connectivity is unit-disk with range
+    :attr:`wireless_range_m`.
+    """
+
+    num_nodes: int = C.PAPER_NUM_NODES
+    radius_m: float = C.PAPER_RADIUS_M
+    wireless_range_m: float = C.PAPER_WIRELESS_RANGE_M
+    bandwidth_bps: float = C.PAPER_BANDWIDTH_BPS
+    speed_min_mps: float = 1.0
+    speed_max_mps: float = 10.0
+    pause_s: float = 30.0
+    beacon_interval_s: float = 1.0
+    status_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        require_positive_int("num_nodes", self.num_nodes)
+        require_positive("radius_m", self.radius_m)
+        require_positive("wireless_range_m", self.wireless_range_m)
+        require_positive("bandwidth_bps", self.bandwidth_bps)
+        require_positive("speed_min_mps", self.speed_min_mps)
+        require_positive("speed_max_mps", self.speed_max_mps)
+        require_non_negative("pause_s", self.pause_s)
+        require_positive("beacon_interval_s", self.beacon_interval_s)
+        require_positive("status_interval_s", self.status_interval_s)
+        if self.speed_max_mps < self.speed_min_mps:
+            raise ParameterError(
+                f"speed_max_mps ({self.speed_max_mps}) must be >= speed_min_mps ({self.speed_min_mps})"
+            )
+
+    @property
+    def area_m2(self) -> float:
+        """Area of the circular arena in m^2."""
+        import math
+
+        return math.pi * self.radius_m**2
+
+    @property
+    def node_density_per_m2(self) -> float:
+        """Average node density (nodes per m^2)."""
+        return self.num_nodes / self.area_m2
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """Group membership and traffic workload (all per-node rates, Hz)."""
+
+    join_rate_hz: float = C.PAPER_JOIN_RATE_HZ
+    leave_rate_hz: float = C.PAPER_LEAVE_RATE_HZ
+    data_rate_hz: float = C.PAPER_DATA_RATE_HZ
+
+    def __post_init__(self) -> None:
+        require_non_negative("join_rate_hz", self.join_rate_hz)
+        require_non_negative("leave_rate_hz", self.leave_rate_hz)
+        require_positive("data_rate_hz", self.data_rate_hz)
+
+
+@dataclass(frozen=True)
+class AttackParameters:
+    """Inside-attacker behaviour.
+
+    ``attacker_function`` selects between the paper's logarithmic, linear
+    and polynomial attacker strengths; ``base_compromise_rate_hz`` is λc,
+    the compromise rate when no node is yet compromised;
+    ``base_index_p`` is the paper's base/exponent parameter ``p`` (= 3).
+
+    ``shifted_log`` selects the shifted form ``λc·(1+log_p(mc))`` of the
+    logarithmic attacker, which equals λc at the uncompromised state
+    instead of the literal paper form's zero (see DESIGN.md §4.3).
+    """
+
+    base_compromise_rate_hz: float = C.PAPER_BASE_COMPROMISE_RATE_HZ
+    attacker_function: str = "linear"
+    base_index_p: float = C.PAPER_BASE_INDEX_P
+    shifted_log: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("base_compromise_rate_hz", self.base_compromise_rate_hz)
+        require_in("attacker_function", self.attacker_function, ATTACKER_FUNCTIONS)
+        p = require_positive("base_index_p", self.base_index_p)
+        if p <= 1.0:
+            raise ParameterError(f"base_index_p must be > 1 (log base / exponent), got {p}")
+
+
+@dataclass(frozen=True)
+class DetectionParameters:
+    """Voting-based IDS configuration.
+
+    ``detection_interval_s`` is the paper's base detection interval
+    ``TIDS`` — the primary design knob whose optimum the evaluation
+    sweeps. ``num_voters`` is ``m`` (odd, so majority is unambiguous).
+    ``host_false_negative`` / ``host_false_positive`` are the per-node
+    host-IDS error probabilities ``p1`` / ``p2``.
+    """
+
+    detection_interval_s: float = 60.0
+    detection_function: str = "linear"
+    num_voters: int = C.PAPER_NUM_VOTERS
+    host_false_negative: float = C.PAPER_HOST_FALSE_NEGATIVE
+    host_false_positive: float = C.PAPER_HOST_FALSE_POSITIVE
+    base_index_p: float = C.PAPER_BASE_INDEX_P
+    shifted_log: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("detection_interval_s", self.detection_interval_s)
+        require_in("detection_function", self.detection_function, DETECTION_FUNCTIONS)
+        require_odd("num_voters", self.num_voters)
+        require_probability("host_false_negative", self.host_false_negative)
+        require_probability("host_false_positive", self.host_false_positive)
+        p = require_positive("base_index_p", self.base_index_p)
+        if p <= 1.0:
+            raise ParameterError(f"base_index_p must be > 1 (log base / exponent), got {p}")
+
+    @property
+    def majority(self) -> int:
+        """Votes needed to evict a target: ⌈m/2⌉ (paper's N_majority)."""
+        return (self.num_voters + 1) // 2
+
+
+@dataclass(frozen=True)
+class GroupDynamicsParameters:
+    """Treatment of group partition/merge dynamics (place ``NG``).
+
+    When the rates are ``None`` they are estimated from a random-waypoint
+    mobility simulation (:mod:`repro.manet.partition`); explicit values
+    short-circuit the simulation (useful for tests and fast sweeps).
+
+    ``coupled`` embeds ``NG`` in the security chain's state (cyclic CTMC,
+    linear solver); the default decoupled treatment keeps the security
+    chain acyclic and weights costs by the stationary ``NG`` distribution
+    exactly as the paper's per-``i`` cost formulation does.
+    """
+
+    partition_rate_hz: Optional[float] = None
+    merge_rate_hz: Optional[float] = None
+    max_groups: int = 4
+    coupled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.partition_rate_hz is not None:
+            require_non_negative("partition_rate_hz", self.partition_rate_hz)
+        if self.merge_rate_hz is not None:
+            require_positive("merge_rate_hz", self.merge_rate_hz)
+        require_positive_int("max_groups", self.max_groups)
+
+    @property
+    def has_explicit_rates(self) -> bool:
+        """True when both rates are pinned and no mobility sim is needed."""
+        return self.partition_rate_hz is not None and self.merge_rate_hz is not None
+
+
+@dataclass(frozen=True)
+class GCSParameters:
+    """Top-level parameter bundle for one GCS scenario."""
+
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    workload: WorkloadParameters = field(default_factory=WorkloadParameters)
+    attack: AttackParameters = field(default_factory=AttackParameters)
+    detection: DetectionParameters = field(default_factory=DetectionParameters)
+    groups: GroupDynamicsParameters = field(default_factory=GroupDynamicsParameters)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_defaults(cls, **overrides: Any) -> "GCSParameters":
+        """The Section 5 operating point; ``overrides`` follow
+        :meth:`replacing` semantics."""
+        base = cls()
+        return base.replacing(**overrides) if overrides else base
+
+    @classmethod
+    def small_test(cls, **overrides: Any) -> "GCSParameters":
+        """A scaled-down scenario (N=12) for fast tests and examples."""
+        base = cls(
+            network=NetworkParameters(num_nodes=12, radius_m=250.0),
+            groups=GroupDynamicsParameters(partition_rate_hz=1.0 / C.HOUR, merge_rate_hz=4.0 / C.HOUR),
+        )
+        return base.replacing(**overrides) if overrides else base
+
+    # ------------------------------------------------------------------
+    # Ergonomic updates
+    # ------------------------------------------------------------------
+    def replacing(self, **overrides: Any) -> "GCSParameters":
+        """Return a copy with leaf fields replaced.
+
+        Accepts either sub-bundle replacements (``network=...``) or any
+        leaf field name of any sub-bundle (``num_nodes=50``,
+        ``detection_interval_s=120``); leaf names are unique across
+        bundles by construction.
+        """
+        homes: dict[str, str] = {}
+        for bundle_name in ("network", "workload", "attack", "detection", "groups"):
+            bundle = getattr(self, bundle_name)
+            for f in dataclasses.fields(bundle):
+                # base_index_p and shifted_log exist on both attack and
+                # detection; route them via explicit prefixes only.
+                if f.name in ("base_index_p", "shifted_log"):
+                    continue
+                homes[f.name] = bundle_name
+
+        updates: dict[str, dict[str, Any]] = {}
+        direct: dict[str, Any] = {}
+        for key, value in overrides.items():
+            if key in ("network", "workload", "attack", "detection", "groups"):
+                direct[key] = value
+            elif key in ("attack_base_index_p", "attack_shifted_log"):
+                updates.setdefault("attack", {})[key.removeprefix("attack_")] = value
+            elif key in ("detection_base_index_p", "detection_shifted_log"):
+                updates.setdefault("detection", {})[key.removeprefix("detection_")] = value
+            elif key in ("base_index_p", "shifted_log"):
+                # Convenience: apply to both function families.
+                updates.setdefault("attack", {})[key] = value
+                updates.setdefault("detection", {})[key] = value
+            elif key == "num_voters_m":  # paper-style alias
+                updates.setdefault("detection", {})["num_voters"] = value
+            elif key in homes:
+                updates.setdefault(homes[key], {})[key] = value
+            else:
+                raise ParameterError(f"unknown parameter {key!r}")
+
+        kwargs: dict[str, Any] = {}
+        for bundle_name in ("network", "workload", "attack", "detection", "groups"):
+            if bundle_name in direct:
+                kwargs[bundle_name] = direct[bundle_name]
+            elif bundle_name in updates:
+                kwargs[bundle_name] = dataclasses.replace(getattr(self, bundle_name), **updates[bundle_name])
+        return dataclasses.replace(self, **kwargs) if kwargs else self
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used across the model code
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Initial member count N."""
+        return self.network.num_nodes
+
+    @property
+    def tids_s(self) -> float:
+        """Base intrusion detection interval TIDS (s)."""
+        return self.detection.detection_interval_s
+
+    @property
+    def num_voters(self) -> int:
+        """Number of vote-participants m."""
+        return self.detection.num_voters
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to a JSON-serialisable nested dict (for artifacts)."""
+        return dataclasses.asdict(self)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"GCS(N={self.num_nodes}, m={self.num_voters}, "
+            f"TIDS={self.tids_s:g}s, attack={self.attack.attacker_function}, "
+            f"detect={self.detection.detection_function})"
+        )

@@ -1,0 +1,40 @@
+"""Discrete-event simulation of the GCS with voting IDS.
+
+The paper validates its SPN analytically (numerical CTMC solution) and
+uses simulation only to parameterise group partition/merge rates. This
+subpackage goes further and cross-validates the *whole model* by Monte
+Carlo, in two fidelities:
+
+* ``mode="rates"`` — events fire at exactly the SPN's marking-dependent
+  rates (a CTMC trajectory sampler). Replication means must converge to
+  the analytic MTTSF/Ĉtotal; this validates the solver stack end to end.
+* ``mode="protocol"`` — the IDS runs *operationally*: periodic sweeps
+  conduct real majority votes (:class:`repro.voting.protocol.VotingProtocol`)
+  with sampled voters, colluding compromised participants and host-IDS
+  verdict draws; rekeys take the GDH broadcast time. This validates that
+  Equation 1 and the rate abstractions faithfully summarise the
+  protocol's behaviour.
+
+Modules: :mod:`engine` (event queue), :mod:`entities` (node/group
+state), :mod:`gcs_sim` (the simulator), :mod:`collectors` (statistics),
+:mod:`runner` (replications, confidence intervals, analytic comparison).
+"""
+
+from .collectors import MissionRecord, ReplicationStats
+from .engine import EventQueue, ScheduledEvent
+from .entities import GroupState, NodeState
+from .gcs_sim import GCSSimulator
+from .runner import SimulationSummary, compare_with_model, run_replications
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "NodeState",
+    "GroupState",
+    "GCSSimulator",
+    "MissionRecord",
+    "ReplicationStats",
+    "SimulationSummary",
+    "run_replications",
+    "compare_with_model",
+]

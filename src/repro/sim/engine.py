@@ -1,0 +1,87 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary-heap event queue with stable tie-breaking (insertion sequence)
+and lazy cancellation. Deliberately small: the GCS simulator drives all
+domain logic; the engine only orders time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A queued event (orderable by time, then insertion sequence)."""
+
+    time_s: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Time-ordered event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.now_s: float = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay_s: float, kind: str, payload: Any = None) -> ScheduledEvent:
+        """Queue an event ``delay_s`` from the current time."""
+        if delay_s < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay_s})")
+        event = ScheduledEvent(
+            time_s=self.now_s + delay_s,
+            sequence=next(self._counter),
+            kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time_s: float, kind: str, payload: Any = None) -> ScheduledEvent:
+        """Queue an event at an absolute time (>= now)."""
+        if time_s < self.now_s:
+            raise SimulationError(
+                f"cannot schedule at {time_s} before current time {self.now_s}"
+            )
+        return self.schedule(time_s - self.now_s, kind, payload)
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Next live event (advancing the clock), or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time_s < self.now_s:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            self.now_s = event.time_s
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_s if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events (keeps the clock)."""
+        self._heap.clear()

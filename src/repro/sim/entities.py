@@ -1,0 +1,92 @@
+"""Simulation entities: node states and the aggregate group state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import SimulationError
+
+__all__ = ["NodeState", "GroupState"]
+
+
+class NodeState(str, Enum):
+    """Lifecycle of a member node (mirrors the SPN places)."""
+
+    TRUSTED = "trusted"  # place Tm
+    COMPROMISED = "compromised"  # place UCm (undetected)
+    DETECTED = "detected"  # place DCm (awaiting eviction rekey)
+    EVICTED = "evicted"  # token consumed by T_RK
+
+
+@dataclass
+class GroupState:
+    """Aggregate membership bookkeeping for one mission run."""
+
+    states: dict[int, NodeState] = field(default_factory=dict)
+
+    @classmethod
+    def fresh(cls, num_nodes: int) -> "GroupState":
+        """All ``num_nodes`` members trusted (paper: initially all
+        nodes are trusted)."""
+        return cls(states={i: NodeState.TRUSTED for i in range(num_nodes)})
+
+    # ------------------------------------------------------------------
+    def of(self, node: int) -> NodeState:
+        try:
+            return self.states[node]
+        except KeyError:
+            raise SimulationError(f"unknown node {node}") from None
+
+    def _members_in(self, state: NodeState) -> list[int]:
+        return [n for n, s in self.states.items() if s is state]
+
+    @property
+    def trusted(self) -> list[int]:
+        return self._members_in(NodeState.TRUSTED)
+
+    @property
+    def compromised_undetected(self) -> list[int]:
+        return self._members_in(NodeState.COMPROMISED)
+
+    @property
+    def detected(self) -> list[int]:
+        return self._members_in(NodeState.DETECTED)
+
+    @property
+    def live_members(self) -> list[int]:
+        """Members holding the group key (Tm + UCm + DCm)."""
+        return [
+            n
+            for n, s in self.states.items()
+            if s in (NodeState.TRUSTED, NodeState.COMPROMISED, NodeState.DETECTED)
+        ]
+
+    # Counts mirroring the SPN marking --------------------------------
+    @property
+    def t(self) -> int:
+        return sum(1 for s in self.states.values() if s is NodeState.TRUSTED)
+
+    @property
+    def u(self) -> int:
+        return sum(1 for s in self.states.values() if s is NodeState.COMPROMISED)
+
+    @property
+    def d(self) -> int:
+        return sum(1 for s in self.states.values() if s is NodeState.DETECTED)
+
+    # Transitions -------------------------------------------------------
+    def compromise(self, node: int) -> None:
+        if self.of(node) is not NodeState.TRUSTED:
+            raise SimulationError(f"cannot compromise node {node} in state {self.of(node)}")
+        self.states[node] = NodeState.COMPROMISED
+
+    def detect(self, node: int) -> None:
+        if self.of(node) not in (NodeState.TRUSTED, NodeState.COMPROMISED):
+            raise SimulationError(f"cannot detect node {node} in state {self.of(node)}")
+        self.states[node] = NodeState.DETECTED
+
+    def evict(self, node: int) -> None:
+        if self.of(node) is not NodeState.DETECTED:
+            raise SimulationError(f"cannot evict node {node} in state {self.of(node)}")
+        self.states[node] = NodeState.EVICTED

@@ -1,0 +1,277 @@
+"""The GCS mission simulator.
+
+Simulates one mission from the all-trusted state until security failure
+(C1 data leak, C2 Byzantine takeover, or depletion), in one of two
+fidelities (see the package docstring): ``rates`` — a CTMC trajectory
+sampler firing the exact SPN rates; ``protocol`` — operational IDS
+sweeps running real majority votes.
+
+Communication cost is accrued by integrating the scenario's
+state-dependent cost rate ``c(t, u, d)`` along the trajectory, so the
+simulated Ĉtotal estimates the same quantity the analytic pipeline
+computes (accumulated cost / time to failure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..costs.aggregate import GCSCostModel
+from ..errors import ParameterError, SimulationError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..rng import as_generator
+from ..voting.protocol import VotingProtocol
+from .collectors import MissionRecord
+from .entities import GroupState, NodeState
+from .rates_helper import SimRates
+from .engine import EventQueue
+
+__all__ = ["GCSSimulator"]
+
+
+class GCSSimulator:
+    """Simulate missions of one GCS scenario."""
+
+    def __init__(
+        self,
+        params: GCSParameters,
+        network: NetworkModel,
+        *,
+        mode: str = "rates",
+        cost_model: Optional[GCSCostModel] = None,
+        max_time_s: float = 1e10,
+    ) -> None:
+        if mode not in ("rates", "protocol"):
+            raise ParameterError(f"mode must be rates|protocol, got {mode!r}")
+        self.params = params
+        self.network = network
+        self.mode = mode
+        self.max_time_s = float(max_time_s)
+        if self.max_time_s <= 0:
+            raise ParameterError("max_time_s must be > 0")
+        self.cost_model = cost_model or GCSCostModel(params, network)
+        self.rates = SimRates.build(params, network)
+        self.protocol = VotingProtocol(
+            params.detection.num_voters,
+            params.detection.host_false_negative,
+            params.detection.host_false_positive,
+        )
+
+    # ------------------------------------------------------------------
+    def run_mission(self, rng=None) -> MissionRecord:
+        """One mission to failure; returns its :class:`MissionRecord`."""
+        rng = as_generator(rng)
+        if self.mode == "rates":
+            return self._run_rates(rng)
+        return self._run_protocol(rng)
+
+    # ------------------------------------------------------------------
+    # rates mode: exact CTMC trajectory sampling
+    # ------------------------------------------------------------------
+    def _run_rates(self, rng: np.random.Generator) -> MissionRecord:
+        t = self.params.num_nodes
+        u = 0
+        d = 0
+        now = 0.0
+        cost = 0.0
+        n_comp = n_det = n_fa = n_leak = 0
+
+        while True:
+            rates = {
+                "compromise": self.rates.compromise(t, u),
+                "leak": self.rates.data_leak(u),
+                "detect": self.rates.detection(t, u),
+                "accuse": self.rates.false_accusation(t, u),
+                "evict": self.rates.rekey(t, u, d),
+            }
+            total = sum(rates.values())
+            if total <= 0.0:
+                # No live transitions and no failure: depletion corner.
+                return MissionRecord(
+                    ttsf_s=now,
+                    failure_mode="depletion",
+                    accumulated_cost_hop_bits=cost,
+                    num_compromises=n_comp,
+                    num_detections=n_det,
+                    num_false_evictions=n_fa,
+                    num_leak_attempts=n_leak,
+                )
+            dt = rng.exponential(1.0 / total)
+            if now + dt > self.max_time_s:
+                cost += self.cost_model.state_cost_rate(t, u, d) * (self.max_time_s - now)
+                return MissionRecord(
+                    ttsf_s=self.max_time_s,
+                    failure_mode="censored",
+                    accumulated_cost_hop_bits=cost,
+                    num_compromises=n_comp,
+                    num_detections=n_det,
+                    num_false_evictions=n_fa,
+                    num_leak_attempts=n_leak,
+                )
+            cost += self.cost_model.state_cost_rate(t, u, d) * dt
+            now += dt
+
+            pick = rng.random() * total
+            for kind, rate in rates.items():
+                pick -= rate
+                if pick < 0.0:
+                    break
+            if kind == "compromise":
+                t -= 1
+                u += 1
+                n_comp += 1
+            elif kind == "leak":
+                n_leak += 1
+                return MissionRecord(
+                    ttsf_s=now,
+                    failure_mode="c1_data_leak",
+                    accumulated_cost_hop_bits=cost,
+                    num_compromises=n_comp,
+                    num_detections=n_det,
+                    num_false_evictions=n_fa,
+                    num_leak_attempts=n_leak,
+                )
+            elif kind == "detect":
+                u -= 1
+                d += 1
+                n_det += 1
+            elif kind == "accuse":
+                t -= 1
+                d += 1
+                n_fa += 1
+            else:  # evict
+                d -= 1
+
+            if u > 0 and 2 * u > t:
+                return MissionRecord(
+                    ttsf_s=now,
+                    failure_mode="c2_byzantine",
+                    accumulated_cost_hop_bits=cost,
+                    num_compromises=n_comp,
+                    num_detections=n_det,
+                    num_false_evictions=n_fa,
+                    num_leak_attempts=n_leak,
+                )
+
+    # ------------------------------------------------------------------
+    # protocol mode: operational IDS sweeps with real votes
+    # ------------------------------------------------------------------
+    def _run_protocol(self, rng: np.random.Generator) -> MissionRecord:
+        params = self.params
+        group = GroupState.fresh(params.num_nodes)
+        queue = EventQueue()
+        cost = 0.0
+        last_time = 0.0
+        n_comp = n_det = n_fa = n_leak = 0
+
+        def accrue() -> None:
+            nonlocal cost, last_time
+            cost += self.cost_model.state_cost_rate(group.t, group.u, group.d) * (
+                queue.now_s - last_time
+            )
+            last_time = queue.now_s
+
+        def record(mode: str) -> MissionRecord:
+            return MissionRecord(
+                ttsf_s=queue.now_s,
+                failure_mode=mode,
+                accumulated_cost_hop_bits=cost,
+                num_compromises=n_comp,
+                num_detections=n_det,
+                num_false_evictions=n_fa,
+                num_leak_attempts=n_leak,
+            )
+
+        def schedule_compromise() -> None:
+            delay = self.rates.sample_compromise_delay(group.t, group.u, rng)
+            if np.isfinite(delay):
+                queue.schedule(delay, "compromise")
+
+        def schedule_sweep() -> None:
+            live = group.t + group.u
+            if live <= 0:
+                return
+            d_rate = self.rates.detection_invocation(live)
+            if d_rate > 0.0:
+                queue.schedule(1.0 / d_rate, "sweep")
+
+        def schedule_leak(node: int) -> None:
+            # Each compromised member requests data at rate λq.
+            delay = rng.exponential(1.0 / params.workload.data_rate_hz)
+            queue.schedule(delay, "data_request", payload=node)
+
+        schedule_compromise()
+        schedule_sweep()
+
+        while True:
+            event = queue.pop()
+            if event is None:
+                accrue()
+                return record("depletion")
+            if event.time_s > self.max_time_s:
+                queue.now_s = self.max_time_s
+                accrue()
+                return record("censored")
+            accrue()
+
+            if event.kind == "compromise":
+                trusted = group.trusted
+                if trusted:
+                    victim = int(rng.choice(trusted))
+                    group.compromise(victim)
+                    n_comp += 1
+                    schedule_leak(victim)
+                    if 2 * group.u > group.t:
+                        return record("c2_byzantine")
+                schedule_compromise()
+
+            elif event.kind == "data_request":
+                node = event.payload
+                if group.of(node) is NodeState.COMPROMISED:
+                    n_leak += 1
+                    # The serving member's host IDS misses w.p. p1 -> leak.
+                    if rng.random() < params.detection.host_false_negative:
+                        return record("c1_data_leak")
+                    schedule_leak(node)
+
+            elif event.kind == "sweep":
+                # Evaluate every live member by majority vote.
+                live = list(group.live_members)
+                compromised = set(group.compromised_undetected) | set(group.detected)
+                for target in live:
+                    state = group.of(target)
+                    if state is NodeState.DETECTED:
+                        continue
+                    outcome = self.protocol.conduct_vote(
+                        target,
+                        state is NodeState.COMPROMISED,
+                        [n for n in live if group.of(n) is not NodeState.DETECTED],
+                        [n for n in compromised],
+                        rng,
+                    )
+                    if outcome.evicted:
+                        if state is NodeState.COMPROMISED:
+                            n_det += 1
+                        else:
+                            n_fa += 1
+                        group.detect(target)
+                        tcm = self.rates.rekey_time(
+                            group.t + group.u + group.d
+                        )
+                        queue.schedule(tcm, "evict", payload=target)
+                if 2 * group.u > group.t:
+                    return record("c2_byzantine")
+                schedule_sweep()
+
+            elif event.kind == "evict":
+                node = event.payload
+                if group.of(node) is NodeState.DETECTED:
+                    group.evict(node)
+                if group.t + group.u == 0 and group.d == 0:
+                    return record("depletion")
+
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {event.kind!r}")

@@ -1,0 +1,77 @@
+"""Adapter exposing the model's rate bundle to the simulator.
+
+Thin wrapper over :class:`repro.core.rates.GCSRates` so the simulator
+fires events at exactly the analytic model's rates (``rates`` mode) and
+derives sweep periods / rekey delays for the operational ``protocol``
+mode from the same primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rates import GCSRates
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+
+__all__ = ["SimRates"]
+
+
+@dataclass(frozen=True)
+class SimRates:
+    """Scalar rate accessors bound to one scenario."""
+
+    core: GCSRates
+    num_nodes: int
+
+    @classmethod
+    def build(cls, params: GCSParameters, network: NetworkModel) -> "SimRates":
+        # Match the analytic engine's group-count treatment exactly: the
+        # voting pools and rekey sizes are scaled by the stationary
+        # expected number of groups (DESIGN.md §4.4).
+        from ..ctmc.birth_death import BirthDeathProcess
+
+        expected = BirthDeathProcess.for_group_count(
+            network.partition_rate_hz,
+            network.merge_rate_hz,
+            params.groups.max_groups,
+        ).mean_level()
+        return cls(
+            core=GCSRates.from_scenario(params, network, expected_groups=expected),
+            num_nodes=params.num_nodes,
+        )
+
+    # -- SPN transition rates (rates mode) ------------------------------
+    def compromise(self, t: int, u: int) -> float:
+        return self.core.rate_compromise(t, u)
+
+    def data_leak(self, u: int) -> float:
+        return self.core.rate_data_leak(u)
+
+    def detection(self, t: int, u: int) -> float:
+        return self.core.rate_detection(t, u)
+
+    def false_accusation(self, t: int, u: int) -> float:
+        return self.core.rate_false_accusation(t, u)
+
+    def rekey(self, t: int, u: int, d: int) -> float:
+        return self.core.rate_rekey(t, u, d)
+
+    # -- protocol-mode helpers ------------------------------------------
+    def detection_invocation(self, live: int) -> float:
+        """IDS sweep rate ``D(md)`` for the current live membership."""
+        if live <= 0:
+            return 0.0
+        return self.core.detection.rate(self.num_nodes, live)
+
+    def rekey_time(self, members: int) -> float:
+        """GDH eviction-rekey broadcast time ``Tcm``."""
+        return self.core.rekey.tcm_s(max(members, 2))
+
+    def sample_compromise_delay(
+        self, t: int, u: int, rng: np.random.Generator
+    ) -> float:
+        rate = self.compromise(t, u)
+        return float(rng.exponential(1.0 / rate)) if rate > 0.0 else float("inf")

@@ -1,0 +1,42 @@
+"""Stochastic Petri net (SPN) modelling engine.
+
+A from-scratch replacement for the SPNP tool the paper's authors used:
+places, timed transitions with marking-dependent rates and enabling
+guards, reachability-graph generation, compilation to a
+:class:`~repro.ctmc.chain.CTMC`, reward structures over markings, and
+Graphviz export.
+
+The formalism implemented is exactly what the paper's Figure 1 model
+needs (and what SPNP's CTMC solution path provides): exponentially timed
+transitions whose firing rate may depend on the current marking
+(``mark(...)`` expressions), guards that enable/disable transitions per
+marking, and mean-time-to-absorption / accumulated-reward measures.
+Immediate (zero-delay) transitions are intentionally not implemented —
+the GCS model has none, and their vanishing-marking elimination would be
+dead code.
+"""
+
+from .analysis import SPNAnalysis, analyze_spn
+from .ctmc_builder import build_ctmc
+from .dot_export import net_to_dot, reachability_to_dot
+from .marking import Marking, MarkingView
+from .petri import Place, StochasticPetriNet, Transition
+from .reachability import ReachabilityGraph, explore
+from .rewards import indicator_reward, reward_vector
+
+__all__ = [
+    "Place",
+    "Transition",
+    "StochasticPetriNet",
+    "Marking",
+    "MarkingView",
+    "ReachabilityGraph",
+    "explore",
+    "build_ctmc",
+    "reward_vector",
+    "indicator_reward",
+    "SPNAnalysis",
+    "analyze_spn",
+    "net_to_dot",
+    "reachability_to_dot",
+]

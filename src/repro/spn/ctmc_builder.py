@@ -1,0 +1,40 @@
+"""Compile a reachability graph into a CTMC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ctmc.chain import CTMC
+from .marking import Marking
+from .petri import StochasticPetriNet
+from .reachability import ReachabilityGraph, explore
+
+__all__ = ["build_ctmc"]
+
+
+def build_ctmc(
+    source: "StochasticPetriNet | ReachabilityGraph",
+    initial: Optional[Marking] = None,
+    *,
+    max_states: int = 2_000_000,
+) -> tuple[CTMC, ReachabilityGraph]:
+    """Build the CTMC underlying an SPN (or a pre-built graph).
+
+    Edges from parallel transitions between the same pair of markings
+    are summed (standard race semantics for exponential transitions).
+    Marking tuples are attached as CTMC state labels.
+
+    Returns the chain together with the reachability graph so callers
+    can map markings to state indices for rewards and absorbing classes.
+    """
+    if isinstance(source, ReachabilityGraph):
+        graph = source
+    else:
+        graph = explore(source, initial, max_states=max_states)
+
+    chain = CTMC.from_transitions(
+        graph.num_states,
+        ((src, dst, rate) for src, dst, rate, _ in graph.edges),
+        labels=graph.markings,
+    )
+    return chain, graph

@@ -1,0 +1,66 @@
+"""Graphviz DOT export of nets and reachability graphs.
+
+Used for documentation (the paper's Figure 1 regenerated from code) and
+debugging. The output is plain DOT text; no Graphviz binary is required
+at runtime.
+"""
+
+from __future__ import annotations
+
+from .petri import StochasticPetriNet
+from .reachability import ReachabilityGraph
+
+__all__ = ["net_to_dot", "reachability_to_dot"]
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', r"\"") + '"'
+
+
+def net_to_dot(net: StochasticPetriNet) -> str:
+    """Render the net structure (places as circles, transitions as bars)."""
+    lines = [f"digraph {_quote(net.name)} {{", "  rankdir=LR;"]
+    for place in net.places:
+        label = place.name if place.initial_tokens == 0 else f"{place.name}\\n({place.initial_tokens})"
+        lines.append(f"  {_quote('p_' + place.name)} [shape=circle, label={_quote(label)}];")
+    for t in net.transitions:
+        lines.append(
+            f"  {_quote('t_' + t.name)} [shape=box, style=filled, fillcolor=gray85, "
+            f"height=0.15, label={_quote(t.name)}];"
+        )
+        for place, mult in t.inputs.items():
+            attr = f" [label={_quote(str(mult))}]" if mult > 1 else ""
+            lines.append(f"  {_quote('p_' + place)} -> {_quote('t_' + t.name)}{attr};")
+        for place, mult in t.outputs.items():
+            attr = f" [label={_quote(str(mult))}]" if mult > 1 else ""
+            lines.append(f"  {_quote('t_' + t.name)} -> {_quote('p_' + place)}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachability_to_dot(graph: ReachabilityGraph, *, max_states: int = 500) -> str:
+    """Render a (small) reachability graph with rate-labelled edges.
+
+    Refuses graphs above ``max_states`` — DOT rendering of 1e5-state
+    graphs helps nobody.
+    """
+    if graph.num_states > max_states:
+        raise ValueError(
+            f"reachability graph has {graph.num_states} states; "
+            f"raise max_states (> {max_states}) explicitly if you really want DOT"
+        )
+    net = graph.net
+    lines = [f"digraph {_quote(net.name + '_rg')} {{", "  rankdir=LR;"]
+    dead = set(graph.dead_states)
+    for i, marking in enumerate(graph.markings):
+        label = ",".join(
+            f"{name}={count}"
+            for name, count in net.view(marking).as_dict().items()
+            if count
+        ) or "empty"
+        shape = "doublecircle" if i in dead else "ellipse"
+        lines.append(f"  s{i} [shape={shape}, label={_quote(label)}];")
+    for src, dst, rate, name in graph.edges:
+        lines.append(f"  s{src} -> s{dst} [label={_quote(f'{name}:{rate:.3g}')}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Markings: token assignments to places.
+
+Internally a marking is a plain ``tuple[int, ...]`` ordered by the net's
+place registration order — hashable, compact, and fast to use as a dict
+key during reachability exploration. :class:`MarkingView` is the
+read-only, name-addressable wrapper handed to user rate/guard/reward
+functions so model code reads like the paper::
+
+    rate=lambda m: p1 * lambda_q * m["UCm"]
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, Tuple
+
+from ..errors import ModelError
+
+__all__ = ["Marking", "MarkingView"]
+
+Marking = Tuple[int, ...]
+"""Type alias: a marking is a tuple of token counts in place order."""
+
+
+class MarkingView(Mapping[str, int]):
+    """Read-only name-addressable view of a marking.
+
+    Supports ``view["Tm"]``, ``"Tm" in view``, iteration over place
+    names, and ``.total()``. Instances are cheap façades created per
+    rate/guard evaluation; they never copy the underlying tuple.
+    """
+
+    __slots__ = ("_index", "_counts")
+
+    def __init__(self, place_index: Mapping[str, int], counts: Marking) -> None:
+        self._index = place_index
+        self._counts = counts
+
+    def __getitem__(self, place: str) -> int:
+        try:
+            return self._counts[self._index[place]]
+        except KeyError:
+            raise ModelError(f"unknown place {place!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, place: object) -> bool:
+        return place in self._index
+
+    def total(self) -> int:
+        """Total token count across all places."""
+        return sum(self._counts)
+
+    def counts(self) -> Marking:
+        """The underlying tuple (place-registration order)."""
+        return self._counts
+
+    def as_dict(self) -> dict[str, int]:
+        """Materialise as a plain dict (reporting/debugging)."""
+        return {name: self._counts[i] for name, i in self._index.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MarkingView({inner})"
+
+
+def marking_from(place_order: Sequence[str], tokens: Mapping[str, int]) -> Marking:
+    """Build a marking tuple from a name->count mapping.
+
+    Raises :class:`~repro.errors.ModelError` on unknown names or
+    negative counts; unmentioned places get zero tokens.
+    """
+    index = {name: i for i, name in enumerate(place_order)}
+    counts = [0] * len(place_order)
+    for name, value in tokens.items():
+        if name not in index:
+            raise ModelError(f"unknown place {name!r} in marking")
+        if int(value) != value or value < 0:
+            raise ModelError(f"token count for {name!r} must be a non-negative int, got {value!r}")
+        counts[index[name]] = int(value)
+    return tuple(counts)

@@ -1,0 +1,247 @@
+"""Core SPN structures: places, timed transitions, the net.
+
+The semantics follow standard Stochastic Petri nets with
+marking-dependent rates (as in SPNP):
+
+* a transition is **enabled** in marking ``M`` iff every input place
+  holds at least the arc multiplicity, its guard (if any) returns true
+  on ``M``, and its rate evaluated on ``M`` is strictly positive;
+* firing consumes input tokens and produces output tokens;
+* all transitions are exponentially timed with the marking-dependent
+  rate; racing transitions compose into a CTMC over the reachability
+  graph (:mod:`repro.spn.reachability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from ..errors import ModelError
+from ..validation import require_non_negative_int
+from .marking import Marking, MarkingView, marking_from
+
+__all__ = ["Place", "Transition", "StochasticPetriNet"]
+
+RateLike = Union[float, int, Callable[[MarkingView], float]]
+Guard = Callable[[MarkingView], bool]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place (token holder) in the net."""
+
+    name: str
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError(f"place name must be a non-empty string, got {self.name!r}")
+        require_non_negative_int(f"initial_tokens of {self.name!r}", self.initial_tokens)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A timed transition.
+
+    ``inputs`` / ``outputs`` map place names to arc multiplicities.
+    ``rate`` is a positive constant or a callable evaluated on the
+    source marking; a non-positive evaluated rate disables the
+    transition in that marking (this is how the paper's models express
+    state-dependent behaviour like ``mark(UCm) * D(md) * (1 - Pfn)``).
+    ``guard`` may veto enabling per marking (the paper's absorbing
+    conditions C1/C2 are guards returning ``False``).
+    """
+
+    name: str
+    inputs: Mapping[str, int] = field(default_factory=dict)
+    outputs: Mapping[str, int] = field(default_factory=dict)
+    rate: RateLike = 1.0
+    guard: Optional[Guard] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError(f"transition name must be a non-empty string, got {self.name!r}")
+        for kind, arcs in (("input", self.inputs), ("output", self.outputs)):
+            for place, mult in arcs.items():
+                if int(mult) != mult or mult < 1:
+                    raise ModelError(
+                        f"{kind} arc {self.name!r}->{place!r} multiplicity must be a positive int, got {mult!r}"
+                    )
+        if not callable(self.rate):
+            rate = float(self.rate)  # type: ignore[arg-type]
+            if not rate > 0.0:
+                raise ModelError(
+                    f"constant rate of transition {self.name!r} must be > 0, got {rate!r}"
+                )
+
+    def evaluate_rate(self, view: MarkingView) -> float:
+        """Rate in the given marking (0 or negative ⇒ disabled)."""
+        if callable(self.rate):
+            value = float(self.rate(view))
+        else:
+            value = float(self.rate)
+        return value
+
+    def is_enabled(self, view: MarkingView) -> bool:
+        """Structural + guard enabling (rate positivity checked separately)."""
+        counts = view
+        for place, mult in self.inputs.items():
+            if counts[place] < mult:
+                return False
+        if self.guard is not None and not self.guard(view):
+            return False
+        return True
+
+
+class StochasticPetriNet:
+    """A stochastic Petri net with marking-dependent rates and guards.
+
+    Typical construction (mirrors the paper's Figure 1)::
+
+        net = StochasticPetriNet("gcs")
+        net.add_place("Tm", tokens=100)
+        net.add_place("UCm")
+        net.add_transition(
+            "T_CP", inputs={"Tm": 1}, outputs={"UCm": 1},
+            rate=lambda m: attacker_rate(m), guard=not_failed,
+        )
+    """
+
+    def __init__(self, name: str = "spn") -> None:
+        if not name or not isinstance(name, str):
+            raise ModelError(f"net name must be a non-empty string, got {name!r}")
+        self.name = name
+        self._places: list[Place] = []
+        self._place_index: dict[str, int] = {}
+        self._transitions: list[Transition] = []
+        self._transition_index: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(self, name: str, tokens: int = 0) -> Place:
+        """Register a place; returns it."""
+        if name in self._place_index:
+            raise ModelError(f"duplicate place {name!r}")
+        place = Place(name, tokens)
+        self._place_index[name] = len(self._places)
+        self._places.append(place)
+        return place
+
+    def add_transition(
+        self,
+        name: str,
+        *,
+        inputs: Optional[Mapping[str, int]] = None,
+        outputs: Optional[Mapping[str, int]] = None,
+        rate: RateLike = 1.0,
+        guard: Optional[Guard] = None,
+    ) -> Transition:
+        """Register a timed transition; returns it.
+
+        Arc place names must already be registered.
+        """
+        if name in self._transition_index:
+            raise ModelError(f"duplicate transition {name!r}")
+        transition = Transition(name, dict(inputs or {}), dict(outputs or {}), rate, guard)
+        for place in (*transition.inputs, *transition.outputs):
+            if place not in self._place_index:
+                raise ModelError(
+                    f"transition {name!r} references unknown place {place!r}"
+                )
+        self._transition_index[name] = len(self._transitions)
+        self._transitions.append(transition)
+        return transition
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> Sequence[Place]:
+        return tuple(self._places)
+
+    @property
+    def transitions(self) -> Sequence[Transition]:
+        return tuple(self._transitions)
+
+    @property
+    def place_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._places)
+
+    def place(self, name: str) -> Place:
+        """Look up a place by name."""
+        try:
+            return self._places[self._place_index[name]]
+        except KeyError:
+            raise ModelError(f"unknown place {name!r}") from None
+
+    def transition(self, name: str) -> Transition:
+        """Look up a transition by name."""
+        try:
+            return self._transitions[self._transition_index[name]]
+        except KeyError:
+            raise ModelError(f"unknown transition {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Marking machinery
+    # ------------------------------------------------------------------
+    @property
+    def initial_marking(self) -> Marking:
+        """The marking defined by the places' ``initial_tokens``."""
+        return tuple(p.initial_tokens for p in self._places)
+
+    def marking(self, **tokens: int) -> Marking:
+        """Build a marking tuple from keyword token counts."""
+        return marking_from(self.place_names, tokens)
+
+    def view(self, marking: Marking) -> MarkingView:
+        """Wrap a marking tuple for name-addressable access."""
+        if len(marking) != len(self._places):
+            raise ModelError(
+                f"marking has {len(marking)} entries, net has {len(self._places)} places"
+            )
+        return MarkingView(self._place_index, marking)
+
+    def enabled_transitions(self, marking: Marking) -> list[tuple[Transition, float]]:
+        """Transitions enabled in ``marking`` with their evaluated rates.
+
+        A transition appears iff it is structurally enabled, its guard
+        passes and its evaluated rate is positive and finite; a
+        non-finite rate raises :class:`~repro.errors.ModelError` (a
+        modelling bug should never be silently dropped).
+        """
+        view = self.view(marking)
+        result: list[tuple[Transition, float]] = []
+        for t in self._transitions:
+            if not t.is_enabled(view):
+                continue
+            rate = t.evaluate_rate(view)
+            if rate != rate or rate in (float("inf"), float("-inf")):
+                raise ModelError(
+                    f"transition {t.name!r} evaluated to non-finite rate {rate!r} "
+                    f"in marking {view.as_dict()!r}"
+                )
+            if rate > 0.0:
+                result.append((t, rate))
+        return result
+
+    def fire(self, marking: Marking, transition: Transition) -> Marking:
+        """The marking after firing ``transition`` from ``marking``."""
+        counts = list(marking)
+        for place, mult in transition.inputs.items():
+            idx = self._place_index[place]
+            counts[idx] -= mult
+            if counts[idx] < 0:
+                raise ModelError(
+                    f"firing {transition.name!r} drove place {place!r} negative"
+                )
+        for place, mult in transition.outputs.items():
+            counts[self._place_index[place]] += mult
+        return tuple(counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StochasticPetriNet({self.name!r}, places={len(self._places)}, "
+            f"transitions={len(self._transitions)})"
+        )

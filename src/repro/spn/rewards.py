@@ -1,0 +1,48 @@
+"""Reward structures over SPN markings.
+
+A *reward function* maps a marking view to a non-negative rate; the
+expected accumulated reward until absorption (the paper's Ĉtotal
+numerator) is then a per-state vector consumed by
+:func:`repro.ctmc.absorbing.analyze_absorbing`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ModelError
+from .marking import MarkingView
+from .reachability import ReachabilityGraph
+
+__all__ = ["reward_vector", "indicator_reward"]
+
+RewardFn = Callable[[MarkingView], float]
+Predicate = Callable[[MarkingView], bool]
+
+
+def reward_vector(graph: ReachabilityGraph, fn: RewardFn) -> np.ndarray:
+    """Evaluate ``fn`` on every reachable marking.
+
+    Returns a dense per-state array aligned with the CTMC built from
+    ``graph``. Non-finite values raise :class:`~repro.errors.ModelError`
+    immediately (silent NaNs in reward vectors are a classic source of
+    wrong lifetime averages).
+    """
+    net = graph.net
+    out = np.empty(graph.num_states)
+    for i, marking in enumerate(graph.markings):
+        value = float(fn(net.view(marking)))
+        if not np.isfinite(value):
+            raise ModelError(
+                f"reward function returned non-finite value {value!r} "
+                f"for marking {net.view(marking).as_dict()!r}"
+            )
+        out[i] = value
+    return out
+
+
+def indicator_reward(graph: ReachabilityGraph, predicate: Predicate) -> np.ndarray:
+    """0/1 reward vector from a marking predicate."""
+    return reward_vector(graph, lambda m: 1.0 if predicate(m) else 0.0)

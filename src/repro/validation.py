@@ -1,0 +1,138 @@
+"""Small reusable argument validators.
+
+All validators raise :class:`repro.errors.ParameterError` (a
+``ValueError`` subclass) with a message naming the offending argument,
+and return the validated value so they can be used inline::
+
+    self.rate = require_positive("rate", rate)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from .errors import ParameterError
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_int",
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_in",
+    "require_in_range",
+    "require_odd",
+    "require_finite",
+    "require_sorted_unique",
+]
+
+T = TypeVar("T")
+
+
+def require_finite(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite real number."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate ``value > 0`` (finite)."""
+    value = require_finite(name, value)
+    if value <= 0.0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate ``value >= 0`` (finite)."""
+    value = require_finite(name, value)
+    if value < 0.0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1``."""
+    value = require_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def require_int(name: str, value: object) -> int:
+    """Validate that ``value`` is integral (bool is rejected)."""
+    if isinstance(value, (bool, np.bool_)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if not isinstance(value, int):
+        # Accept numpy integer types via duck-typing on __index__.
+        try:
+            return int(value.__index__())  # type: ignore[union-attr]
+        except AttributeError:
+            raise ParameterError(f"{name} must be an integer, got {value!r}") from None
+    return int(value)
+
+
+def require_positive_int(name: str, value: object) -> int:
+    """Validate an integer ``value >= 1``."""
+    ivalue = require_int(name, value)
+    if ivalue < 1:
+        raise ParameterError(f"{name} must be >= 1, got {ivalue}")
+    return ivalue
+
+
+def require_non_negative_int(name: str, value: object) -> int:
+    """Validate an integer ``value >= 0``."""
+    ivalue = require_int(name, value)
+    if ivalue < 0:
+        raise ParameterError(f"{name} must be >= 0, got {ivalue}")
+    return ivalue
+
+
+def require_in(name: str, value: T, allowed: Iterable[T]) -> T:
+    """Validate membership of ``value`` in ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ParameterError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def require_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict when ``inclusive=False``)."""
+    value = require_finite(name, value)
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ParameterError(f"{name} must lie in {bounds}, got {value!r}")
+    return value
+
+
+def require_odd(name: str, value: object) -> int:
+    """Validate an odd positive integer (used for voter counts)."""
+    ivalue = require_positive_int(name, value)
+    if ivalue % 2 == 0:
+        raise ParameterError(f"{name} must be odd, got {ivalue}")
+    return ivalue
+
+
+def require_sorted_unique(name: str, values: Sequence[float]) -> tuple[float, ...]:
+    """Validate a strictly increasing sequence (e.g. a sweep grid)."""
+    out = tuple(require_finite(f"{name}[{i}]", v) for i, v in enumerate(values))
+    if len(out) == 0:
+        raise ParameterError(f"{name} must be non-empty")
+    for a, b in zip(out, out[1:]):
+        if not a < b:
+            raise ParameterError(f"{name} must be strictly increasing, got {values!r}")
+    return out

@@ -1,0 +1,38 @@
+"""Voting-based intrusion detection: probability model and protocol.
+
+The paper's Equation 1 expresses the voting-level false positive
+(``Pfp``: a healthy node evicted) and false negative (``Pfn``: a
+compromised node kept) probabilities in terms of
+
+* the per-node host-IDS error probabilities ``p1`` (false negative) and
+  ``p2`` (false positive),
+* the number of vote-participants ``m``,
+* the current mix of good and colluding compromised nodes.
+
+:mod:`repro.voting.majority` implements the closed form with the
+numerically stable combinatorics of :mod:`repro.voting.combinatorics`;
+:mod:`repro.voting.protocol` implements the *operational* protocol
+(sample voters, collect ballots, apply majority rule) used by the
+discrete-event simulator, so the analytic probabilities can be
+cross-validated against Monte Carlo ballots.
+"""
+
+from .combinatorics import (
+    binomial_pmf,
+    binomial_tail,
+    hypergeometric_pmf,
+    log_binomial,
+)
+from .majority import VotingErrorModel
+from .protocol import Ballot, VoteOutcome, VotingProtocol
+
+__all__ = [
+    "log_binomial",
+    "binomial_pmf",
+    "binomial_tail",
+    "hypergeometric_pmf",
+    "VotingErrorModel",
+    "VotingProtocol",
+    "VoteOutcome",
+    "Ballot",
+]

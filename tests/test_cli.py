@@ -1,0 +1,57 @@
+"""CLI smoke tests (in-process, no subprocess overhead)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "fig2", "--full", "--seed", "3"])
+        assert args.experiment == "fig2"
+        assert args.full is True
+        assert args.seed == 3
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.n == 100
+        assert args.tids == 60.0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "val-sim" in out
+
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_evaluate_small(self, capsys):
+        code = main(
+            ["evaluate", "--n", "16", "--m", "3", "--tids", "120", "--breakdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTTSF" in out and "cost/s" in out
+
+    def test_run_scale_with_artifacts(self, capsys, tmp_path):
+        code = main(["run", "scale", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solver_scaling" in out
+        assert (tmp_path / "scale.json").exists()
+
+    def test_package_version_importable(self):
+        import repro
+
+        assert repro.__version__

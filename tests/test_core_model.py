@@ -1,0 +1,164 @@
+"""Core model: failure conditions, rates, the Figure 1 SPN."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import GCSRates, build_gcs_spn, security_failure_condition
+from repro.core.failure import c1_data_leak, c2_byzantine, depleted, is_absorbed
+from repro.errors import ParameterError
+from repro.manet import NetworkModel
+from repro.params import GCSParameters
+from repro.spn import explore, net_to_dot
+
+
+@pytest.fixture
+def params() -> GCSParameters:
+    return GCSParameters.small_test()
+
+
+@pytest.fixture
+def network(params) -> NetworkModel:
+    return NetworkModel.analytic(params.network)
+
+
+@pytest.fixture
+def rates(params, network) -> GCSRates:
+    return GCSRates.from_scenario(params, network)
+
+
+class TestFailureConditions:
+    def test_c1(self):
+        assert c1_data_leak(10, 0, 1)
+        assert not c1_data_leak(10, 5, 0)
+
+    def test_c2_exact_boundary(self):
+        # u/(t+u) > 1/3 must be strict.
+        assert not c2_byzantine(2, 1, 0)  # 1/3 exactly -> no failure
+        assert c2_byzantine(1, 1, 0)  # 1/2 > 1/3
+        assert not c2_byzantine(10, 0, 0)  # no compromised member
+        assert c2_byzantine(0, 1, 0)
+
+    def test_c2_requires_no_leak_flag(self):
+        assert not c2_byzantine(1, 1, 1)  # classified as C1 instead
+
+    def test_depleted(self):
+        assert depleted(0, 0, 0)
+        assert not depleted(1, 0, 0)
+        assert not depleted(0, 0, 1)
+
+    def test_combined_condition(self):
+        assert security_failure_condition(10, 0, 1)
+        assert security_failure_condition(1, 1, 0)
+        assert not security_failure_condition(10, 1, 0)
+
+
+class TestRates:
+    def test_compromise_rate_is_attacker_function(self, rates, params):
+        lam = params.attack.base_compromise_rate_hz
+        assert rates.rate_compromise(12, 0) == pytest.approx(lam)
+        assert rates.rate_compromise(6, 6) == pytest.approx(lam * 2.0)
+        assert rates.rate_compromise(0, 5) == 0.0
+
+    def test_data_leak_rate(self, rates, params):
+        p1 = params.detection.host_false_negative
+        lq = params.workload.data_rate_hz
+        assert rates.rate_data_leak(3) == pytest.approx(3 * p1 * lq)
+        assert rates.rate_data_leak(0) == 0.0
+
+    def test_detection_rate_formula(self, rates, params):
+        t, u = 10, 2
+        d_rate = rates.detection.rate(params.num_nodes, t + u)
+        pfn = rates.voting.false_negative_probability(t, u)
+        assert rates.rate_detection(t, u) == pytest.approx(u * d_rate * (1 - pfn))
+        assert rates.rate_detection(10, 0) == 0.0
+
+    def test_false_accusation_rate_formula(self, rates, params):
+        t, u = 10, 2
+        d_rate = rates.detection.rate(params.num_nodes, t + u)
+        pfp = rates.voting.false_positive_probability(t, u)
+        assert rates.rate_false_accusation(t, u) == pytest.approx(t * d_rate * pfp)
+        assert rates.rate_false_accusation(0, 2) == 0.0
+
+    def test_rekey_rate_single_server(self, rates):
+        r1 = rates.rate_rekey(10, 0, 1)
+        r5 = rates.rate_rekey(10, 0, 5)
+        # Rate reflects the (slightly larger) member count, not the backlog.
+        assert r1 == pytest.approx(1.0 / rates.rekey.tcm_s(11))
+        assert r5 == pytest.approx(1.0 / rates.rekey.tcm_s(15))
+        assert rates.rate_rekey(10, 0, 0) == 0.0
+
+    def test_group_scale_shrinks_voting_pools(self, params, network):
+        full = GCSRates.from_scenario(params, network, expected_groups=1.0)
+        half = GCSRates.from_scenario(params, network, expected_groups=2.0)
+        # Halved pools: collusion weighs more, Pfp differs.
+        assert half.rate_false_accusation(10, 2) != full.rate_false_accusation(10, 2)
+
+    def test_validation(self, params, network):
+        with pytest.raises(ParameterError):
+            GCSRates.from_scenario(params, network, expected_groups=0.5)
+
+    def test_describe(self, rates):
+        assert "m=5" in rates.describe()
+
+
+class TestFigureOneSPN:
+    def test_structure_matches_figure_1(self, params, network):
+        net = build_gcs_spn(params, network)
+        assert {p.name for p in net.places} == {"Tm", "UCm", "DCm", "GF"}
+        assert {t.name for t in net.transitions} == {
+            "T_CP",
+            "T_DRQ",
+            "T_IDS",
+            "T_FA",
+            "T_RK",
+        }
+        assert net.initial_marking == (params.num_nodes, 0, 0, 0)
+
+    def test_coupled_adds_group_dynamics(self, params, network):
+        net = build_gcs_spn(params, network, coupled_groups=True)
+        assert "NG" in {p.name for p in net.places}
+        names = {t.name for t in net.transitions}
+        assert "T_PAR" in names and "T_MER" in names
+
+    def test_failure_states_are_absorbing(self, params, network):
+        net = build_gcs_spn(params, network)
+        # C2 marking: u=2, t=1 -> 2u > t.
+        marking = net.marking(Tm=1, UCm=2)
+        assert net.enabled_transitions(marking) == []
+        # C1 marking.
+        marking = net.marking(Tm=5, UCm=1, GF=1)
+        assert net.enabled_transitions(marking) == []
+
+    def test_healthy_state_enables_expected_transitions(self, params, network):
+        net = build_gcs_spn(params, network)
+        enabled = {t.name for t, _ in net.enabled_transitions(net.marking(Tm=8, UCm=1, DCm=1))}
+        assert enabled == {"T_CP", "T_DRQ", "T_IDS", "T_FA", "T_RK"}
+        # Pristine group: compromise, and false accusation from host-IDS
+        # errors alone (Pfp > 0 with zero colluders), but nothing else.
+        enabled0 = {t.name for t, _ in net.enabled_transitions(net.initial_marking)}
+        assert enabled0 == {"T_CP", "T_FA"}
+
+    def test_reachability_respects_lattice_invariants(self, params, network):
+        net = build_gcs_spn(params, network)
+        graph = explore(net)
+        n = params.num_nodes
+        lattice = (n + 1) * (n + 2) * (n + 3) // 6
+        # Guards absorb at the C2 frontier, so the reachable set is a
+        # strict subset of the full simplex (plus C1 leak markings).
+        assert 0 < graph.num_states <= lattice + graph.num_states
+        for marking in graph.markings:
+            view = net.view(marking)
+            assert view["Tm"] + view["UCm"] + view["DCm"] <= n
+            assert view["GF"] <= 1
+
+    def test_dot_export_of_figure_1(self, params, network):
+        dot = net_to_dot(build_gcs_spn(params, network))
+        for name in ("T_CP", "T_IDS", "T_FA", "T_DRQ", "T_RK", "Tm", "UCm", "DCm", "GF"):
+            assert name in dot
+
+    def test_is_absorbed_view(self, params, network):
+        net = build_gcs_spn(params, network)
+        assert is_absorbed(net.view(net.marking(Tm=1, UCm=2)))
+        assert not is_absorbed(net.view(net.marking(Tm=9, UCm=1)))

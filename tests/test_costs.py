@@ -1,0 +1,194 @@
+"""Communication-cost model: component equations, aggregation, ledger parity."""
+
+import numpy as np
+import pytest
+
+from repro.costs import ComponentRates, CostContext, GCSCostModel, MessageSizes
+from repro.detection import DetectionFunction
+from repro.errors import ParameterError
+from repro.groupkey import RekeyCostModel
+from repro.manet import NetworkModel
+from repro.params import GCSParameters, NetworkParameters
+from repro.voting import VotingErrorModel
+
+
+@pytest.fixture
+def params() -> GCSParameters:
+    return GCSParameters.paper_defaults()
+
+
+@pytest.fixture
+def network(params) -> NetworkModel:
+    return NetworkModel.analytic(params.network)
+
+
+@pytest.fixture
+def context(params, network) -> CostContext:
+    return CostContext(params, network)
+
+
+@pytest.fixture
+def detection(params) -> DetectionFunction:
+    return DetectionFunction.from_params(params.detection)
+
+
+@pytest.fixture
+def voting(params) -> VotingErrorModel:
+    return VotingErrorModel(5, 0.01, 0.01)
+
+
+class TestCostContext:
+    def test_rekey_formulas_match_ledger_model(self, context, network):
+        """At integer group sizes the closed forms equal the ledger costs."""
+        ledger_model = RekeyCostModel(network, element_bits=1024)
+        for n in (2, 5, 20, 100):
+            assert context.rekey_join_hop_bits(float(n)) == pytest.approx(
+                ledger_model.hop_bits("join", n)
+            )
+            assert context.rekey_leave_hop_bits(float(n)) == pytest.approx(
+                ledger_model.hop_bits("evict", n)
+            )
+
+    def test_degenerate_sizes_cost_zero(self, context):
+        assert context.rekey_join_hop_bits(1.0) == 0.0
+        assert context.rekey_leave_hop_bits(0.5) == 0.0
+        assert context.rekey_partition_hop_bits(2.0) == 0.0
+        assert context.rekey_merge_hop_bits(0.3) == 0.0
+
+    def test_mismatched_node_counts_rejected(self, params):
+        other_net = NetworkModel.analytic(NetworkParameters(num_nodes=10))
+        with pytest.raises(ParameterError):
+            CostContext(params, other_net)
+
+
+class TestComponentRates:
+    def rates(self, context, detection, voting, t=100, u=0, d=0, ng=1) -> ComponentRates:
+        return context.component_rates(
+            t, u, d, ng, detection=detection, voting=voting
+        )
+
+    def test_gc_dominant_at_full_group(self, context, detection, voting):
+        r = self.rates(context, detection, voting)
+        # 100 nodes * (1/60) pkt/s * 4096 bits * 100-member flood.
+        assert r.group_communication == pytest.approx(100 / 60 * 4096 * 100)
+        assert r.group_communication > r.status_exchange
+        assert r.group_communication > r.beacon
+
+    def test_total_is_sum(self, context, detection, voting):
+        r = self.rates(context, detection, voting, t=80, u=10, d=2)
+        assert r.total == pytest.approx(sum(r.as_dict().values()))
+
+    def test_empty_group_costs_nothing(self, context, detection, voting):
+        r = self.rates(context, detection, voting, t=0, u=0, d=3)
+        assert r.total == 0.0
+
+    def test_ids_cost_scales_inverse_tids(self, context, voting, params):
+        fast = DetectionFunction("linear", 15.0)
+        slow = DetectionFunction("linear", 600.0)
+        r_fast = context.component_rates(100, 0, 0, 1, detection=fast, voting=voting)
+        r_slow = context.component_rates(100, 0, 0, 1, detection=slow, voting=voting)
+        assert r_fast.ids_voting == pytest.approx(r_slow.ids_voting * 40.0)
+
+    def test_eviction_rate_reflects_compromise(self, context, detection, voting):
+        clean = self.rates(context, detection, voting, t=100, u=0)
+        dirty = self.rates(context, detection, voting, t=90, u=10)
+        assert dirty.eviction_rekey > clean.eviction_rekey
+
+    def test_more_groups_reduce_gc_cost(self, context, detection, voting):
+        one = self.rates(context, detection, voting, ng=1)
+        two = self.rates(context, detection, voting, ng=2)
+        # Same packet count, half the flood size.
+        assert two.group_communication == pytest.approx(one.group_communication / 2)
+
+    def test_partition_merge_traffic_only_with_multiple_groups(
+        self, context, detection, voting
+    ):
+        one = self.rates(context, detection, voting, ng=1)
+        two = self.rates(context, detection, voting, ng=2)
+        assert two.partition_merge > one.partition_merge
+
+    def test_validation(self, context, detection, voting):
+        with pytest.raises(ParameterError):
+            context.component_rates(-1, 0, 0, 1, detection=detection, voting=voting)
+        with pytest.raises(ParameterError):
+            context.component_rates(5, 0, 0, 0, detection=detection, voting=voting)
+
+
+class TestGCSCostModel:
+    def test_default_scenario_in_paper_range(self, params, network):
+        model = GCSCostModel(params, network)
+        c = model.state_cost_rate(100, 0, 0)
+        # Figures 3/5 span roughly 1e5..1e6 hop-bits/s.
+        assert 1e5 < c < 2e6
+
+    def test_cache_consistency(self, params, network):
+        model = GCSCostModel(params, network)
+        a = model.state_cost_rate(90, 5, 1)
+        b = model.state_cost_rate(90, 5, 1)
+        assert a == b
+
+    def test_breakdown_totals(self, params, network):
+        model = GCSCostModel(params, network)
+        bd = model.breakdown(100, 0, 0)
+        assert bd["total"] == pytest.approx(model.state_cost_rate(100, 0, 0))
+        assert set(bd) == {
+            "group_communication",
+            "status_exchange",
+            "beacon",
+            "rekey_membership",
+            "ids_voting",
+            "eviction_rekey",
+            "partition_merge",
+            "total",
+        }
+
+    def test_explicit_ng_distribution(self, params, network):
+        model1 = GCSCostModel(params, network, ng_distribution={1: 1.0})
+        model2 = GCSCostModel(params, network, ng_distribution={2: 1.0})
+        # Two groups halve flood sizes: GC drops.
+        assert model2.state_cost_rate(100, 0, 0) < model1.state_cost_rate(100, 0, 0)
+        assert model1.expected_group_count() == 1.0
+        assert model2.expected_group_count() == 2.0
+
+    def test_weighted_distribution_interpolates(self, params, network):
+        lo = GCSCostModel(params, network, ng_distribution={1: 1.0})
+        hi = GCSCostModel(params, network, ng_distribution={2: 1.0})
+        mid = GCSCostModel(params, network, ng_distribution={1: 0.5, 2: 0.5})
+        c_mid = mid.state_cost_rate(100, 0, 0)
+        assert lo.state_cost_rate(100, 0, 0) > c_mid > hi.state_cost_rate(100, 0, 0)
+
+    def test_bad_distribution_rejected(self, params, network):
+        with pytest.raises(ParameterError):
+            GCSCostModel(params, network, ng_distribution={1: 0.4})
+        with pytest.raises(ParameterError):
+            GCSCostModel(params, network, ng_distribution={0: 1.0})
+
+    def test_channel_utilization(self, params, network):
+        model = GCSCostModel(params, network)
+        assert model.channel_utilization(5e5) == pytest.approx(0.5)
+        with pytest.raises(ParameterError):
+            model.channel_utilization(-1.0)
+
+    def test_smaller_group_cheaper(self, params, network):
+        model = GCSCostModel(params, network)
+        # Lifetime shrinkage: fewer live members => lower cost rate.
+        assert model.state_cost_rate(50, 0, 0) < model.state_cost_rate(100, 0, 0)
+
+    def test_custom_sizes(self, params, network):
+        small = GCSCostModel(
+            params, network, sizes=MessageSizes(data_packet_bits=1024.0)
+        )
+        big = GCSCostModel(
+            params, network, sizes=MessageSizes(data_packet_bits=8192.0)
+        )
+        assert small.state_cost_rate(100, 0, 0) < big.state_cost_rate(100, 0, 0)
+
+
+class TestMessageSizes:
+    def test_defaults_positive(self):
+        sizes = MessageSizes()
+        assert sizes.data_packet_bits == 4096.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MessageSizes(vote_bits=0.0)

@@ -1,0 +1,90 @@
+"""Vectorised cost path == scalar cost path (element-wise)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs import GCSCostModel
+from repro.detection.functions import DetectionFunction, vector_shape_factor
+from repro.errors import ParameterError
+from repro.manet import NetworkModel
+from repro.params import GCSParameters
+
+
+@pytest.fixture(scope="module")
+def model() -> GCSCostModel:
+    params = GCSParameters.paper_defaults(num_nodes=20)
+    return GCSCostModel(params, NetworkModel.analytic(params.network))
+
+
+class TestVectorShapeFactor:
+    @pytest.mark.parametrize("form", ["logarithmic", "linear", "polynomial"])
+    @pytest.mark.parametrize("shifted", [True, False])
+    def test_matches_scalar_detection(self, form, shifted):
+        fn = DetectionFunction(form, 60.0, shifted_log=shifted)
+        ratios = np.array([1.0, 1.5, 2.0, 5.0, 20.0])
+        vec = vector_shape_factor(form, ratios, 3.0, shifted) / 60.0
+        for r, v in zip(ratios, vec):
+            assert v == pytest.approx(fn.rate_at_ratio(r), rel=1e-12)
+
+    def test_unknown_form(self):
+        with pytest.raises(ParameterError):
+            vector_shape_factor("cubic", np.array([1.0]), 3.0, True)
+
+
+class TestCostVector:
+    def test_matches_scalar_on_full_lattice(self, model):
+        n = model.params.num_nodes
+        ts, us, ds = [], [], []
+        for t in range(n + 1):
+            for u in range(n + 1 - t):
+                for d in range(n + 1 - t - u):
+                    ts.append(t)
+                    us.append(u)
+                    ds.append(d)
+        vec = model.cost_vector(np.array(ts), np.array(us), np.array(ds))
+        # Compare a deterministic sample of 200 states scalar-wise.
+        idx = np.linspace(0, len(ts) - 1, 200).astype(int)
+        for i in idx:
+            scalar = model.state_cost_rate(ts[i], us[i], ds[i])
+            assert vec[i] == pytest.approx(scalar, rel=1e-10, abs=1e-12)
+
+    def test_per_component_sums_to_total(self, model):
+        t = np.array([20, 15, 10, 0])
+        u = np.array([0, 3, 5, 0])
+        d = np.array([0, 2, 5, 0])
+        total = model.cost_vector(t, u, d)
+        parts = model.cost_vector(t, u, d, per_component=True)
+        np.testing.assert_allclose(sum(parts.values()), total, rtol=1e-12)
+
+    def test_component_names_match_breakdown(self, model):
+        parts = model.cost_vector(
+            np.array([10]), np.array([2]), np.array([1]), per_component=True
+        )
+        breakdown = model.breakdown(10, 2, 1)
+        for name, arr in parts.items():
+            assert breakdown[name] == pytest.approx(float(arr[0]), rel=1e-10)
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ParameterError):
+            model.cost_vector(np.array([1, 2]), np.array([1]), np.array([1]))
+
+    def test_dead_states_cost_zero(self, model):
+        vec = model.cost_vector(np.array([0]), np.array([0]), np.array([5]))
+        assert vec[0] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t=st.integers(0, 20),
+    u=st.integers(0, 20),
+    d=st.integers(0, 20),
+)
+def test_property_vector_equals_scalar(t, u, d):
+    if t + u + d > 20:
+        t, u, d = t % 7, u % 7, d % 7
+    params = GCSParameters.paper_defaults(num_nodes=20)
+    model = GCSCostModel(params, NetworkModel.analytic(params.network))
+    vec = model.cost_vector(np.array([t]), np.array([u]), np.array([d]))
+    assert vec[0] == pytest.approx(model.state_cost_rate(t, u, d), rel=1e-10, abs=1e-12)

@@ -1,0 +1,193 @@
+"""Absorbing-chain analysis: closed forms, solver agreement, rewards."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import CTMC, analyze_absorbing, topological_levels
+from repro.errors import NotAbsorbingError, ParameterError, SolverError
+
+
+class TestClosedForms:
+    def test_single_exponential(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 0.25)])
+        sol = analyze_absorbing(chain)
+        assert sol.mtta == pytest.approx(4.0)
+
+    def test_erlang_series(self):
+        # n-stage Erlang: MTTA = n / lam.
+        n, lam = 7, 3.0
+        chain = CTMC.from_transitions(n + 1, [(i, i + 1, lam) for i in range(n)])
+        sol = analyze_absorbing(chain)
+        assert sol.mtta == pytest.approx(n / lam)
+        assert sol.method == "acyclic"
+
+    def test_competing_exponentials(self):
+        alpha, beta = 2.0, 3.0
+        chain = CTMC.from_transitions(3, [(0, 1, alpha), (0, 2, beta)])
+        sol = analyze_absorbing(
+            chain, absorbing_classes={"a": [1], "b": [2]}
+        )
+        assert sol.mtta == pytest.approx(1.0 / (alpha + beta))
+        assert sol.absorption_probability("a") == pytest.approx(alpha / (alpha + beta))
+        assert sol.absorption_probability("b") == pytest.approx(beta / (alpha + beta))
+
+    def test_accumulated_reward_single_state(self):
+        alpha = 0.5
+        chain = CTMC.from_transitions(2, [(0, 1, alpha)])
+        sol = analyze_absorbing(chain, rewards={"cost": np.array([10.0, 99.0])})
+        # Reward accrues only while transient: 10 / alpha.
+        assert sol.expected_reward("cost") == pytest.approx(10.0 / alpha)
+        assert sol.lifetime_average("cost") == pytest.approx(10.0)
+
+    def test_two_stage_reward(self):
+        # 0 --1.0--> 1 --2.0--> 2; rewards 3 and 8 per unit time.
+        chain = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        sol = analyze_absorbing(chain, rewards={"c": np.array([3.0, 8.0, 0.0])})
+        assert sol.mtta == pytest.approx(1.0 + 0.5)
+        assert sol.expected_reward("c") == pytest.approx(3.0 * 1.0 + 8.0 * 0.5)
+        assert sol.lifetime_average("c") == pytest.approx(7.0 / 1.5)
+
+    def test_cyclic_closed_form(self):
+        # 0 <-> 1 with escape 1 -> 2. Oracle by dense solve.
+        r01, r10, r12 = 2.0, 5.0, 1.0
+        chain = CTMC.from_transitions(3, [(0, 1, r01), (1, 0, r10), (1, 2, r12)])
+        sol = analyze_absorbing(chain)
+        assert sol.method == "linear"
+        A = np.array([[r01, -r01], [-r10, r10 + r12]])
+        tau = np.linalg.solve(A, np.ones(2))
+        assert sol.mtta == pytest.approx(tau[0])
+
+    def test_initial_distribution_mixture(self):
+        chain = CTMC.from_transitions(3, [(0, 2, 1.0), (1, 2, 2.0)])
+        sol = analyze_absorbing(chain, initial=np.array([0.25, 0.75, 0.0]))
+        assert sol.mtta == pytest.approx(0.25 * 1.0 + 0.75 * 0.5)
+
+
+class TestValidation:
+    def test_no_absorbing_state(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(NotAbsorbingError):
+            analyze_absorbing(chain)
+
+    def test_absorption_not_almost_sure(self):
+        # 0 can wander into recurrent class {1, 2} with no escape.
+        chain = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 3, 1.0)]
+        )
+        with pytest.raises(NotAbsorbingError):
+            analyze_absorbing(chain)
+
+    def test_unreachable_recurrent_class_is_tolerated(self):
+        # States 2<->3 form a cycle but are unreachable from 0.
+        chain = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (2, 3, 1.0), (3, 2, 1.0)]
+        )
+        sol = analyze_absorbing(chain, initial=0)
+        assert sol.mtta == pytest.approx(1.0)
+        assert np.isnan(sol.tau[2]) and np.isnan(sol.tau[3])
+
+    def test_bad_reward_shape(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            analyze_absorbing(chain, rewards={"c": np.ones(5)})
+
+    def test_bad_class_member(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            analyze_absorbing(chain, absorbing_classes={"x": [0]})  # 0 not absorbing
+
+    def test_unknown_reward_name(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        sol = analyze_absorbing(chain)
+        with pytest.raises(ParameterError):
+            sol.expected_reward("nope")
+        with pytest.raises(ParameterError):
+            sol.absorption_probability("nope")
+
+    def test_method_acyclic_on_cyclic_chain(self):
+        chain = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)])
+        with pytest.raises(SolverError):
+            analyze_absorbing(chain, method="acyclic")
+
+    def test_bad_method(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            analyze_absorbing(chain, method="quantum")
+
+
+class TestTopologicalLevels:
+    def test_dag_levels(self):
+        chain = CTMC.from_transitions(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 2, 1.0)])
+        s = topological_levels(chain)
+        assert s is not None
+        assert s.levels[2] == 0
+        assert s.levels[1] == 1
+        assert s.levels[3] == 1
+        assert s.levels[0] == 2
+        assert s.depth == 3
+
+    def test_cycle_returns_none(self):
+        chain = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)])
+        assert topological_levels(chain) is None
+
+
+def _random_chain(rng: np.random.Generator, n: int, acyclic: bool) -> CTMC:
+    """A random absorbing chain; every state can reach state n-1."""
+    transitions = []
+    for i in range(n - 1):
+        # Guaranteed forward edge keeps absorption almost-sure.
+        j = int(rng.integers(i + 1, n))
+        transitions.append((i, j, float(rng.uniform(0.1, 5.0))))
+        for _ in range(int(rng.integers(0, 3))):
+            k = int(rng.integers(i + 1, n)) if acyclic else int(rng.integers(0, n))
+            if k != i:
+                transitions.append((i, k, float(rng.uniform(0.1, 5.0))))
+    return CTMC.from_transitions(n, transitions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 25))
+def test_solvers_agree_on_random_dags(seed, n):
+    """Property: topological sweep == sparse LU on random DAG chains."""
+    rng = np.random.default_rng(seed)
+    chain = _random_chain(rng, n, acyclic=True)
+    reward = rng.uniform(0.0, 4.0, size=n)
+    classes = {"last": [s for s in chain.absorbing_states.tolist()]}
+    a = analyze_absorbing(chain, rewards={"c": reward}, absorbing_classes=classes, method="acyclic")
+    b = analyze_absorbing(chain, rewards={"c": reward}, absorbing_classes=classes, method="linear")
+    assert a.mtta == pytest.approx(b.mtta, rel=1e-9)
+    assert a.expected_reward("c") == pytest.approx(b.expected_reward("c"), rel=1e-9)
+    assert a.absorption_probability("last") == pytest.approx(1.0, abs=1e-9)
+    assert b.absorption_probability("last") == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 15))
+def test_linear_solver_matches_dense_oracle(seed, n):
+    """Property: sparse LU result == dense numpy solve on cyclic chains."""
+    rng = np.random.default_rng(seed)
+    chain = _random_chain(rng, n, acyclic=False)
+    sol = analyze_absorbing(chain, method="linear")
+    # Dense oracle restricted to transient states; the solution is only
+    # defined (non-NaN) on states reachable from the initial state.
+    reachable = set(chain.reachable_from(0).tolist())
+    R = chain.rates.toarray()
+    q = chain.out_rates
+    t = chain.transient_states
+    A = np.diag(q[t]) - R[np.ix_(t, t)]
+    tau = np.linalg.solve(A, np.ones(t.size))
+    keep = np.array([s in reachable for s in t])
+    np.testing.assert_allclose(sol.tau[t][keep], tau[keep], rtol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 20))
+def test_absorption_probabilities_sum_to_one(seed, n):
+    rng = np.random.default_rng(seed)
+    chain = _random_chain(rng, n, acyclic=False)
+    classes = {f"s{int(s)}": [int(s)] for s in chain.absorbing_states}
+    sol = analyze_absorbing(chain, absorbing_classes=classes)
+    total = sum(sol.absorption_probability(name) for name in classes)
+    assert total == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,122 @@
+"""Birth-death chains: closed forms, NG model, CTMC export consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import BirthDeathProcess, stationary_distribution
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_sequence_rates(self):
+        bd = BirthDeathProcess(0, 2, [1.0, 2.0], [3.0, 4.0])
+        assert bd.num_levels == 3
+        assert bd.birth_rate(0) == 1.0
+        assert bd.birth_rate(2) == 0.0  # top level
+        assert bd.death_rate(0) == 0.0  # bottom level
+        assert bd.death_rate(2) == 4.0
+
+    def test_callable_rates(self):
+        bd = BirthDeathProcess(1, 4, lambda g: 0.5 * g, lambda g: 2.0 * (g - 1))
+        assert bd.birth_rate(2) == 1.0
+        assert bd.death_rate(3) == 4.0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            BirthDeathProcess(0, 2, [1.0], [1.0, 1.0])
+
+    def test_negative_birth_rejected(self):
+        with pytest.raises(ParameterError):
+            BirthDeathProcess(0, 1, [-1.0], [1.0])
+
+    def test_zero_death_rejected(self):
+        with pytest.raises(ParameterError):
+            BirthDeathProcess(0, 1, [1.0], [0.0])
+
+    def test_level_bounds_checked(self):
+        bd = BirthDeathProcess(1, 3, [1.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ParameterError):
+            bd.birth_rate(0)
+        with pytest.raises(ParameterError):
+            bd.death_rate(4)
+
+    def test_lo_gt_hi_rejected(self):
+        with pytest.raises(ParameterError):
+            BirthDeathProcess(3, 1, [], [])
+
+
+class TestStationary:
+    def test_mm1k_closed_form(self):
+        # Constant rates lam/mu on 0..K: pi_i ∝ rho^i.
+        lam, mu, K = 2.0, 3.0, 6
+        bd = BirthDeathProcess(0, K, [lam] * K, [mu] * K)
+        rho = lam / mu
+        ref = rho ** np.arange(K + 1)
+        ref /= ref.sum()
+        np.testing.assert_allclose(bd.stationary_distribution(), ref, rtol=1e-12)
+
+    def test_single_level(self):
+        bd = BirthDeathProcess(1, 1, [], [])
+        np.testing.assert_allclose(bd.stationary_distribution(), [1.0])
+        assert bd.mean_level() == 1.0
+
+    def test_matches_gth_on_exported_ctmc(self):
+        bd = BirthDeathProcess(1, 5, lambda g: 0.3 * g, lambda g: 1.1 * (g - 1))
+        pi_closed = bd.stationary_distribution()
+        pi_gth = stationary_distribution(bd.to_ctmc(), method="gth")
+        np.testing.assert_allclose(pi_closed, pi_gth, rtol=1e-10)
+
+    def test_zero_birth_truncates_support(self):
+        bd = BirthDeathProcess(0, 2, [1.0, 0.0], [1.0, 1.0])
+        pi = bd.stationary_distribution()
+        assert pi[2] == 0.0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_level_distribution_keys(self):
+        bd = BirthDeathProcess.for_group_count(0.001, 0.01, 3)
+        dist = bd.level_distribution()
+        assert sorted(dist) == [1, 2, 3]
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+
+class TestGroupCountModel:
+    def test_rare_partition_concentrates_on_one_group(self):
+        bd = BirthDeathProcess.for_group_count(1e-6, 1e-2, 4)
+        pi = bd.stationary_distribution()
+        assert pi[0] > 0.999
+        assert bd.mean_level() == pytest.approx(1.0, abs=1e-2)
+
+    def test_frequent_partition_spreads_mass(self):
+        bd = BirthDeathProcess.for_group_count(0.1, 0.1, 4)
+        pi = bd.stationary_distribution()
+        assert pi[0] < 0.6
+        assert bd.mean_level() > 1.3
+
+    def test_unscaled_variant(self):
+        bd = BirthDeathProcess.for_group_count(0.5, 1.0, 3, scale_with_level=False)
+        # Constant-rate geometric shape: pi ∝ (1, 0.5, 0.25).
+        ref = np.array([1.0, 0.5, 0.25])
+        np.testing.assert_allclose(bd.stationary_distribution(), ref / ref.sum(), rtol=1e-12)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ParameterError):
+            BirthDeathProcess.for_group_count(-1.0, 1.0, 3)
+        with pytest.raises(ParameterError):
+            BirthDeathProcess.for_group_count(1.0, 0.0, 3)
+        with pytest.raises(ParameterError):
+            BirthDeathProcess.for_group_count(1.0, 1.0, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(2, 12))
+def test_property_detailed_balance(seed, k):
+    rng = np.random.default_rng(seed)
+    birth = rng.uniform(0.1, 3.0, size=k)
+    death = rng.uniform(0.1, 3.0, size=k)
+    bd = BirthDeathProcess(0, k, birth, death)
+    pi = bd.stationary_distribution()
+    # Detailed balance: pi_i * birth_i == pi_{i+1} * death_{i+1}.
+    np.testing.assert_allclose(pi[:-1] * birth, pi[1:] * death, rtol=1e-9)
+    assert pi.sum() == pytest.approx(1.0, abs=1e-12)

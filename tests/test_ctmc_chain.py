@@ -1,0 +1,155 @@
+"""Unit tests for the CTMC container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc import CTMC
+from repro.errors import ModelError, ParameterError
+
+
+def simple_chain() -> CTMC:
+    # 0 -> 1 -> 2 (absorbing), plus 0 -> 2 direct.
+    return CTMC.from_transitions(3, [(0, 1, 2.0), (1, 2, 1.0), (0, 2, 0.5)])
+
+
+class TestConstruction:
+    def test_from_transitions_basic(self):
+        chain = simple_chain()
+        assert chain.num_states == 3
+        assert chain.num_transitions == 3
+        assert chain.rates[0, 1] == 2.0
+        assert chain.rates[0, 2] == 0.5
+
+    def test_out_rates(self):
+        chain = simple_chain()
+        np.testing.assert_allclose(chain.out_rates, [2.5, 1.0, 0.0])
+
+    def test_duplicate_transitions_summed(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert chain.rates[0, 1] == 3.0
+        assert chain.num_transitions == 1
+
+    def test_zero_rate_dropped(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 0.0)])
+        assert chain.num_transitions == 0
+
+    def test_self_loop_dropped(self):
+        chain = CTMC.from_transitions(2, [(0, 0, 5.0), (0, 1, 1.0)])
+        assert chain.num_transitions == 1
+        np.testing.assert_allclose(chain.out_rates, [1.0, 0.0])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, -1.0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 2, 1.0)])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(0, [])
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, float("nan"))])
+
+    def test_labels_attached(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)], labels=["start", "end"])
+        assert chain.labels == ["start", "end"]
+
+    def test_labels_length_mismatch(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, 1.0)], labels=["only-one"])
+
+    def test_dense_matrix_accepted(self):
+        chain = CTMC(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert chain.num_states == 2
+        assert chain.rates[0, 1] == 1.0
+
+
+class TestStructure:
+    def test_absorbing_detection(self):
+        chain = simple_chain()
+        np.testing.assert_array_equal(chain.absorbing_states, [2])
+        np.testing.assert_array_equal(chain.transient_states, [0, 1])
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = simple_chain()
+        Q = chain.generator()
+        np.testing.assert_allclose(np.asarray(Q.sum(axis=1)).ravel(), 0.0, atol=1e-15)
+        assert Q[0, 0] == -2.5
+
+    def test_uniformized_dtmc_stochastic(self):
+        chain = simple_chain()
+        P = chain.uniformized_dtmc()
+        np.testing.assert_allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+        assert (P.toarray() >= 0).all()
+
+    def test_uniformization_rate_positive_for_absorbing_only(self):
+        chain = CTMC.from_transitions(1, [])
+        assert chain.uniformization_rate() > 0
+
+    def test_uniformized_dtmc_bad_rate(self):
+        chain = simple_chain()
+        with pytest.raises(ParameterError):
+            chain.uniformized_dtmc(rate=1.0)  # below max exit rate 2.5
+
+
+class TestReachability:
+    def test_reachable_from_initial(self):
+        chain = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (3, 2, 1.0)]
+        )
+        np.testing.assert_array_equal(chain.reachable_from(0), [0, 1, 2])
+        np.testing.assert_array_equal(chain.reachable_from(3), [2, 3])
+
+    def test_can_reach(self):
+        chain = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (3, 3, 1.0)]
+        )
+        mask = chain.can_reach([2])
+        np.testing.assert_array_equal(mask, [True, True, True, False])
+
+    def test_subchain_remaps(self):
+        chain = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (1, 3, 2.0), (2, 3, 9.0)], labels=list("abcd")
+        )
+        sub, idx = chain.subchain([0, 1, 3])
+        np.testing.assert_array_equal(idx, [0, 1, 3])
+        assert sub.num_states == 3
+        assert sub.rates[1, 2] == 2.0
+        assert sub.labels == ["a", "b", "d"]
+
+    def test_subchain_bad_indices(self):
+        chain = simple_chain()
+        with pytest.raises(ParameterError):
+            chain.subchain([7])
+        with pytest.raises(ParameterError):
+            chain.subchain([])
+
+
+class TestInitialDistribution:
+    def test_int_initial(self):
+        chain = simple_chain()
+        dist = chain.validate_initial_distribution(1)
+        np.testing.assert_allclose(dist, [0, 1, 0])
+
+    def test_vector_initial(self):
+        chain = simple_chain()
+        dist = chain.validate_initial_distribution(np.array([0.5, 0.5, 0.0]))
+        np.testing.assert_allclose(dist, [0.5, 0.5, 0.0])
+
+    def test_bad_vector_rejected(self):
+        chain = simple_chain()
+        with pytest.raises(ParameterError):
+            chain.validate_initial_distribution(np.array([0.7, 0.7, 0.0]))
+        with pytest.raises(ParameterError):
+            chain.validate_initial_distribution(np.array([1.0, 0.0]))
+        with pytest.raises(ParameterError):
+            chain.validate_initial_distribution(5)

@@ -1,0 +1,79 @@
+"""Fox-Glynn style Poisson weights vs scipy oracle."""
+
+import numpy as np
+import pytest
+import scipy.stats as stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import poisson_weights
+from repro.ctmc.poisson import poisson_truncation_point
+from repro.errors import ParameterError
+
+
+class TestTruncationPoint:
+    def test_zero_lambda(self):
+        assert poisson_truncation_point(0.0) == 0
+
+    def test_tail_below_eps(self):
+        for lam in (0.1, 1.0, 17.3, 400.0, 12_345.0):
+            k = poisson_truncation_point(lam, 1e-10)
+            assert stats.poisson.sf(k, lam) <= 1e-10
+
+    def test_not_absurdly_large(self):
+        # Truncation should stay within a few sigma of the mean.
+        lam = 10_000.0
+        k = poisson_truncation_point(lam, 1e-12)
+        assert k < lam + 60.0 * np.sqrt(lam)
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            poisson_truncation_point(-1.0)
+        with pytest.raises(ParameterError):
+            poisson_truncation_point(1.0, eps=0.0)
+
+
+class TestWeights:
+    def test_zero_lambda(self):
+        left, right, w = poisson_weights(0.0)
+        assert (left, right) == (0, 0)
+        np.testing.assert_allclose(w, [1.0])
+
+    @pytest.mark.parametrize("lam", [0.01, 0.5, 1.0, 5.0, 50.0, 1000.0, 250_000.0])
+    def test_matches_scipy_pmf(self, lam):
+        left, right, w = poisson_weights(lam, eps=1e-13)
+        ks = np.arange(left, right + 1)
+        ref = stats.poisson.pmf(ks, lam)
+        # Renormalised truncation: compare shape after normalising the oracle.
+        # lgamma round-off accumulates over ~1e5 terms; 1e-7 relative is
+        # still far tighter than the 1e-13 truncation mass.
+        np.testing.assert_allclose(w, ref / ref.sum(), rtol=1e-7, atol=1e-300)
+
+    @pytest.mark.parametrize("lam", [0.3, 7.0, 999.0])
+    def test_weights_sum_to_one(self, lam):
+        _, _, w = poisson_weights(lam)
+        assert w.sum() == pytest.approx(1.0, abs=1e-12)
+        assert (w >= 0).all()
+
+    def test_mode_included(self):
+        for lam in (3.7, 42.0, 5000.0):
+            left, right, _ = poisson_weights(lam, eps=1e-6)
+            assert left <= int(lam) <= right
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            poisson_weights(-2.0)
+        with pytest.raises(ParameterError):
+            poisson_weights(1.0, eps=2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lam=st.floats(min_value=1e-3, max_value=1e5, allow_nan=False))
+def test_property_mass_and_support(lam):
+    left, right, w = poisson_weights(lam, eps=1e-12)
+    assert 0 <= left <= right
+    assert w.shape == (right - left + 1,)
+    assert w.sum() == pytest.approx(1.0, abs=1e-9)
+    # Dropped mass on each side is small.
+    assert stats.poisson.cdf(left - 1, lam) <= 1e-6
+    assert stats.poisson.sf(right, lam) <= 1e-6

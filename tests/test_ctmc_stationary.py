@@ -1,0 +1,95 @@
+"""Stationary solvers: GTH, power iteration, closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import CTMC, stationary_distribution
+from repro.ctmc.stationary import gth_stationary
+from repro.errors import ParameterError, SolverError
+
+
+def two_state_closed_form(a: float, b: float) -> np.ndarray:
+    # 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a) / (a + b).
+    return np.array([b, a]) / (a + b)
+
+
+class TestGTH:
+    def test_two_state(self):
+        a, b = 2.0, 5.0
+        chain = CTMC.from_transitions(2, [(0, 1, a), (1, 0, b)])
+        pi = stationary_distribution(chain, method="gth")
+        np.testing.assert_allclose(pi, two_state_closed_form(a, b), rtol=1e-12)
+
+    def test_single_state(self):
+        pi = gth_stationary(np.array([[1.0]]))
+        np.testing.assert_allclose(pi, [1.0])
+
+    def test_stiff_chain(self):
+        # Rates spanning 12 orders of magnitude: GTH stays accurate.
+        chain = CTMC.from_transitions(
+            3, [(0, 1, 1e-6), (1, 2, 1e6), (2, 0, 1.0), (1, 0, 1e-6)]
+        )
+        pi = stationary_distribution(chain, method="gth")
+        Q = chain.generator().toarray()
+        np.testing.assert_allclose(pi @ Q, 0.0, atol=1e-12 * np.abs(Q).max())
+
+    def test_reducible_detected(self):
+        P = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(SolverError):
+            gth_stationary(P)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ParameterError):
+            gth_stationary(np.ones((2, 3)))
+
+
+class TestStationaryFacade:
+    def test_power_matches_gth(self):
+        rng = np.random.default_rng(7)
+        n = 12
+        transitions = [
+            (i, j, float(rng.uniform(0.1, 2.0)))
+            for i in range(n)
+            for j in range(n)
+            if i != j
+        ]
+        chain = CTMC.from_transitions(n, transitions)
+        pi_gth = stationary_distribution(chain, method="gth")
+        pi_pow = stationary_distribution(chain, method="power", tol=1e-14)
+        np.testing.assert_allclose(pi_pow, pi_gth, atol=1e-10)
+
+    def test_absorbing_chain_rejected(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(SolverError):
+            stationary_distribution(chain)
+
+    def test_bad_method(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ParameterError):
+            stationary_distribution(chain, method="magic")
+
+    def test_single_state_chain(self):
+        chain = CTMC.from_transitions(1, [])
+        np.testing.assert_allclose(stationary_distribution(chain), [1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+def test_property_stationary_solves_balance(seed, n):
+    """Property: pi @ Q == 0 and pi sums to 1 on random irreducible chains."""
+    rng = np.random.default_rng(seed)
+    transitions = []
+    for i in range(n):
+        # Ring edge guarantees irreducibility.
+        transitions.append((i, (i + 1) % n, float(rng.uniform(0.2, 3.0))))
+        for j in range(n):
+            if j != i and rng.random() < 0.3:
+                transitions.append((i, j, float(rng.uniform(0.05, 2.0))))
+    chain = CTMC.from_transitions(n, transitions)
+    pi = stationary_distribution(chain, method="gth")
+    assert pi.sum() == pytest.approx(1.0, abs=1e-12)
+    assert (pi > 0).all()
+    residual = pi @ chain.generator().toarray()
+    np.testing.assert_allclose(residual, 0.0, atol=1e-10)

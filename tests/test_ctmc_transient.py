@@ -1,0 +1,110 @@
+"""Uniformization vs matrix-exponential oracle."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import CTMC, absorption_cdf, analyze_absorbing, transient_distribution
+from repro.errors import ParameterError
+
+
+def expm_oracle(chain: CTMC, t: float, initial: int = 0) -> np.ndarray:
+    Q = chain.generator().toarray()
+    pi0 = np.zeros(chain.num_states)
+    pi0[initial] = 1.0
+    return pi0 @ scipy.linalg.expm(Q * t)
+
+
+class TestTransientDistribution:
+    def test_time_zero_is_initial(self):
+        chain = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        pi = transient_distribution(chain, 0.0, initial=0)
+        np.testing.assert_allclose(pi, [1, 0, 0])
+
+    def test_two_state_closed_form(self):
+        lam = 0.7
+        chain = CTMC.from_transitions(2, [(0, 1, lam)])
+        for t in (0.1, 1.0, 5.0):
+            pi = transient_distribution(chain, t)
+            np.testing.assert_allclose(pi[0], np.exp(-lam * t), rtol=1e-10)
+
+    def test_matches_expm_small_chain(self):
+        chain = CTMC.from_transitions(
+            4,
+            [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 3, 0.5), (0, 3, 0.1)],
+        )
+        for t in (0.2, 1.0, 4.0, 20.0):
+            ours = transient_distribution(chain, t)
+            ref = expm_oracle(chain, t)
+            np.testing.assert_allclose(ours, ref, atol=1e-9)
+
+    def test_multiple_times_shape_and_order(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        times = [5.0, 0.5, 2.0]
+        out = transient_distribution(chain, times)
+        assert out.shape == (3, 2)
+        # Row i corresponds to times[i], regardless of sort order.
+        np.testing.assert_allclose(out[:, 0], np.exp(-np.asarray(times)), rtol=1e-9)
+
+    def test_negative_time_rejected(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            transient_distribution(chain, -1.0)
+
+    def test_rows_are_distributions(self):
+        chain = CTMC.from_transitions(3, [(0, 1, 10.0), (1, 2, 0.1), (2, 0, 1.0)])
+        out = transient_distribution(chain, [0.1, 1.0, 10.0, 100.0])
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-12)
+        assert (out >= 0).all()
+
+
+class TestAbsorptionCdf:
+    def test_erlang_cdf(self):
+        # 2-stage Erlang absorption time CDF.
+        lam = 2.0
+        chain = CTMC.from_transitions(3, [(0, 1, lam), (1, 2, lam)])
+        times = np.array([0.1, 0.5, 1.0, 3.0])
+        cdf = absorption_cdf(chain, times)["any"]
+        ref = 1.0 - np.exp(-lam * times) * (1.0 + lam * times)
+        np.testing.assert_allclose(cdf, ref, atol=1e-10)
+
+    def test_classes_split(self):
+        alpha, beta = 1.0, 3.0
+        chain = CTMC.from_transitions(3, [(0, 1, alpha), (0, 2, beta)])
+        out = absorption_cdf(chain, [100.0], classes={"a": [1], "b": [2]})
+        assert out["a"][0] == pytest.approx(alpha / (alpha + beta), abs=1e-9)
+        assert out["b"][0] == pytest.approx(beta / (alpha + beta), abs=1e-9)
+        assert out["any"][0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_limit_matches_mtta_consistency(self):
+        # CDF should approach 1 and the mean from trapezoid integration of
+        # (1 - CDF) should approach MTTA.
+        chain = CTMC.from_transitions(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        sol = analyze_absorbing(chain)
+        ts = np.linspace(0.0, 200.0, 4001)
+        cdf = absorption_cdf(chain, ts)["any"]
+        mtta_numeric = np.trapezoid(1.0 - cdf, ts)
+        assert mtta_numeric == pytest.approx(sol.mtta, rel=1e-3)
+
+    def test_bad_class_state(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            absorption_cdf(chain, [1.0], classes={"x": [9]})
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), t=st.floats(min_value=0.01, max_value=30.0))
+def test_property_uniformization_matches_expm(seed, t):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    transitions = []
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.5:
+                transitions.append((i, j, float(rng.uniform(0.05, 3.0))))
+    chain = CTMC.from_transitions(n, transitions)
+    ours = transient_distribution(chain, t)
+    ref = expm_oracle(chain, t)
+    np.testing.assert_allclose(ours, ref, atol=1e-8)

@@ -1,0 +1,70 @@
+"""Packet-delay model (timeliness requirement)."""
+
+import pytest
+
+from repro.costs import MessageSizes
+from repro.costs.delay import DelayModel
+from repro.errors import ParameterError
+from repro.manet import NetworkModel
+from repro.params import NetworkParameters
+
+
+@pytest.fixture
+def model() -> DelayModel:
+    return DelayModel(
+        network=NetworkModel.analytic(NetworkParameters()),
+        sizes=MessageSizes(),
+    )
+
+
+class TestDelayModel:
+    def test_unloaded_delay(self, model):
+        base = model.mean_packet_delay_s(0.0)
+        assert base == pytest.approx(
+            model.network.avg_hops * 4096 / 1e6
+        )
+
+    def test_delay_grows_with_load(self, model):
+        d1 = model.mean_packet_delay_s(1e5)
+        d2 = model.mean_packet_delay_s(5e5)
+        d3 = model.mean_packet_delay_s(9e5)
+        assert d1 < d2 < d3
+
+    def test_saturation_is_infinite(self, model):
+        assert model.mean_packet_delay_s(1e6) == float("inf")
+        assert model.mean_packet_delay_s(2e6) == float("inf")
+
+    def test_utilization(self, model):
+        assert model.utilization(5e5) == pytest.approx(0.5)
+        with pytest.raises(ParameterError):
+            model.utilization(-1.0)
+
+    def test_inverse_round_trip(self, model):
+        budget = 0.05  # 50 ms
+        ceiling = model.max_traffic_for_delay(budget)
+        assert model.mean_packet_delay_s(ceiling) == pytest.approx(budget, rel=1e-9)
+        assert model.meets_delay_requirement(ceiling * 0.99, budget)
+        assert not model.meets_delay_requirement(ceiling * 1.01, budget)
+
+    def test_unachievable_budget_rejected(self, model):
+        base = model.mean_packet_delay_s(0.0)
+        with pytest.raises(ParameterError):
+            model.max_traffic_for_delay(base * 0.5)
+        with pytest.raises(ParameterError):
+            model.max_traffic_for_delay(0.0)
+
+    def test_ceiling_feeds_optimizer(self):
+        """End-to-end: delay budget -> cost ceiling -> TIDS choice."""
+        from repro.core import optimize_tids
+        from repro.params import GCSParameters
+
+        params = GCSParameters.small_test()
+        net = NetworkModel.analytic(params.network)
+        delay = DelayModel(network=net, sizes=MessageSizes())
+        ceiling = delay.max_traffic_for_delay(0.1)
+        out = optimize_tids(
+            params,
+            [30.0, 120.0, 480.0],
+            cost_ceiling_hop_bits_s=ceiling,
+        )
+        assert out.feasible  # small group is far from saturating 1 Mbps

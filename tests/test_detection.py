@@ -1,0 +1,189 @@
+"""Detection functions, host IDS presets, adaptive controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (
+    AdaptiveIDSController,
+    DetectionFunction,
+    HostIDS,
+    detection_ratio,
+    recommend_detection_function,
+)
+from repro.errors import ParameterError
+from repro.params import DetectionParameters
+
+
+class TestDetectionRatio:
+    def test_full_group(self):
+        assert detection_ratio(100, 100) == 1.0
+
+    def test_grows_as_members_leave(self):
+        assert detection_ratio(100, 50) == 2.0
+
+    def test_empty_group_undefined(self):
+        with pytest.raises(ParameterError):
+            detection_ratio(100, 0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ParameterError):
+            detection_ratio(0, 10)
+
+
+class TestDetectionFunction:
+    def test_all_forms_start_at_base_interval(self):
+        for form in ("logarithmic", "linear", "polynomial"):
+            fn = DetectionFunction(form, base_interval_s=60.0)
+            assert fn.rate(100, 100) == pytest.approx(1.0 / 60.0)
+            assert fn.interval(100, 100) == pytest.approx(60.0)
+
+    def test_aggressiveness_ordering(self):
+        fns = {
+            form: DetectionFunction(form, 60.0)
+            for form in ("logarithmic", "linear", "polynomial")
+        }
+        for md in (1.0, 1.25, 2.0, 5.0):
+            assert fns["logarithmic"].rate_at_ratio(md) <= fns["linear"].rate_at_ratio(md) + 1e-15
+            assert fns["linear"].rate_at_ratio(md) <= fns["polynomial"].rate_at_ratio(md) + 1e-15
+
+    def test_polynomial_form(self):
+        fn = DetectionFunction("polynomial", 10.0, base_index_p=3.0)
+        assert fn.rate_at_ratio(2.0) == pytest.approx(8.0 / 10.0)
+
+    def test_literal_log_zero_at_start(self):
+        fn = DetectionFunction("logarithmic", 60.0, shifted_log=False)
+        assert fn.rate_at_ratio(1.0) == 0.0
+        assert fn.interval(100, 100) == float("inf")
+
+    def test_from_params(self):
+        fn = DetectionFunction.from_params(
+            DetectionParameters(detection_interval_s=120.0, detection_function="polynomial")
+        )
+        assert fn.form == "polynomial"
+        assert fn.base_interval_s == 120.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DetectionFunction("linear", 0.0)
+        with pytest.raises(ParameterError):
+            DetectionFunction("cubic", 60.0)
+        with pytest.raises(ParameterError):
+            DetectionFunction("linear", 60.0).rate_at_ratio(0.9)
+
+    def test_describe(self):
+        assert "60" in DetectionFunction("linear", 60.0).describe()
+
+
+class TestHostIDS:
+    def test_paper_default(self):
+        ids = HostIDS.paper_default()
+        assert ids.false_negative == 0.01
+        assert ids.false_positive == 0.01
+
+    def test_presets_trade_off(self):
+        misuse = HostIDS.misuse_detection()
+        anomaly = HostIDS.anomaly_detection()
+        assert misuse.false_negative > anomaly.false_negative
+        assert misuse.false_positive < anomaly.false_positive
+
+    def test_verdict_frequencies(self):
+        ids = HostIDS(false_negative=0.2, false_positive=0.1)
+        rng = np.random.default_rng(3)
+        n = 20000
+        hit = sum(ids.verdict(True, rng) for _ in range(n)) / n
+        fp = sum(ids.verdict(False, rng) for _ in range(n)) / n
+        assert hit == pytest.approx(0.8, abs=0.01)
+        assert fp == pytest.approx(0.1, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HostIDS(false_negative=1.5)
+
+    def test_describe(self):
+        assert "misuse" in HostIDS.misuse_detection().describe()
+
+
+class TestRecommendation:
+    @pytest.mark.parametrize("form", ["logarithmic", "linear", "polynomial"])
+    def test_matched_strength(self, form):
+        assert recommend_detection_function(form) == form
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ParameterError):
+            recommend_detection_function("zigzag")
+
+
+class TestAdaptiveController:
+    def make_controller(self, **kwargs) -> AdaptiveIDSController:
+        return AdaptiveIDSController(
+            detection=DetectionParameters(detection_function="logarithmic"),
+            num_nodes=50,
+            **kwargs,
+        )
+
+    @staticmethod
+    def polynomial_history(n: int, k: int, seed: int = 0) -> list[float]:
+        from repro.attackers import AttackerFunction
+
+        fn = AttackerFunction("polynomial", 1e-3)
+        rng = np.random.default_rng(seed)
+        t, out = 0.0, []
+        for i in range(k):
+            t += rng.exponential(1.0 / fn.rate(n - i, i))
+            out.append(t)
+        return out
+
+    def test_no_adaptation_below_min_observations(self):
+        ctl = self.make_controller()
+        ctl.observe_compromise(10.0)
+        ctl.observe_compromise(20.0)
+        out = ctl.adapt()
+        assert out.detection_function == "logarithmic"
+        assert ctl.last_estimate is None
+
+    def test_adapts_to_polynomial_attacker(self):
+        ctl = self.make_controller()
+        # Use a sharply accelerating history (strongly polynomial).
+        for t in self.polynomial_history(50, 25, seed=4):
+            ctl.observe_compromise(t)
+        out = ctl.adapt()
+        assert ctl.last_estimate is not None
+        assert out.detection_function == recommend_detection_function(ctl.last_estimate)
+
+    def test_evaluator_reoptimises_interval(self):
+        ctl = self.make_controller()
+        # Quadratic score peaked at TIDS = 120.
+        evaluator = lambda d: -(d.detection_interval_s - 120.0) ** 2  # noqa: E731
+        out = ctl.adapt(evaluator=evaluator, tids_grid_s=[30, 60, 120, 240])
+        assert out.detection_interval_s == 120.0
+
+    def test_observe_monotonicity_enforced(self):
+        ctl = self.make_controller()
+        ctl.observe_compromise(5.0)
+        with pytest.raises(ParameterError):
+            ctl.observe_compromise(5.0)
+
+    def test_current_function(self):
+        ctl = self.make_controller()
+        assert ctl.current_function().form == "logarithmic"
+
+    def test_min_observations_validated(self):
+        with pytest.raises(ParameterError):
+            AdaptiveIDSController(DetectionParameters(), 10, min_observations=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    md=st.floats(min_value=1.0, max_value=40.0),
+    tids=st.floats(min_value=1.0, max_value=2400.0),
+)
+def test_property_detection_rates_positive_and_ordered(md, tids):
+    rates = {
+        form: DetectionFunction(form, tids).rate_at_ratio(md)
+        for form in ("logarithmic", "linear", "polynomial")
+    }
+    assert all(r >= 0 for r in rates.values())
+    assert rates["logarithmic"] <= rates["linear"] + 1e-12
+    assert rates["linear"] <= rates["polynomial"] + 1e-12

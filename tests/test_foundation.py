@@ -1,0 +1,170 @@
+"""Validators and RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng import RandomSource, as_generator, spawn_children
+from repro.validation import (
+    require_finite,
+    require_in,
+    require_in_range,
+    require_int,
+    require_non_negative,
+    require_non_negative_int,
+    require_odd,
+    require_positive,
+    require_positive_int,
+    require_probability,
+    require_sorted_unique,
+)
+
+
+class TestValidators:
+    def test_require_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ParameterError):
+                require_positive("x", bad)
+
+    def test_require_non_negative(self):
+        assert require_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ParameterError):
+            require_non_negative("x", -0.001)
+
+    def test_require_probability(self):
+        assert require_probability("p", 0.0) == 0.0
+        assert require_probability("p", 1.0) == 1.0
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ParameterError):
+                require_probability("p", bad)
+
+    def test_require_int_rejects_bool_and_float(self):
+        assert require_int("n", 5) == 5
+        assert require_int("n", np.int64(7)) == 7
+        with pytest.raises(ParameterError):
+            require_int("n", True)
+        with pytest.raises(ParameterError):
+            require_int("n", 2.5)
+
+    def test_require_positive_int(self):
+        assert require_positive_int("n", 1) == 1
+        with pytest.raises(ParameterError):
+            require_positive_int("n", 0)
+
+    def test_require_non_negative_int(self):
+        assert require_non_negative_int("n", 0) == 0
+        with pytest.raises(ParameterError):
+            require_non_negative_int("n", -1)
+
+    def test_require_in(self):
+        assert require_in("k", "a", ("a", "b")) == "a"
+        with pytest.raises(ParameterError):
+            require_in("k", "z", ("a", "b"))
+
+    def test_require_in_range(self):
+        assert require_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ParameterError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_require_odd(self):
+        assert require_odd("m", 5) == 5
+        with pytest.raises(ParameterError):
+            require_odd("m", 4)
+
+    def test_require_finite(self):
+        assert require_finite("x", -3.0) == -3.0
+        with pytest.raises(ParameterError):
+            require_finite("x", float("inf"))
+
+    def test_require_sorted_unique(self):
+        assert require_sorted_unique("g", [1.0, 2.0]) == (1.0, 2.0)
+        with pytest.raises(ParameterError):
+            require_sorted_unique("g", [2.0, 1.0])
+        with pytest.raises(ParameterError):
+            require_sorted_unique("g", [1.0, 1.0])
+        with pytest.raises(ParameterError):
+            require_sorted_unique("g", [])
+
+
+class TestAsGenerator:
+    def test_from_int_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        g = as_generator(np.random.SeedSequence(9))
+        assert isinstance(g, np.random.Generator)
+
+    def test_none_gives_fresh(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ParameterError):
+            as_generator("seed")  # type: ignore[arg-type]
+        with pytest.raises(ParameterError):
+            as_generator(-1)
+        with pytest.raises(ParameterError):
+            as_generator(True)  # type: ignore[arg-type]
+
+
+class TestSpawnChildren:
+    def test_children_independent_and_deterministic(self):
+        a1, a2 = spawn_children(7, 2)
+        b1, b2 = spawn_children(7, 2)
+        np.testing.assert_array_equal(a1.random(4), b1.random(4))
+        np.testing.assert_array_equal(a2.random(4), b2.random(4))
+        assert not np.allclose(a1.random(4), a2.random(4))
+
+    def test_from_generator(self):
+        children = spawn_children(np.random.default_rng(3), 3)
+        assert len(children) == 3
+
+    def test_negative_count(self):
+        with pytest.raises(ParameterError):
+            spawn_children(1, -1)
+
+
+class TestRandomSource:
+    def test_streams_stable_across_instances(self):
+        a = RandomSource(11).stream("mobility").random(3)
+        b = RandomSource(11).stream("mobility").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_differ_by_name(self):
+        rs = RandomSource(11)
+        a = rs.stream("mobility").random(3)
+        b = rs.stream("simulator").random(3)
+        assert not np.allclose(a, b)
+
+    def test_stream_cached(self):
+        rs = RandomSource(5)
+        assert rs.stream("x") is rs.stream("x")
+
+    def test_order_independence(self):
+        r1 = RandomSource(2)
+        r1.stream("a")
+        v1 = r1.stream("b").random(2)
+        r2 = RandomSource(2)
+        v2 = r2.stream("b").random(2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            RandomSource(3.5)  # type: ignore[arg-type]
+        with pytest.raises(ParameterError):
+            RandomSource(1).stream("")
+
+    def test_seed_property(self):
+        assert RandomSource(9).seed == 9
+        assert RandomSource().seed is None
+
+    def test_streams_iterator(self):
+        rs = RandomSource(1)
+        gens = list(rs.streams(["a", "b"]))
+        assert len(gens) == 2

@@ -1,0 +1,125 @@
+"""GDH.3 protocol: agreement, ledger economics, cost-model integration."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, ProtocolError
+from repro.groupkey import (
+    DHGroup,
+    DHKeyPair,
+    RekeyCostModel,
+    run_gdh2,
+    run_gdh3,
+)
+from repro.manet import NetworkModel
+from repro.params import NetworkParameters
+
+
+class TestGDH3Agreement:
+    @pytest.mark.parametrize("n", [2, 3, 5, 12, 30])
+    def test_all_members_agree(self, n):
+        result = run_gdh3(n, rng=np.random.default_rng(n))
+        assert len(set(result.member_keys)) == 1
+        assert result.num_members == n
+
+    def test_same_key_as_product_exponent(self):
+        group = DHGroup.toy()
+        rng = np.random.default_rng(5)
+        # Invertible shares for GDH.3.
+        pairs = []
+        while len(pairs) < 4:
+            pair = DHKeyPair.generate(group, rng)
+            if math.gcd(pair.private, group.prime - 1) == 1:
+                pairs.append(pair)
+        result = run_gdh3(pairs)
+        exponent = 1
+        for pair in pairs:
+            exponent = (exponent * pair.private) % (group.prime - 1)
+        assert result.shared_key == pow(group.generator, exponent, group.prime)
+
+    def test_gdh2_and_gdh3_agree_on_same_shares(self):
+        group = DHGroup.toy()
+        rng = np.random.default_rng(6)
+        pairs = []
+        while len(pairs) < 5:
+            pair = DHKeyPair.generate(group, rng)
+            if math.gcd(pair.private, group.prime - 1) == 1:
+                pairs.append(pair)
+        assert run_gdh2(pairs).shared_key == run_gdh3(pairs).shared_key
+
+    def test_non_invertible_share_rejected(self):
+        group = DHGroup(prime=23, generator=5)
+        bad = DHKeyPair(group, 11)  # gcd(11, 22) = 11
+        ok = DHKeyPair(group, 3)
+        with pytest.raises(ProtocolError):
+            run_gdh3([bad, ok])
+
+    def test_too_few_members(self):
+        with pytest.raises(ProtocolError):
+            run_gdh3(1)
+
+
+class TestGDH3Ledger:
+    @pytest.mark.parametrize("n", [2, 3, 7, 20])
+    def test_linear_element_count(self, n):
+        result = run_gdh3(n, rng=np.random.default_rng(n))
+        assert result.ledger.total_elements == 3 * n - 3
+
+    def test_stage_structure(self):
+        n = 6
+        ledger = run_gdh3(n, rng=np.random.default_rng(0)).ledger
+        stages = [m.stage for m in ledger.messages]
+        assert stages.count("upflow") == n - 2
+        assert stages.count("broadcast") == 1
+        assert stages.count("response") == n - 1
+        assert stages.count("final") == 1
+        finals = [m for m in ledger.messages if m.stage == "final"]
+        assert finals[0].is_broadcast
+        assert finals[0].num_elements == n - 1
+
+    def test_asymptotically_cheaper_than_gdh2(self):
+        for n in (4, 10, 40):
+            e2 = run_gdh2(n, rng=np.random.default_rng(n)).ledger.total_elements
+            e3 = run_gdh3(n, rng=np.random.default_rng(n)).ledger.total_elements
+            assert e3 < e2
+        # Quadratic vs linear: the ratio grows with n.
+        r10 = run_gdh2(10, rng=np.random.default_rng(1)).ledger.total_elements / (3 * 10 - 3)
+        r40 = run_gdh2(40, rng=np.random.default_rng(2)).ledger.total_elements / (3 * 40 - 3)
+        assert r40 > r10
+
+
+class TestCostModelIntegration:
+    @pytest.fixture
+    def network(self) -> NetworkModel:
+        return NetworkModel.analytic(NetworkParameters())
+
+    def test_initial_ledger_matches_protocol(self, network):
+        model = RekeyCostModel(network, element_bits=61, initial_protocol="gdh3")
+        for n in (2, 5, 15):
+            synthetic = model.ledger_for("initial", n)
+            actual = run_gdh3(n, rng=np.random.default_rng(n)).ledger
+            assert synthetic.total_elements == actual.total_elements
+            assert synthetic.num_messages == actual.num_messages
+
+    def test_gdh3_initial_cheaper(self, network):
+        gdh2 = RekeyCostModel(network, initial_protocol="gdh2")
+        gdh3 = RekeyCostModel(network, initial_protocol="gdh3")
+        assert gdh3.hop_bits("initial", 50) < gdh2.hop_bits("initial", 50)
+        # Incremental operations are protocol-independent.
+        assert gdh3.hop_bits("evict", 50) == gdh2.hop_bits("evict", 50)
+
+    def test_invalid_protocol(self, network):
+        with pytest.raises(ParameterError):
+            RekeyCostModel(network, initial_protocol="gdh9")
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 15), seed=st.integers(0, 100))
+def test_property_gdh3_agreement(n, seed):
+    result = run_gdh3(n, rng=np.random.default_rng(seed))
+    assert len(set(result.member_keys)) == 1
+    assert result.ledger.total_elements == 3 * n - 3

@@ -1,0 +1,261 @@
+"""GDH key agreement, rekeying, cost ledgers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, ProtocolError
+from repro.groupkey import (
+    DHGroup,
+    DHKeyPair,
+    GroupKeyManager,
+    RekeyCostModel,
+    run_gdh2,
+)
+from repro.manet import NetworkModel
+from repro.params import NetworkParameters
+
+
+class TestDHGroup:
+    def test_toy_group_properties(self):
+        g = DHGroup.toy()
+        assert g.element_bits == 61
+        assert g.prime == (1 << 61) - 1
+
+    def test_modp_group_size(self):
+        g = DHGroup.modp_1536()
+        assert g.element_bits == 1536
+
+    def test_private_in_range(self):
+        g = DHGroup.toy()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x = g.sample_private(rng)
+            assert 2 <= x <= g.prime - 2
+
+    def test_exponentiation(self):
+        g = DHGroup(prime=23, generator=5)
+        assert g.exp(5, 3) == pow(5, 3, 23)
+        assert g.public_of(4) == pow(5, 4, 23)
+
+    def test_dh_commutativity(self):
+        g = DHGroup.toy()
+        rng = np.random.default_rng(1)
+        a, b = DHKeyPair.generate(g, rng), DHKeyPair.generate(g, rng)
+        assert g.exp(b.public, a.private) == g.exp(a.public, b.private)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DHGroup(prime=4, generator=2)
+        with pytest.raises(ParameterError):
+            DHGroup(prime=23, generator=1)
+        with pytest.raises(ParameterError):
+            DHGroup(prime=23, generator=5).exp(25, 2)
+
+
+class TestGDH2:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 25])
+    def test_all_members_agree(self, n):
+        result = run_gdh2(n, rng=np.random.default_rng(n))
+        assert len(set(result.member_keys)) == 1
+        assert result.member_keys[0] == result.shared_key
+
+    def test_key_is_product_exponent(self):
+        g = DHGroup.toy()
+        rng = np.random.default_rng(2)
+        pairs = [DHKeyPair.generate(g, rng) for _ in range(4)]
+        result = run_gdh2(pairs)
+        exponent = 1
+        for pair in pairs:
+            exponent = (exponent * pair.private) % (g.prime - 1)
+        assert result.shared_key == pow(g.generator, exponent, g.prime)
+
+    def test_ledger_message_counts(self):
+        n = 7
+        result = run_gdh2(n, rng=np.random.default_rng(3))
+        ledger = result.ledger
+        # n-1 upflow unicasts + 1 broadcast.
+        assert ledger.num_messages == n
+        broadcasts = [m for m in ledger.messages if m.is_broadcast]
+        assert len(broadcasts) == 1
+        assert broadcasts[0].num_elements == n - 1
+        # Upflow message i has i+1 elements.
+        upflow = [m for m in ledger.messages if not m.is_broadcast]
+        assert [m.num_elements for m in upflow] == [i + 1 for i in range(1, n)]
+        # Total elements: sum_{i=1}^{n-1}(i+1) + (n-1).
+        expected = sum(i + 1 for i in range(1, n)) + (n - 1)
+        assert ledger.total_elements == expected
+        assert ledger.total_bits == expected * 61
+
+    def test_different_runs_different_keys(self):
+        a = run_gdh2(4, rng=np.random.default_rng(10))
+        b = run_gdh2(4, rng=np.random.default_rng(11))
+        assert a.shared_key != b.shared_key
+
+    def test_too_few_members(self):
+        with pytest.raises(ProtocolError):
+            run_gdh2(1)
+
+    def test_mixed_groups_rejected(self):
+        rng = np.random.default_rng(0)
+        pairs = [
+            DHKeyPair.generate(DHGroup.toy(), rng),
+            DHKeyPair.generate(DHGroup(prime=23, generator=5), rng),
+        ]
+        with pytest.raises(ProtocolError):
+            run_gdh2(pairs)
+
+
+@pytest.fixture
+def cost_model() -> RekeyCostModel:
+    return RekeyCostModel(NetworkModel.analytic(NetworkParameters()), element_bits=1024)
+
+
+class TestRekeyCostModel:
+    def test_initial_matches_gdh_ledger(self, cost_model):
+        n = 9
+        synthetic = cost_model.ledger_for("initial", n)
+        actual = run_gdh2(n, rng=np.random.default_rng(1)).ledger
+        assert synthetic.total_elements == actual.total_elements
+        assert synthetic.num_messages == actual.num_messages
+
+    def test_evict_is_single_broadcast(self, cost_model):
+        ledger = cost_model.ledger_for("evict", 50)
+        assert ledger.num_messages == 1
+        assert ledger.messages[0].is_broadcast
+        assert ledger.messages[0].num_elements == 49
+
+    def test_hop_bits_flooding(self, cost_model):
+        n = 20
+        hop_bits = cost_model.hop_bits("evict", n)
+        # One broadcast of (n-1) elements flooded through n members.
+        assert hop_bits == pytest.approx((n - 1) * 1024 * n)
+
+    def test_join_cost_has_unicast_and_broadcast(self, cost_model):
+        n = 10
+        hop_bits = cost_model.hop_bits("join", n)
+        avg_hops = cost_model.network.avg_hops
+        expected = n * 1024 * avg_hops + n * 1024 * n
+        assert hop_bits == pytest.approx(expected)
+
+    def test_costs_grow_with_group_size(self, cost_model):
+        costs = [cost_model.hop_bits("initial", n) for n in (5, 10, 20, 40)]
+        assert costs == sorted(costs)
+
+    def test_tcm_positive_and_small(self, cost_model):
+        tcm = cost_model.tcm_s(100)
+        # ~99 elements * 1024 bits / 1 Mbps ≈ 0.1 s.
+        assert tcm == pytest.approx(99 * 1024 / 1e6, rel=1e-6)
+        assert cost_model.tcm_s(1) > 0.0
+        assert cost_model.tcm_s(0) > 0.0
+
+    def test_degenerate_groups_cost_nothing(self, cost_model):
+        assert cost_model.hop_bits("join", 1) == 0.0
+        assert cost_model.ledger_for("evict", 0).num_messages == 0
+
+    def test_unknown_kind(self, cost_model):
+        with pytest.raises(ParameterError):
+            cost_model.ledger_for("reboot", 5)
+        with pytest.raises(ParameterError):
+            cost_model.hop_bits("evict", -1)
+
+
+class TestGroupKeyManager:
+    def make(self, n=5, seed=0) -> GroupKeyManager:
+        return GroupKeyManager(range(n), rng=np.random.default_rng(seed))
+
+    def test_initial_agreement(self):
+        mgr = self.make()
+        assert mgr.members == (0, 1, 2, 3, 4)
+        assert mgr.key_version == 1
+        assert mgr.current_key > 0
+
+    def test_join_changes_key(self):
+        mgr = self.make()
+        old = mgr.current_key
+        op = mgr.join(99)
+        assert mgr.current_key != old  # backward secrecy
+        assert 99 in mgr.members
+        assert op.kind == "join"
+        assert mgr.key_version == 2
+
+    def test_evict_changes_key_and_removes(self):
+        mgr = self.make()
+        old = mgr.current_key
+        mgr.evict(3)
+        assert 3 not in mgr.members
+        assert mgr.current_key != old  # forward secrecy
+        assert not mgr.was_member_key(mgr.current_key + 1)
+        assert mgr.was_member_key(old)
+
+    def test_duplicate_join_rejected(self):
+        mgr = self.make()
+        with pytest.raises(ProtocolError):
+            mgr.join(2)
+
+    def test_remove_unknown_rejected(self):
+        mgr = self.make()
+        with pytest.raises(ProtocolError):
+            mgr.leave(42)
+
+    def test_cannot_shrink_below_two(self):
+        mgr = self.make(3)
+        mgr.leave(0)
+        with pytest.raises(ProtocolError):
+            mgr.leave(1)
+
+    def test_partition_and_merge(self):
+        mgr = self.make(6, seed=1)
+        key_before = mgr.current_key
+        other = mgr.partition([4, 5])
+        assert mgr.members == (0, 1, 2, 3)
+        assert other.members == (4, 5)
+        assert mgr.current_key != key_before
+        assert other.current_key != mgr.current_key
+        op = mgr.merge(other)
+        assert op.kind == "merge"
+        assert set(mgr.members) == {0, 1, 2, 3, 4, 5}
+
+    def test_partition_validation(self):
+        mgr = self.make(4)
+        with pytest.raises(ProtocolError):
+            mgr.partition([0])  # departing too small
+        with pytest.raises(ProtocolError):
+            mgr.partition([0, 1, 2])  # staying too small
+        with pytest.raises(ProtocolError):
+            mgr.partition([0, 42])
+
+    def test_merge_overlap_rejected(self):
+        a = self.make(4, seed=2)
+        b = GroupKeyManager([3, 9], rng=np.random.default_rng(3))
+        with pytest.raises(ProtocolError):
+            a.merge(b)
+
+    def test_history_records_operations(self):
+        mgr = self.make()
+        mgr.join(50)
+        mgr.evict(0)
+        kinds = [op.kind for op in mgr.history]
+        assert kinds == ["initial", "join", "evict"]
+
+    def test_cost_model_attached(self):
+        model = RekeyCostModel(
+            NetworkModel.analytic(NetworkParameters()), element_bits=512
+        )
+        mgr = GroupKeyManager(range(4), cost_model=model, rng=np.random.default_rng(4))
+        op = mgr.join(10)
+        assert op.hop_bits > 0
+        assert op.duration_s > 0
+
+    def test_too_small_initial_group(self):
+        with pytest.raises(ProtocolError):
+            GroupKeyManager([1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 12), seed=st.integers(0, 100))
+def test_property_gdh_agreement(n, seed):
+    result = run_gdh2(n, rng=np.random.default_rng(seed))
+    assert len(set(result.member_keys)) == 1
+    assert result.ledger.num_messages == n

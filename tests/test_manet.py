@@ -1,0 +1,258 @@
+"""MANET substrate: geometry, mobility, connectivity, partition rates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.manet import (
+    NetworkModel,
+    RandomWaypointModel,
+    adjacency_matrix,
+    average_hop_count,
+    connected_component_count,
+    connected_components,
+    estimate_partition_merge_rates,
+    pairwise_distances,
+    sample_points_in_disk,
+)
+from repro.manet.connectivity import hop_count_matrix
+from repro.manet.geometry import mean_distance_in_disk
+from repro.params import NetworkParameters
+
+
+class TestGeometry:
+    def test_points_inside_disk(self):
+        pts = sample_points_in_disk(500, 100.0, np.random.default_rng(0))
+        assert pts.shape == (500, 2)
+        assert (np.linalg.norm(pts, axis=1) <= 100.0 + 1e-9).all()
+
+    def test_uniform_in_area(self):
+        # Half the area lies within R/sqrt(2): expect ~50% of points.
+        rng = np.random.default_rng(1)
+        pts = sample_points_in_disk(20000, 1.0, rng)
+        inner = (np.linalg.norm(pts, axis=1) <= 1.0 / math.sqrt(2)).mean()
+        assert inner == pytest.approx(0.5, abs=0.02)
+
+    def test_center_offset(self):
+        pts = sample_points_in_disk(100, 10.0, np.random.default_rng(2), center=(50, -20))
+        assert (np.linalg.norm(pts - [50, -20], axis=1) <= 10.0 + 1e-9).all()
+
+    def test_pairwise_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 8.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[1, 2] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(8.0)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_mean_distance_closed_form(self):
+        rng = np.random.default_rng(3)
+        a = sample_points_in_disk(60000, 1.0, rng)
+        b = sample_points_in_disk(60000, 1.0, rng)
+        empirical = np.linalg.norm(a - b, axis=1).mean()
+        assert mean_distance_in_disk(1.0) == pytest.approx(empirical, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sample_points_in_disk(-1, 1.0)
+        with pytest.raises(ParameterError):
+            sample_points_in_disk(1, 0.0)
+        with pytest.raises(ParameterError):
+            pairwise_distances(np.ones((3, 3)))
+        with pytest.raises(ParameterError):
+            mean_distance_in_disk(-1.0)
+
+
+class TestRandomWaypoint:
+    def small_params(self, **kw) -> NetworkParameters:
+        defaults = dict(num_nodes=20, radius_m=100.0, wireless_range_m=40.0)
+        defaults.update(kw)
+        return NetworkParameters(**defaults)
+
+    def test_positions_stay_in_disk(self):
+        model = RandomWaypointModel(self.small_params(), np.random.default_rng(0))
+        for positions in model.trace(120.0, 1.0):
+            assert (np.linalg.norm(positions, axis=1) <= 100.0 + 1e-6).all()
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypointModel(self.small_params(pause_s=0.0), np.random.default_rng(1))
+        start = model.snapshot()
+        for _ in model.trace(60.0, 1.0):
+            pass
+        moved = np.linalg.norm(model.positions - start, axis=1)
+        assert (moved > 1.0).mean() > 0.9
+
+    def test_pause_halts_movement(self):
+        params = self.small_params(pause_s=1e9)  # effectively forever
+        model = RandomWaypointModel(params, np.random.default_rng(2))
+        # Drive every node to arrival by stepping far.
+        model.step(1e6)
+        frozen = model.snapshot()
+        model.step(10.0)
+        np.testing.assert_allclose(model.positions, frozen)
+
+    def test_speed_bounds_respected(self):
+        params = self.small_params(speed_min_mps=2.0, speed_max_mps=3.0, pause_s=0.0)
+        model = RandomWaypointModel(params, np.random.default_rng(3))
+        prev = model.snapshot()
+        for positions in model.trace(30.0, 1.0):
+            step = np.linalg.norm(positions - prev, axis=1)
+            assert (step <= 3.0 + 1e-9).all()
+            prev = positions.copy()
+
+    def test_deterministic_given_seed(self):
+        a = RandomWaypointModel(self.small_params(), np.random.default_rng(7))
+        b = RandomWaypointModel(self.small_params(), np.random.default_rng(7))
+        for _ in range(20):
+            a.step(1.0)
+            b.step(1.0)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_time_tracked(self):
+        model = RandomWaypointModel(self.small_params(), np.random.default_rng(0))
+        model.step(2.5)
+        model.step(2.5)
+        assert model.time_s == pytest.approx(5.0)
+
+    def test_validation(self):
+        model = RandomWaypointModel(self.small_params(), np.random.default_rng(0))
+        with pytest.raises(ParameterError):
+            model.step(0.0)
+        with pytest.raises(ParameterError):
+            list(model.trace(-5.0, 1.0))
+
+
+class TestConnectivity:
+    def line_positions(self, n: int, spacing: float) -> np.ndarray:
+        return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+    def test_adjacency_by_range(self):
+        pts = self.line_positions(3, 10.0)
+        adj = adjacency_matrix(pts, 10.0)
+        assert adj[0, 1] and adj[1, 2]
+        assert not adj[0, 2]
+        assert not adj.diagonal().any()
+
+    def test_connected_components_line(self):
+        pts = self.line_positions(5, 10.0)
+        assert connected_component_count(pts, 10.0) == 1
+        assert connected_component_count(pts, 9.0) == 5
+
+    def test_two_clusters(self):
+        pts = np.vstack([self.line_positions(3, 5.0), self.line_positions(3, 5.0) + [1000, 0]])
+        labels = connected_components(pts, 10.0)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_hop_counts_line(self):
+        pts = self.line_positions(4, 10.0)
+        hops = hop_count_matrix(pts, 10.0)
+        assert hops[0, 3] == 3
+        assert hops[0, 1] == 1
+
+    def test_average_hop_count_line(self):
+        pts = self.line_positions(3, 10.0)
+        # Pairs: (0,1)=1, (1,2)=1, (0,2)=2 -> mean 4/3.
+        assert average_hop_count(pts, 10.0) == pytest.approx(4 / 3)
+
+    def test_average_hop_count_disconnected_pairs_excluded(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [1000.0, 0.0]])
+        assert average_hop_count(pts, 10.0) == pytest.approx(1.0)
+
+    def test_no_connected_pairs(self):
+        pts = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        assert math.isnan(average_hop_count(pts, 10.0))
+
+    def test_bad_range(self):
+        with pytest.raises(ParameterError):
+            adjacency_matrix(np.zeros((2, 2)), 0.0)
+
+
+class TestPartitionEstimation:
+    def test_dense_network_rarely_partitions(self):
+        params = NetworkParameters(num_nodes=40, radius_m=300.0, wireless_range_m=250.0)
+        est = estimate_partition_merge_rates(
+            params, duration_s=400.0, dt_s=2.0, rng=np.random.default_rng(0)
+        )
+        assert est.mean_groups < 1.3
+        assert est.mean_hop_count >= 1.0
+        assert est.samples == 200
+
+    def test_sparse_network_partitions_often(self):
+        params = NetworkParameters(num_nodes=12, radius_m=600.0, wireless_range_m=120.0)
+        est = estimate_partition_merge_rates(
+            params, duration_s=400.0, dt_s=2.0, rng=np.random.default_rng(1)
+        )
+        assert est.mean_groups > 1.5
+        assert est.partition_rate_hz > 0.0
+        assert est.max_groups_seen >= 2
+
+    def test_describe(self):
+        params = NetworkParameters(num_nodes=10, radius_m=200.0, wireless_range_m=150.0)
+        est = estimate_partition_merge_rates(
+            params, duration_s=60.0, dt_s=2.0, rng=np.random.default_rng(2)
+        )
+        assert "partition=" in est.describe()
+
+    def test_validation(self):
+        params = NetworkParameters(num_nodes=5)
+        with pytest.raises(ParameterError):
+            estimate_partition_merge_rates(params, duration_s=0.0)
+        with pytest.raises(ParameterError):
+            estimate_partition_merge_rates(params, duration_s=10.0, dt_s=1.0, hop_sample_every=0)
+
+
+class TestNetworkModel:
+    def test_analytic_hops_scale_with_arena(self):
+        small = NetworkModel.analytic(NetworkParameters(radius_m=200.0))
+        large = NetworkModel.analytic(NetworkParameters(radius_m=2000.0))
+        assert large.avg_hops > small.avg_hops
+        assert small.avg_hops >= 1.0
+
+    def test_cost_primitives(self):
+        net = NetworkModel.analytic(NetworkParameters())
+        assert net.unicast_cost_bits(1000.0) == pytest.approx(1000.0 * net.avg_hops)
+        assert net.flood_cost_bits(1000.0, 50) == pytest.approx(50000.0)
+        assert net.neighborhood_cost_bits(64.0) == 64.0
+        assert net.transmission_time_s(1e6) == pytest.approx(1.0)
+
+    def test_from_mobility(self):
+        params = NetworkParameters(num_nodes=15, radius_m=300.0, wireless_range_m=200.0)
+        net = NetworkModel.from_mobility(
+            params, duration_s=120.0, dt_s=2.0, rng=np.random.default_rng(5)
+        )
+        assert net.measured
+        assert net.avg_hops >= 1.0
+        assert "measured" in net.describe()
+
+    def test_validation(self):
+        net = NetworkModel.analytic(NetworkParameters())
+        with pytest.raises(ParameterError):
+            net.unicast_cost_bits(-1.0)
+        with pytest.raises(ParameterError):
+            net.flood_cost_bits(10.0, -1)
+        with pytest.raises(ParameterError):
+            NetworkModel(NetworkParameters(), avg_hops=0.5, partition_rate_hz=0.0, merge_rate_hz=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(2, 30))
+def test_property_components_partition_nodes(seed, n):
+    rng = np.random.default_rng(seed)
+    pts = sample_points_in_disk(n, 100.0, rng)
+    labels = connected_components(pts, 30.0)
+    assert labels.shape == (n,)
+    k = connected_component_count(pts, 30.0)
+    assert set(labels) == set(range(k))
+    # Adjacent nodes always share a component.
+    adj = adjacency_matrix(pts, 30.0)
+    for i in range(n):
+        for j in range(n):
+            if adj[i, j]:
+                assert labels[i] == labels[j]

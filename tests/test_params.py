@@ -1,0 +1,183 @@
+"""Parameter bundles: validation, presets, ergonomic replacement."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro import constants as C
+from repro.errors import ParameterError
+from repro.params import (
+    AttackParameters,
+    DetectionParameters,
+    GCSParameters,
+    GroupDynamicsParameters,
+    NetworkParameters,
+    WorkloadParameters,
+)
+
+
+class TestNetworkParameters:
+    def test_defaults_match_paper(self):
+        net = NetworkParameters()
+        assert net.num_nodes == 100
+        assert net.radius_m == 500.0
+        assert net.bandwidth_bps == 1e6
+
+    def test_area_and_density(self):
+        net = NetworkParameters(num_nodes=10, radius_m=100.0)
+        assert net.area_m2 == pytest.approx(math.pi * 1e4)
+        assert net.node_density_per_m2 == pytest.approx(10 / (math.pi * 1e4))
+
+    def test_speed_ordering_enforced(self):
+        with pytest.raises(ParameterError):
+            NetworkParameters(speed_min_mps=5.0, speed_max_mps=1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_nodes", 0),
+            ("radius_m", -1.0),
+            ("wireless_range_m", 0.0),
+            ("bandwidth_bps", 0.0),
+            ("pause_s", -2.0),
+            ("beacon_interval_s", 0.0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ParameterError):
+            NetworkParameters(**{field: value})
+
+
+class TestWorkloadParameters:
+    def test_defaults_match_paper(self):
+        w = WorkloadParameters()
+        assert w.join_rate_hz == pytest.approx(1 / 3600)
+        assert w.leave_rate_hz == pytest.approx(1 / 14400)
+        assert w.data_rate_hz == pytest.approx(1 / 60)
+
+    def test_data_rate_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            WorkloadParameters(data_rate_hz=0.0)
+
+
+class TestAttackParameters:
+    def test_defaults(self):
+        a = AttackParameters()
+        assert a.attacker_function == "linear"
+        assert a.base_compromise_rate_hz == pytest.approx(1 / 43200)
+
+    def test_function_name_validated(self):
+        with pytest.raises(ParameterError):
+            AttackParameters(attacker_function="quadratic")
+
+    def test_base_index_must_exceed_one(self):
+        with pytest.raises(ParameterError):
+            AttackParameters(base_index_p=1.0)
+
+
+class TestDetectionParameters:
+    def test_majority(self):
+        assert DetectionParameters(num_voters=5).majority == 3
+        assert DetectionParameters(num_voters=9).majority == 5
+
+    def test_even_voters_rejected(self):
+        with pytest.raises(ParameterError):
+            DetectionParameters(num_voters=4)
+
+    def test_probability_domains(self):
+        with pytest.raises(ParameterError):
+            DetectionParameters(host_false_negative=1.5)
+        with pytest.raises(ParameterError):
+            DetectionParameters(host_false_positive=-0.1)
+
+    def test_interval_positive(self):
+        with pytest.raises(ParameterError):
+            DetectionParameters(detection_interval_s=0.0)
+
+
+class TestGroupDynamicsParameters:
+    def test_explicit_rates_flag(self):
+        g = GroupDynamicsParameters(partition_rate_hz=0.001, merge_rate_hz=0.01)
+        assert g.has_explicit_rates
+        assert not GroupDynamicsParameters().has_explicit_rates
+
+    def test_merge_rate_positive_when_given(self):
+        with pytest.raises(ParameterError):
+            GroupDynamicsParameters(merge_rate_hz=0.0)
+
+
+class TestGCSParameters:
+    def test_paper_defaults(self):
+        p = GCSParameters.paper_defaults()
+        assert p.num_nodes == 100
+        assert p.num_voters == 5
+        assert p.tids_s == 60.0
+        assert p.attack.attacker_function == "linear"
+
+    def test_small_test_preset(self):
+        p = GCSParameters.small_test()
+        assert p.num_nodes == 12
+        assert p.groups.has_explicit_rates
+
+    def test_replacing_leaf_fields(self):
+        p = GCSParameters.paper_defaults()
+        q = p.replacing(num_nodes=50, detection_interval_s=120.0, num_voters=7)
+        assert q.num_nodes == 50
+        assert q.tids_s == 120.0
+        assert q.num_voters == 7
+        # Original untouched (frozen dataclasses).
+        assert p.num_nodes == 100
+
+    def test_replacing_bundle(self):
+        p = GCSParameters.paper_defaults()
+        q = p.replacing(workload=WorkloadParameters(data_rate_hz=1.0))
+        assert q.workload.data_rate_hz == 1.0
+
+    def test_replacing_shared_field_applies_to_both(self):
+        p = GCSParameters.paper_defaults()
+        q = p.replacing(base_index_p=2.0)
+        assert q.attack.base_index_p == 2.0
+        assert q.detection.base_index_p == 2.0
+
+    def test_replacing_prefixed_fields(self):
+        p = GCSParameters.paper_defaults()
+        q = p.replacing(attack_base_index_p=2.5)
+        assert q.attack.base_index_p == 2.5
+        assert q.detection.base_index_p == 3.0
+
+    def test_replacing_alias(self):
+        q = GCSParameters.paper_defaults().replacing(num_voters_m=9)
+        assert q.num_voters == 9
+
+    def test_replacing_unknown_rejected(self):
+        with pytest.raises(ParameterError):
+            GCSParameters.paper_defaults().replacing(warp_speed=9)
+
+    def test_paper_defaults_with_overrides(self):
+        p = GCSParameters.paper_defaults(detection_interval_s=15.0)
+        assert p.tids_s == 15.0
+
+    def test_to_dict_roundtrippable(self):
+        d = GCSParameters.paper_defaults().to_dict()
+        assert d["network"]["num_nodes"] == 100
+        assert d["detection"]["num_voters"] == 5
+
+    def test_describe(self):
+        text = GCSParameters.paper_defaults().describe()
+        assert "N=100" in text and "m=5" in text
+
+    def test_frozen(self):
+        p = GCSParameters.paper_defaults()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.network = NetworkParameters()  # type: ignore[misc]
+
+
+class TestConstants:
+    def test_grids(self):
+        assert C.PAPER_TIDS_GRID_S[0] == 5
+        assert C.PAPER_TIDS_GRID_COST_S[0] == 30
+        assert C.PAPER_M_VALUES == (3, 5, 7, 9)
+
+    def test_byzantine_threshold(self):
+        assert C.BYZANTINE_FRACTION == pytest.approx(1 / 3)

@@ -1,0 +1,72 @@
+"""ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis.figures import DataSeries
+from repro.analysis.plots import ascii_plot
+from repro.errors import ParameterError
+
+
+def demo_series() -> DataSeries:
+    return DataSeries.build(
+        "demo",
+        "TIDS_s",
+        [5, 50, 500],
+        "MTTSF_s",
+        {"a": [1e5, 1e6, 2e5], "b": [5e4, 3e5, 4e5]},
+    )
+
+
+class TestAsciiPlot:
+    def test_contains_axes_and_legend(self):
+        out = ascii_plot(demo_series())
+        assert "legend: o=a  x=b" in out
+        assert "TIDS_s" in out
+        assert "|" in out and "+" in out
+
+    def test_glyphs_present(self):
+        out = ascii_plot(demo_series())
+        assert "o" in out and "x" in out
+
+    def test_title_override(self):
+        out = ascii_plot(demo_series(), title="Custom Title")
+        assert out.splitlines()[0] == "Custom Title"
+
+    def test_linear_axes(self):
+        s = DataSeries.build("lin", "x", [0, 1, 2], "y", {"a": [0.0, 1.0, 4.0]})
+        out = ascii_plot(s, log_x=False, log_y=False)
+        assert "legend" in out
+
+    def test_log_rejects_nonpositive(self):
+        s = DataSeries.build("bad", "x", [1, 2], "y", {"a": [0.0, 1.0]})
+        with pytest.raises(ParameterError):
+            ascii_plot(s)
+        # Works with the log axis disabled.
+        assert ascii_plot(s, log_y=False)
+
+    def test_dimensions(self):
+        out = ascii_plot(demo_series(), width=40, height=10)
+        body_lines = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(body_lines) == 10
+        with pytest.raises(ParameterError):
+            ascii_plot(demo_series(), width=5)
+
+    def test_too_many_series(self):
+        s = DataSeries.build(
+            "many", "x", [1], "y", {f"s{i}": [1.0] for i in range(9)}
+        )
+        with pytest.raises(ParameterError):
+            ascii_plot(s)
+
+    def test_constant_series_does_not_crash(self):
+        s = DataSeries.build("flat", "x", [1, 2], "y", {"a": [5.0, 5.0]})
+        assert ascii_plot(s)
+
+
+class TestCliPlotFlag:
+    def test_run_with_plot(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "scale", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

@@ -1,0 +1,117 @@
+"""GCS simulator: analytic agreement, protocol mode, runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.core.metrics import resolve_network
+from repro.errors import ParameterError
+from repro.params import GCSParameters
+from repro.sim import GCSSimulator, compare_with_model, run_replications
+
+
+@pytest.fixture(scope="module")
+def params() -> GCSParameters:
+    return GCSParameters.small_test()
+
+
+@pytest.fixture(scope="module")
+def network(params):
+    return resolve_network(params)
+
+
+class TestRatesMode:
+    def test_matches_analytic_mttsf(self, params):
+        cmp = compare_with_model(params, replications=300, mode="rates", seed=11)
+        # 300 replications: CI half-width ~ 5%; require containment or
+        # very close means (guards against systematic bias, tolerates
+        # unlucky seeds).
+        assert cmp.mttsf_within_ci or cmp.mttsf_relative_error < 0.08
+
+    def test_matches_analytic_cost(self, params):
+        cmp = compare_with_model(params, replications=200, mode="rates", seed=5)
+        assert cmp.cost_relative_error < 0.05
+
+    def test_failure_modes_match_absorption_split(self, params):
+        summary = run_replications(params, replications=400, mode="rates", seed=3)
+        analytic = evaluate(params)
+        frac = summary.failure_mode_fractions
+        for mode, p in analytic.failure_probabilities.items():
+            observed = frac.get(mode, 0.0)
+            sigma = np.sqrt(max(p * (1 - p), 1e-6) / 400)
+            assert abs(observed - p) < 5 * sigma + 0.01
+
+    def test_deterministic_given_seed(self, params, network):
+        sim = GCSSimulator(params, network, mode="rates")
+        a = sim.run_mission(np.random.default_rng(9)).ttsf_s
+        b = sim.run_mission(np.random.default_rng(9)).ttsf_s
+        assert a == b
+
+    def test_censoring(self, params, network):
+        sim = GCSSimulator(params, network, mode="rates", max_time_s=10.0)
+        record = sim.run_mission(np.random.default_rng(0))
+        assert record.failure_mode == "censored"
+        assert record.ttsf_s == 10.0
+
+    def test_event_counters_consistent(self, params, network):
+        sim = GCSSimulator(params, network, mode="rates")
+        r = sim.run_mission(np.random.default_rng(21))
+        if r.failure_mode == "c1_data_leak":
+            assert r.num_leak_attempts >= 1
+        # Detections never exceed compromises.
+        assert r.num_detections <= r.num_compromises
+
+
+class TestProtocolMode:
+    def test_same_ballpark_as_analytic(self, params):
+        # Batch sweeps differ from per-node exponential detection; demand
+        # order-of-magnitude agreement, not CI containment.
+        summary = run_replications(params, replications=25, mode="protocol", seed=2)
+        analytic = evaluate(params)
+        ratio = summary.ttsf.mean / analytic.mttsf_s
+        assert 0.3 < ratio < 3.0
+
+    def test_mission_record_counters(self, params, network):
+        sim = GCSSimulator(params, network, mode="protocol")
+        r = sim.run_mission(np.random.default_rng(4))
+        assert r.ttsf_s > 0
+        assert r.failure_mode in ("c1_data_leak", "c2_byzantine", "depletion")
+        assert r.accumulated_cost_hop_bits > 0
+
+    def test_no_ids_means_leak_failure(self, params, network):
+        # Astronomically long detection interval: the only failure
+        # channels are C1 leak or C2 accumulation.
+        p = params.replacing(detection_interval_s=1e9)
+        sim = GCSSimulator(p, network, mode="protocol")
+        r = sim.run_mission(np.random.default_rng(6))
+        assert r.failure_mode in ("c1_data_leak", "c2_byzantine")
+        assert r.num_detections == 0 or r.num_false_evictions >= 0
+
+
+class TestRunner:
+    def test_summary_statistics(self, params):
+        s = run_replications(params, replications=20, mode="rates", seed=1)
+        assert s.num_replications == 20
+        assert s.ttsf.count == 20
+        assert sum(s.failure_mode_fractions.values()) == pytest.approx(1.0)
+        assert "TTSF" in s.describe()
+
+    def test_all_censored_raises(self, params):
+        with pytest.raises(ParameterError):
+            run_replications(
+                params, replications=5, mode="rates", seed=0, max_time_s=1e-3
+            )
+
+    def test_invalid_arguments(self, params, network):
+        with pytest.raises(ParameterError):
+            GCSSimulator(params, network, mode="magic")
+        with pytest.raises(ParameterError):
+            GCSSimulator(params, network, max_time_s=0.0)
+        with pytest.raises(ParameterError):
+            run_replications(params, replications=0)
+
+    def test_comparison_report(self, params):
+        cmp = compare_with_model(params, replications=10, mode="rates", seed=8)
+        text = cmp.describe()
+        assert "analytic MTTSF" in text
+        assert cmp.analytic.mttsf_s > 0

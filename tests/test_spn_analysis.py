@@ -1,0 +1,201 @@
+"""Reachability, CTMC compilation, end-to-end SPN analysis, DOT export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, StateSpaceError
+from repro.spn import (
+    StochasticPetriNet,
+    analyze_spn,
+    build_ctmc,
+    explore,
+    indicator_reward,
+    net_to_dot,
+    reachability_to_dot,
+    reward_vector,
+)
+
+
+def pure_death_net(n: int, lam: float) -> StochasticPetriNet:
+    """N tokens dying at rate lam each (rate lam * #P)."""
+    net = StochasticPetriNet("death")
+    net.add_place("P", tokens=n)
+    net.add_transition("die", inputs={"P": 1}, rate=lambda m: lam * m["P"])
+    return net
+
+
+class TestReachability:
+    def test_pure_death_state_count(self):
+        graph = explore(pure_death_net(5, 1.0))
+        assert graph.num_states == 6  # 5,4,3,2,1,0 tokens
+        assert graph.dead_states == [graph.index[(0,)]]
+
+    def test_edges_carry_marking_dependent_rates(self):
+        graph = explore(pure_death_net(3, 2.0))
+        flow = dict(
+            ((graph.markings[s][0]), r) for s, _, r in graph.transition_flow("die")
+        )
+        assert flow == {3: 6.0, 2: 4.0, 1: 2.0}
+
+    def test_max_states_bound(self):
+        net = StochasticPetriNet("unbounded")
+        net.add_place("P", tokens=1)
+        net.add_transition("grow", inputs={"P": 1}, outputs={"P": 2}, rate=1.0)
+        with pytest.raises(StateSpaceError):
+            explore(net, max_states=50)
+
+    def test_custom_initial_marking(self):
+        net = pure_death_net(5, 1.0)
+        graph = explore(net, initial=(2,))
+        assert graph.num_states == 3
+
+    def test_states_where(self):
+        graph = explore(pure_death_net(4, 1.0))
+        low = graph.states_where(lambda m: m["P"] <= 1)
+        assert sorted(graph.markings[i][0] for i in low) == [0, 1]
+
+    def test_invalid_initial_length(self):
+        net = pure_death_net(3, 1.0)
+        with pytest.raises(ModelError):
+            explore(net, initial=(1, 2))
+
+
+class TestBuildCtmc:
+    def test_chain_structure(self):
+        chain, graph = build_ctmc(pure_death_net(3, 1.5))
+        assert chain.num_states == graph.num_states
+        assert chain.labels == graph.markings
+        i3, i2 = graph.index[(3,)], graph.index[(2,)]
+        assert chain.rates[i3, i2] == pytest.approx(4.5)
+
+    def test_parallel_transitions_summed(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=1)
+        net.add_place("B")
+        net.add_transition("t1", inputs={"A": 1}, outputs={"B": 1}, rate=1.0)
+        net.add_transition("t2", inputs={"A": 1}, outputs={"B": 1}, rate=2.5)
+        chain, graph = build_ctmc(net)
+        a, b = graph.index[(1, 0)], graph.index[(0, 1)]
+        assert chain.rates[a, b] == pytest.approx(3.5)
+
+    def test_accepts_prebuilt_graph(self):
+        graph = explore(pure_death_net(2, 1.0))
+        chain, graph2 = build_ctmc(graph)
+        assert graph2 is graph
+        assert chain.num_states == 3
+
+
+class TestAnalyzeSpn:
+    def test_pure_death_mtta_harmonic(self):
+        n, lam = 6, 0.5
+        analysis = analyze_spn(pure_death_net(n, lam))
+        expected = sum(1.0 / (lam * k) for k in range(1, n + 1))
+        assert analysis.mtta == pytest.approx(expected, rel=1e-10)
+        assert analysis.solution.method == "acyclic"
+
+    def test_tandem_stages(self):
+        net = StochasticPetriNet("tandem")
+        net.add_place("A", tokens=1)
+        net.add_place("B")
+        net.add_place("C")
+        net.add_transition("ab", inputs={"A": 1}, outputs={"B": 1}, rate=2.0)
+        net.add_transition("bc", inputs={"B": 1}, outputs={"C": 1}, rate=4.0)
+        analysis = analyze_spn(net)
+        assert analysis.mtta == pytest.approx(0.5 + 0.25)
+
+    def test_rewards_and_lifetime_average(self):
+        # Reward = token count; accumulated = sum over k of k * 1/(lam k)
+        # = n / lam; lifetime average = n / (lam * H_n / lam) = n / H_n.
+        n, lam = 5, 2.0
+        analysis = analyze_spn(
+            pure_death_net(n, lam), rewards={"tokens": lambda m: float(m["P"])}
+        )
+        harmonic = sum(1.0 / k for k in range(1, n + 1))
+        assert analysis.expected_reward("tokens") == pytest.approx(n / lam)
+        assert analysis.lifetime_average("tokens") == pytest.approx(n / harmonic)
+
+    def test_absorbing_classes_by_predicate(self):
+        # Race: a token may die (leaving P empty) or be promoted to Q.
+        net = StochasticPetriNet("race")
+        net.add_place("P", tokens=1)
+        net.add_place("Q")
+        net.add_transition("die", inputs={"P": 1}, rate=1.0)
+        net.add_transition("promote", inputs={"P": 1}, outputs={"Q": 1}, rate=3.0)
+        analysis = analyze_spn(
+            net,
+            absorbing_classes={
+                "died": lambda m: m["Q"] == 0,
+                "promoted": lambda m: m["Q"] == 1,
+            },
+        )
+        assert analysis.absorption_probability("died") == pytest.approx(0.25)
+        assert analysis.absorption_probability("promoted") == pytest.approx(0.75)
+
+    def test_guard_creates_absorbing_state(self):
+        # Guard freezes the net once P drops below 2: states with P<2 dead.
+        net = StochasticPetriNet("guarded")
+        net.add_place("P", tokens=3)
+        net.add_transition(
+            "die", inputs={"P": 1}, rate=1.0, guard=lambda m: m["P"] >= 2
+        )
+        analysis = analyze_spn(net)
+        # Two firings possible (3->2->1), each Exp(1).
+        assert analysis.mtta == pytest.approx(2.0)
+
+    def test_tau_of_specific_marking(self):
+        analysis = analyze_spn(pure_death_net(4, 1.0))
+        assert analysis.tau_of((2,)) == pytest.approx(1.0 / 2 + 1.0)
+        with pytest.raises(ModelError):
+            analysis.tau_of((99,))
+
+
+class TestRewardVector:
+    def test_values_align_with_states(self):
+        graph = explore(pure_death_net(3, 1.0))
+        vec = reward_vector(graph, lambda m: 10.0 * m["P"])
+        for i, marking in enumerate(graph.markings):
+            assert vec[i] == 10.0 * marking[0]
+
+    def test_indicator(self):
+        graph = explore(pure_death_net(3, 1.0))
+        vec = indicator_reward(graph, lambda m: m["P"] % 2 == 0)
+        for i, marking in enumerate(graph.markings):
+            assert vec[i] == float(marking[0] % 2 == 0)
+
+    def test_nonfinite_reward_raises(self):
+        graph = explore(pure_death_net(2, 1.0))
+        with pytest.raises(ModelError):
+            reward_vector(graph, lambda m: float("inf"))
+
+
+class TestDotExport:
+    def test_net_dot_contains_elements(self):
+        dot = net_to_dot(pure_death_net(2, 1.0))
+        assert "digraph" in dot
+        assert '"p_P"' in dot
+        assert '"t_die"' in dot
+
+    def test_reachability_dot(self):
+        graph = explore(pure_death_net(2, 1.0))
+        dot = reachability_to_dot(graph)
+        assert dot.count("->") == 2
+        assert "doublecircle" in dot  # dead state styling
+
+    def test_reachability_dot_size_guard(self):
+        graph = explore(pure_death_net(30, 1.0))
+        with pytest.raises(ValueError):
+            reachability_to_dot(graph, max_states=10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    lam=st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+)
+def test_property_death_chain_mtta(n, lam):
+    """Property: SPN pipeline reproduces the harmonic closed form."""
+    analysis = analyze_spn(pure_death_net(n, lam))
+    expected = sum(1.0 / (lam * k) for k in range(1, n + 1))
+    assert analysis.mtta == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,181 @@
+"""SPN structures: places, transitions, markings, enabling, firing."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spn import Place, StochasticPetriNet, Transition
+from repro.spn.marking import MarkingView, marking_from
+
+
+def small_net() -> StochasticPetriNet:
+    net = StochasticPetriNet("toy")
+    net.add_place("A", tokens=2)
+    net.add_place("B")
+    net.add_transition("move", inputs={"A": 1}, outputs={"B": 1}, rate=3.0)
+    return net
+
+
+class TestPlace:
+    def test_valid(self):
+        p = Place("Tm", 100)
+        assert p.name == "Tm"
+        assert p.initial_tokens == 100
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(Exception):
+            Place("Tm", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Place("", 0)
+
+
+class TestTransition:
+    def test_constant_rate_must_be_positive(self):
+        with pytest.raises(ModelError):
+            Transition("t", rate=0.0)
+        with pytest.raises(ModelError):
+            Transition("t", rate=-1.0)
+
+    def test_bad_multiplicity_rejected(self):
+        with pytest.raises(ModelError):
+            Transition("t", inputs={"A": 0})
+        with pytest.raises(ModelError):
+            Transition("t", outputs={"A": -2})
+
+    def test_callable_rate_evaluated_on_marking(self):
+        net = small_net()
+        net.add_transition("dyn", inputs={"A": 1}, rate=lambda m: 0.5 * m["A"])
+        enabled = dict(
+            (t.name, r) for t, r in net.enabled_transitions(net.initial_marking)
+        )
+        assert enabled["dyn"] == pytest.approx(1.0)
+
+
+class TestNetConstruction:
+    def test_duplicate_place_rejected(self):
+        net = StochasticPetriNet()
+        net.add_place("A")
+        with pytest.raises(ModelError):
+            net.add_place("A")
+
+    def test_duplicate_transition_rejected(self):
+        net = small_net()
+        with pytest.raises(ModelError):
+            net.add_transition("move", inputs={"A": 1})
+
+    def test_unknown_place_in_arc_rejected(self):
+        net = StochasticPetriNet()
+        net.add_place("A")
+        with pytest.raises(ModelError):
+            net.add_transition("t", inputs={"Z": 1})
+
+    def test_lookup(self):
+        net = small_net()
+        assert net.place("A").initial_tokens == 2
+        assert net.transition("move").rate == 3.0
+        with pytest.raises(ModelError):
+            net.place("nope")
+        with pytest.raises(ModelError):
+            net.transition("nope")
+
+
+class TestMarkingMachinery:
+    def test_initial_marking(self):
+        net = small_net()
+        assert net.initial_marking == (2, 0)
+
+    def test_marking_kwargs(self):
+        net = small_net()
+        assert net.marking(A=1, B=5) == (1, 5)
+        assert net.marking(B=3) == (0, 3)
+
+    def test_marking_unknown_place(self):
+        net = small_net()
+        with pytest.raises(ModelError):
+            net.marking(Z=1)
+
+    def test_marking_negative_rejected(self):
+        with pytest.raises(ModelError):
+            marking_from(["A"], {"A": -1})
+
+    def test_view_access(self):
+        net = small_net()
+        view = net.view((2, 0))
+        assert view["A"] == 2
+        assert view["B"] == 0
+        assert view.total() == 2
+        assert "A" in view and "Z" not in view
+        assert view.as_dict() == {"A": 2, "B": 0}
+        assert len(view) == 2
+        assert sorted(view) == ["A", "B"]
+
+    def test_view_unknown_place(self):
+        net = small_net()
+        with pytest.raises(ModelError):
+            net.view((2, 0))["Z"]
+
+    def test_view_wrong_length(self):
+        net = small_net()
+        with pytest.raises(ModelError):
+            net.view((1, 2, 3))
+
+    def test_view_is_mapping(self):
+        view = MarkingView({"A": 0}, (7,))
+        assert dict(view) == {"A": 7}
+
+
+class TestEnablingAndFiring:
+    def test_enabled_when_tokens_available(self):
+        net = small_net()
+        enabled = net.enabled_transitions((2, 0))
+        assert [(t.name, r) for t, r in enabled] == [("move", 3.0)]
+
+    def test_disabled_without_tokens(self):
+        net = small_net()
+        assert net.enabled_transitions((0, 2)) == []
+
+    def test_guard_disables(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=1)
+        net.add_transition(
+            "t", inputs={"A": 1}, rate=1.0, guard=lambda m: m["A"] > 1
+        )
+        assert net.enabled_transitions((1,)) == []
+
+    def test_zero_dynamic_rate_disables(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=1)
+        net.add_transition("t", inputs={"A": 1}, rate=lambda m: 0.0)
+        assert net.enabled_transitions((1,)) == []
+
+    def test_nonfinite_rate_raises(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=1)
+        net.add_transition("t", inputs={"A": 1}, rate=lambda m: float("nan"))
+        with pytest.raises(ModelError):
+            net.enabled_transitions((1,))
+
+    def test_fire_moves_tokens(self):
+        net = small_net()
+        t = net.transition("move")
+        assert net.fire((2, 0), t) == (1, 1)
+
+    def test_fire_multiplicity(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=3)
+        net.add_place("B")
+        t = net.add_transition("t", inputs={"A": 2}, outputs={"B": 1})
+        assert net.fire((3, 0), t) == (1, 1)
+
+    def test_fire_negative_raises(self):
+        net = small_net()
+        t = net.transition("move")
+        with pytest.raises(ModelError):
+            net.fire((0, 0), t)
+
+    def test_multiplicity_blocks_enabling(self):
+        net = StochasticPetriNet()
+        net.add_place("A", tokens=1)
+        net.add_transition("t", inputs={"A": 2})
+        assert net.enabled_transitions((1,)) == []

@@ -1,0 +1,141 @@
+"""Second-moment / variance of the absorption time (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate
+from repro.ctmc import CTMC, analyze_absorbing
+from repro.errors import ParameterError
+from repro.params import GCSParameters
+
+
+class TestClosedForms:
+    def test_single_exponential(self):
+        lam = 0.4
+        chain = CTMC.from_transitions(2, [(0, 1, lam)])
+        sol = analyze_absorbing(chain, second_moment=True)
+        assert sol.mtta_variance == pytest.approx(1.0 / lam**2)
+        assert sol.mtta_std == pytest.approx(1.0 / lam)
+
+    def test_erlang_variance(self):
+        n, lam = 6, 2.0
+        chain = CTMC.from_transitions(n + 1, [(i, i + 1, lam) for i in range(n)])
+        sol = analyze_absorbing(chain, second_moment=True)
+        assert sol.mtta_variance == pytest.approx(n / lam**2, rel=1e-10)
+
+    def test_competing_exponentials(self):
+        alpha, beta = 1.5, 2.5
+        chain = CTMC.from_transitions(3, [(0, 1, alpha), (0, 2, beta)])
+        sol = analyze_absorbing(chain, second_moment=True)
+        # Time to absorption is Exp(alpha + beta) regardless of target.
+        assert sol.mtta_variance == pytest.approx(1.0 / (alpha + beta) ** 2)
+
+    def test_hyperexponential_mixture(self):
+        # From a mixed initial distribution over two exponential stages.
+        chain = CTMC.from_transitions(3, [(0, 2, 1.0), (1, 2, 4.0)])
+        init = np.array([0.3, 0.7, 0.0])
+        sol = analyze_absorbing(chain, initial=init, second_moment=True)
+        mean = 0.3 * 1.0 + 0.7 * 0.25
+        second = 0.3 * 2.0 + 0.7 * 2.0 / 16.0
+        assert sol.mtta == pytest.approx(mean)
+        assert sol.mtta_variance == pytest.approx(second - mean**2, rel=1e-10)
+
+    def test_not_computed_by_default(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        sol = analyze_absorbing(chain)
+        with pytest.raises(ParameterError):
+            _ = sol.mtta_variance
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(3, 15))
+def test_property_acyclic_and_linear_agree_on_variance(seed, n):
+    rng = np.random.default_rng(seed)
+    transitions = []
+    for i in range(n - 1):
+        j = int(rng.integers(i + 1, n))
+        transitions.append((i, j, float(rng.uniform(0.1, 3.0))))
+        if rng.random() < 0.5:
+            k = int(rng.integers(i + 1, n))
+            transitions.append((i, k, float(rng.uniform(0.1, 3.0))))
+    chain = CTMC.from_transitions(n, transitions)
+    a = analyze_absorbing(chain, method="acyclic", second_moment=True)
+    b = analyze_absorbing(chain, method="linear", second_moment=True)
+    assert a.mtta_variance == pytest.approx(b.mtta_variance, rel=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_variance_matches_monte_carlo(seed):
+    """Exact variance vs empirical variance of sampled trajectories."""
+    rng = np.random.default_rng(seed)
+    # Small random DAG chain.
+    n = 6
+    transitions = []
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if rng.random() < 0.6:
+                transitions.append((i, j, float(rng.uniform(0.2, 2.0))))
+    transitions.append((0, n - 1, 0.1))  # ensure absorption from 0
+    chain = CTMC.from_transitions(n, transitions)
+    sol = analyze_absorbing(chain, second_moment=True)
+
+    R = chain.rates.toarray()
+    q = chain.out_rates
+    samples = []
+    for _ in range(4000):
+        s, t = 0, 0.0
+        while q[s] > 0:
+            t += rng.exponential(1.0 / q[s])
+            s = rng.choice(n, p=R[s] / q[s])
+        samples.append(t)
+    emp_var = float(np.var(samples, ddof=1))
+    # 4000 samples: variance of the sample variance is large; 30% slack.
+    assert emp_var == pytest.approx(sol.mtta_variance, rel=0.3)
+
+
+class TestGCSVariance:
+    def test_evaluate_with_variance(self):
+        params = GCSParameters.small_test()
+        result = evaluate(params, include_variance=True)
+        assert result.mttsf_std_s is not None
+        assert result.mttsf_std_s > 0
+        # Failure times of this model are roughly exponential-ish:
+        # CV should be O(1).
+        assert 0.2 < result.mttsf_cv < 3.0
+        assert "mttsf_std_s" in result.to_dict()
+
+    def test_survival_bound_properties(self):
+        params = GCSParameters.small_test()
+        result = evaluate(params, include_variance=True)
+        # Bound is 0 beyond the mean, monotone decreasing before it.
+        assert result.survival_probability_lower_bound(result.mttsf_s * 2) == 0.0
+        b_early = result.survival_probability_lower_bound(result.mttsf_s * 0.01)
+        b_late = result.survival_probability_lower_bound(result.mttsf_s * 0.9)
+        assert 0.0 <= b_late <= b_early <= 1.0
+        with pytest.raises(ValueError):
+            result.survival_probability_lower_bound(-1.0)
+
+    def test_variance_requires_flag(self):
+        params = GCSParameters.small_test()
+        result = evaluate(params)
+        with pytest.raises(ValueError):
+            _ = result.mttsf_cv
+        with pytest.raises(ValueError):
+            result.survival_probability_lower_bound(10.0)
+
+    def test_variance_unsupported_on_spn_path(self):
+        params = GCSParameters.small_test()
+        with pytest.raises(ParameterError):
+            evaluate(params, method="spn", include_variance=True)
+
+    def test_sim_variance_agreement(self):
+        """The exact std matches the Monte Carlo sample std."""
+        from repro.sim import run_replications
+
+        params = GCSParameters.small_test()
+        result = evaluate(params, include_variance=True)
+        summary = run_replications(params, replications=300, mode="rates", seed=99)
+        assert summary.ttsf.std == pytest.approx(result.mttsf_std_s, rel=0.25)

@@ -1,0 +1,125 @@
+"""Combinatorics vs scipy oracles."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.voting import (
+    binomial_pmf,
+    binomial_tail,
+    hypergeometric_pmf,
+    log_binomial,
+)
+
+
+class TestLogBinomial:
+    def test_small_values(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(0, 0) == pytest.approx(0.0)
+
+    def test_out_of_support(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ParameterError):
+            log_binomial(-1, 0)
+
+    def test_large_values_stable(self):
+        # C(1000, 500) overflows floats; log form must not.
+        assert log_binomial(1000, 500) == pytest.approx(
+            math.lgamma(1001) - 2 * math.lgamma(501), rel=1e-12
+        )
+
+
+class TestBinomialPmf:
+    @pytest.mark.parametrize("n,p", [(0, 0.5), (1, 0.3), (10, 0.01), (25, 0.99)])
+    def test_matches_scipy(self, n, p):
+        for k in range(n + 1):
+            assert binomial_pmf(k, n, p) == pytest.approx(
+                stats.binom.pmf(k, n, p), rel=1e-10, abs=1e-300
+            )
+
+    def test_edge_probabilities(self):
+        assert binomial_pmf(0, 5, 0.0) == 1.0
+        assert binomial_pmf(3, 5, 0.0) == 0.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+        assert binomial_pmf(4, 5, 1.0) == 0.0
+
+    def test_out_of_support(self):
+        assert binomial_pmf(-1, 5, 0.5) == 0.0
+        assert binomial_pmf(6, 5, 0.5) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            binomial_pmf(0, -1, 0.5)
+        with pytest.raises(ParameterError):
+            binomial_pmf(0, 1, 1.5)
+
+
+class TestBinomialTail:
+    @pytest.mark.parametrize("n,p", [(5, 0.2), (12, 0.5), (9, 0.01)])
+    def test_matches_scipy_sf(self, n, p):
+        for k in range(n + 2):
+            assert binomial_tail(k, n, p) == pytest.approx(
+                stats.binom.sf(k - 1, n, p), rel=1e-10, abs=1e-300
+            )
+
+    def test_boundaries(self):
+        assert binomial_tail(0, 5, 0.3) == 1.0
+        assert binomial_tail(-2, 5, 0.3) == 1.0
+        assert binomial_tail(6, 5, 0.3) == 0.0
+
+
+class TestHypergeometricPmf:
+    def test_matches_scipy(self):
+        good, bad, draws = 7, 4, 5
+        rv = stats.hypergeom(good + bad, bad, draws)  # M, n (successes), N
+        for k in range(draws + 1):
+            assert hypergeometric_pmf(k, good, bad, draws) == pytest.approx(
+                rv.pmf(k), rel=1e-10, abs=1e-300
+            )
+
+    def test_support_limits(self):
+        # Cannot draw more bad members than exist, nor more good than exist.
+        assert hypergeometric_pmf(3, 5, 2, 4) == 0.0  # only 2 bad available
+        assert hypergeometric_pmf(0, 1, 5, 3) == 0.0  # needs 3 good, only 1
+
+    def test_degenerate_pool(self):
+        assert hypergeometric_pmf(0, 0, 0, 0) == 1.0
+        assert hypergeometric_pmf(2, 0, 5, 2) == 1.0  # all-bad pool
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            hypergeometric_pmf(0, -1, 2, 1)
+        with pytest.raises(ParameterError):
+            hypergeometric_pmf(0, 2, 2, 5)  # draws > pool
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    good=st.integers(0, 40),
+    bad=st.integers(0, 40),
+    data=st.data(),
+)
+def test_property_hypergeometric_normalised(good, bad, data):
+    draws = data.draw(st.integers(0, good + bad))
+    total = math.fsum(
+        hypergeometric_pmf(k, good, bad, draws) for k in range(draws + 1)
+    )
+    assert total == pytest.approx(1.0, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 30),
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_property_binomial_normalised(n, p):
+    total = math.fsum(binomial_pmf(k, n, p) for k in range(n + 1))
+    assert total == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,138 @@
+"""Operational voting protocol + Monte Carlo agreement with Equation 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.voting import VoteOutcome, VotingErrorModel, VotingProtocol
+
+
+class TestSelectVoters:
+    def test_excludes_target(self):
+        proto = VotingProtocol(3, 0.01, 0.01)
+        rng = np.random.default_rng(0)
+        voters = proto.select_voters(5, list(range(10)), rng)
+        assert 5 not in voters
+        assert len(voters) == 3
+        assert len(set(voters)) == 3
+
+    def test_small_pool_uses_everyone(self):
+        proto = VotingProtocol(7, 0.01, 0.01)
+        voters = proto.select_voters(1, [0, 1, 2], np.random.default_rng(0))
+        assert sorted(voters) == [0, 2]
+
+    def test_empty_pool(self):
+        proto = VotingProtocol(3, 0.01, 0.01)
+        assert proto.select_voters(1, [1], np.random.default_rng(0)) == []
+
+
+class TestCastBallot:
+    def test_colluder_votes_against_good_target(self):
+        proto = VotingProtocol(3, 0.5, 0.5)
+        rng = np.random.default_rng(1)
+        assert proto.cast_ballot(True, False, rng) is True
+        assert proto.cast_ballot(True, True, rng) is False
+
+    def test_perfect_good_voter(self):
+        proto = VotingProtocol(3, 0.0, 0.0)
+        rng = np.random.default_rng(1)
+        assert proto.cast_ballot(False, True, rng) is True
+        assert proto.cast_ballot(False, False, rng) is False
+
+    def test_error_rates_realised(self):
+        proto = VotingProtocol(3, 0.25, 0.1)
+        rng = np.random.default_rng(42)
+        n = 20_000
+        fn = sum(not proto.cast_ballot(False, True, rng) for _ in range(n)) / n
+        fp = sum(proto.cast_ballot(False, False, rng) for _ in range(n)) / n
+        assert fn == pytest.approx(0.25, abs=0.01)
+        assert fp == pytest.approx(0.1, abs=0.01)
+
+
+class TestConductVote:
+    def test_no_quorum_keeps_target(self):
+        proto = VotingProtocol(5, 0.0, 0.0)
+        outcome = proto.conduct_vote(0, False, [0], [], np.random.default_rng(0))
+        assert outcome.evicted is False
+        assert outcome.num_voters == 0
+
+    def test_unanimous_good_vote_evicts_bad_target(self):
+        proto = VotingProtocol(5, 0.0, 0.0)
+        outcome = proto.conduct_vote(
+            9, True, list(range(10)), [9], np.random.default_rng(0)
+        )
+        assert outcome.evicted is True
+        assert outcome.votes_against == 5
+
+    def test_colluders_protect_bad_target(self):
+        proto = VotingProtocol(3, 0.0, 0.0)
+        # All candidate voters are compromised: they vote to keep.
+        outcome = proto.conduct_vote(
+            0, True, [0, 1, 2, 3], [0, 1, 2, 3], np.random.default_rng(0)
+        )
+        assert outcome.evicted is False
+        assert outcome.votes_against == 0
+
+    def test_inconsistent_target_flag_rejected(self):
+        proto = VotingProtocol(3, 0.0, 0.0)
+        with pytest.raises(ParameterError):
+            proto.conduct_vote(0, False, [0, 1, 2, 3], [0], np.random.default_rng(0))
+
+    def test_outcome_metadata(self):
+        proto = VotingProtocol(3, 0.0, 0.0)
+        outcome = proto.conduct_vote(
+            2, True, [0, 1, 2, 3, 4], [2, 3], np.random.default_rng(5)
+        )
+        assert isinstance(outcome, VoteOutcome)
+        assert outcome.target == 2
+        assert outcome.target_compromised is True
+        assert all(b.voter != 2 for b in outcome.ballots)
+        flagged = {b.voter: b.voter_compromised for b in outcome.ballots}
+        for voter, is_bad in flagged.items():
+            assert is_bad == (voter == 3)
+
+
+class TestMonteCarloMatchesEquationOne:
+    """The protocol's eviction frequencies converge to Equation 1."""
+
+    @pytest.mark.parametrize(
+        "good,bad,m", [(8, 2, 3), (10, 3, 5), (6, 5, 5)]
+    )
+    def test_pfp_agreement(self, good, bad, m):
+        p1, p2 = 0.05, 0.15
+        model = VotingErrorModel(m, p1, p2)
+        proto = VotingProtocol(m, p1, p2)
+        rng = np.random.default_rng(123)
+        members = list(range(good + bad))
+        compromised = list(range(good, good + bad))
+        trials = 6000
+        evictions = sum(
+            proto.conduct_vote(0, False, members, compromised, rng).evicted
+            for _ in range(trials)
+        )
+        estimate = evictions / trials
+        exact = model.false_positive_probability(good, bad)
+        # 4-sigma binomial tolerance.
+        sigma = np.sqrt(max(exact * (1 - exact), 1e-6) / trials)
+        assert abs(estimate - exact) < 4 * sigma + 1e-3
+
+    @pytest.mark.parametrize(
+        "good,bad,m", [(8, 2, 3), (10, 3, 5), (4, 4, 5)]
+    )
+    def test_pfn_agreement(self, good, bad, m):
+        p1, p2 = 0.1, 0.05
+        model = VotingErrorModel(m, p1, p2)
+        proto = VotingProtocol(m, p1, p2)
+        rng = np.random.default_rng(321)
+        members = list(range(good + bad))
+        compromised = list(range(good, good + bad))
+        target = compromised[0]
+        trials = 6000
+        kept = sum(
+            not proto.conduct_vote(target, True, members, compromised, rng).evicted
+            for _ in range(trials)
+        )
+        estimate = kept / trials
+        exact = model.false_negative_probability(good, bad)
+        sigma = np.sqrt(max(exact * (1 - exact), 1e-6) / trials)
+        assert abs(estimate - exact) < 4 * sigma + 1e-3
