@@ -28,6 +28,7 @@ Subpackages (see DESIGN.md for the full inventory):
 ``repro.costs``    communication-cost model (Ĉtotal components)
 ``repro.sim``      discrete-event Monte Carlo validation
 ``repro.analysis`` experiment registry (figures + ablations) and CLI
+``repro.engine``   batch evaluation: fingerprints, result cache, executors
 =================  =====================================================
 """
 

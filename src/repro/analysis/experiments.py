@@ -12,11 +12,14 @@ benchmark suite.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
 from .. import constants as C
+from ..core.optimizer import TradeoffPoint
+from ..core.results import GCSResult
 from ..core.scenario import Scenario
+from ..engine.batch import BatchRunner, EvalRequest, run_tids_sweep
 from ..errors import ExperimentError
 from ..params import GCSParameters
 from ..sim.runner import run_replications
@@ -36,10 +39,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs shared by all experiments."""
+    """Knobs shared by all experiments.
+
+    ``runner`` plugs in a :class:`repro.engine.batch.BatchRunner`: every
+    model sweep then goes through its cache + execution backend (the
+    CLI's ``--jobs`` / ``--cache-dir`` flags build one). ``None`` keeps
+    the serial in-process seed path. Both paths evaluate the identical
+    model code, so the produced series are byte-identical.
+    """
 
     quick: bool = True
     seed: int = 0
+    runner: Optional[BatchRunner] = field(default=None, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -118,13 +129,50 @@ def _base_scenario(config: ExperimentConfig, **overrides) -> Scenario:
     return Scenario(params)
 
 
+def _sweep_tids(
+    scenario: Scenario,
+    grid: Sequence[float],
+    config: ExperimentConfig,
+    **overrides,
+) -> list[TradeoffPoint]:
+    """Route a ``TIDS`` sweep through the engine when one is configured.
+
+    Engine and serial path evaluate the same model on the same shared
+    network environment; the engine additionally deduplicates repeated
+    scenario points across figures and can fan out over processes.
+    """
+    if config.runner is not None:
+        return run_tids_sweep(
+            config.runner,
+            scenario.params,
+            grid,
+            network=scenario.network,
+            overrides=overrides,
+        )
+    return scenario.sweep_tids(grid, **overrides)
+
+
+def _evaluate_point(
+    scenario: Scenario, config: ExperimentConfig, **overrides
+) -> GCSResult:
+    """Single-point analogue of :func:`_sweep_tids`."""
+    if config.runner is not None:
+        return config.runner.evaluate(
+            EvalRequest(
+                params=scenario.params.replacing(**overrides),
+                network=scenario.network,
+            )
+        )
+    return scenario.evaluate(**overrides)
+
+
 def _fig2(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     scenario = _base_scenario(config)
     grid = config.tids_grid
     series: dict[str, list[float]] = {}
     notes: list[str] = []
     for m in config.m_values:
-        points = scenario.sweep_tids(grid, num_voters=m)
+        points = _sweep_tids(scenario, grid, config, num_voters=m)
         series[f"m={m}"] = [p.mttsf_s for p in points]
         best = max(points, key=lambda p: p.mttsf_s)
         notes.append(
@@ -141,7 +189,7 @@ def _fig3(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     series: dict[str, list[float]] = {}
     notes: list[str] = []
     for m in config.m_values:
-        points = scenario.sweep_tids(grid, num_voters=m)
+        points = _sweep_tids(scenario, grid, config, num_voters=m)
         series[f"m={m}"] = [p.ctotal_hop_bits_s for p in points]
         best = min(points, key=lambda p: p.ctotal_hop_bits_s)
         notes.append(
@@ -161,7 +209,7 @@ def _fig4(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     series: dict[str, list[float]] = {}
     notes: list[str] = []
     for fn in ("logarithmic", "linear", "polynomial"):
-        points = scenario.sweep_tids(grid, detection_function=fn)
+        points = _sweep_tids(scenario, grid, config, detection_function=fn)
         series[fn] = [p.mttsf_s for p in points]
         best = max(points, key=lambda p: p.mttsf_s)
         notes.append(f"{fn}: optimal TIDS={best.tids_s:g}s, MTTSF={best.mttsf_s:.3e}s")
@@ -182,7 +230,7 @@ def _fig5(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     notes: list[str] = []
     optima: dict[str, float] = {}
     for fn in ("logarithmic", "linear", "polynomial"):
-        points = scenario.sweep_tids(grid, detection_function=fn)
+        points = _sweep_tids(scenario, grid, config, detection_function=fn)
         series[fn] = [p.ctotal_hop_bits_s for p in points]
         best = min(points, key=lambda p: p.ctotal_hop_bits_s)
         optima[fn] = best.tids_s
@@ -221,8 +269,9 @@ def _ablation_attacker_matrix(
     for attacker in forms:
         best_by_fn: dict[str, float] = {}
         for detection in forms:
-            points = scenario.sweep_tids(
-                grid, attacker_function=attacker, detection_function=detection
+            points = _sweep_tids(
+                scenario, grid, config,
+                attacker_function=attacker, detection_function=detection,
             )
             series[f"A={attacker[:4]}/D={detection[:4]}"] = [
                 p.mttsf_s for p in points
@@ -248,8 +297,8 @@ def _ablation_hostids(config: ExperimentConfig) -> tuple[list[DataSeries], list[
     mttsf: list[float] = []
     ctotal: list[float] = []
     for p_err in levels:
-        result = scenario.evaluate(
-            host_false_negative=p_err, host_false_positive=p_err
+        result = _evaluate_point(
+            scenario, config, host_false_negative=p_err, host_false_positive=p_err
         )
         mttsf.append(result.mttsf_s)
         ctotal.append(result.ctotal_hop_bits_s)
@@ -376,7 +425,7 @@ def _host_vs_voting(config: ExperimentConfig) -> tuple[list[DataSeries], list[st
     ctotal: dict[str, list[float]] = {}
     peaks: dict[str, float] = {}
     for label, m in (("host-based (m=1)", 1), ("voting (m=5)", 5)):
-        points = scenario.sweep_tids(grid, num_voters=m)
+        points = _sweep_tids(scenario, grid, config, num_voters=m)
         mttsf[label] = [p.mttsf_s for p in points]
         ctotal[label] = [p.ctotal_hop_bits_s for p in points]
         peaks[label] = max(mttsf[label])
@@ -417,7 +466,7 @@ def _ablation_workload(config: ExperimentConfig) -> tuple[list[DataSeries], list
     mttsf_by_lc: dict[str, list[float]] = {}
     optimal_tids: list[float] = []
     for lam_c in lambda_c_values:
-        points = scenario.sweep_tids(grid, base_compromise_rate_hz=lam_c)
+        points = _sweep_tids(scenario, grid, config, base_compromise_rate_hz=lam_c)
         label = f"lc=1/{1/(lam_c*hour):.0f}h"
         mttsf_by_lc[label] = [p.mttsf_s for p in points]
         optimal_tids.append(max(points, key=lambda p: p.mttsf_s).tids_s)
@@ -425,7 +474,7 @@ def _ablation_workload(config: ExperimentConfig) -> tuple[list[DataSeries], list
     lambda_q_values = (1.0 / 300.0, 1.0 / 60.0, 1.0 / 15.0)
     mttsf_by_lq: dict[str, list[float]] = {}
     for lam_q in lambda_q_values:
-        points = scenario.sweep_tids(grid, data_rate_hz=lam_q)
+        points = _sweep_tids(scenario, grid, config, data_rate_hz=lam_q)
         label = f"lq=1/{1/lam_q:.0f}s"
         mttsf_by_lq[label] = [p.mttsf_s for p in points]
 

@@ -1,10 +1,20 @@
-"""Generic parameter sweep utilities."""
+"""Generic parameter sweep utilities.
+
+:func:`grid_sweep` is the analysis layer's cartesian-product primitive.
+It accepts any iterable per axis (generators and other unsized
+iterables are materialised up front), evaluates in deterministic
+lexicographic order, and can optionally dispatch points through a
+:mod:`repro.engine` execution backend — which is how a generic sweep
+gains process-pool parallelism and per-point error capture without the
+caller writing any orchestration code.
+"""
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from ..errors import ParameterError
 
@@ -13,34 +23,112 @@ __all__ = ["SweepPoint", "grid_sweep"]
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated grid point."""
+    """One evaluated grid point.
+
+    ``error`` is ``None`` for a successful evaluation; when the sweep
+    runs with ``capture_errors=True`` a failing point carries the
+    exception text here (and ``value`` is ``None``) instead of aborting
+    the whole sweep.
+    """
 
     assignment: Mapping[str, Any]
     value: Any
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _materialize_axes(
+    grid: Mapping[str, Iterable[Any]]
+) -> dict[str, tuple[Any, ...]]:
+    """Snapshot every axis as a tuple so any iterable works (a bare
+    generator would otherwise crash ``len()`` and then be consumed by
+    the first product pass)."""
+    if not grid:
+        raise ParameterError("grid must be non-empty")
+    axes: dict[str, tuple[Any, ...]] = {}
+    for name, values in grid.items():
+        axis = tuple(values)
+        if not axis:
+            raise ParameterError(f"grid axis {name!r} is empty")
+        axes[name] = axis
+    return axes
+
+
+def _apply_assignment(
+    evaluate: Callable[..., Any], assignment: Mapping[str, Any]
+) -> Any:
+    """Module-level kwargs adapter (process pools need to pickle it)."""
+    return evaluate(**assignment)
 
 
 def grid_sweep(
-    grid: Mapping[str, Sequence[Any]],
+    grid: Mapping[str, Iterable[Any]],
     evaluate: Callable[..., Any],
     *,
     progress: Callable[[SweepPoint], None] | None = None,
+    backend: Optional[Any] = None,
+    capture_errors: bool = False,
 ) -> list[SweepPoint]:
     """Cartesian-product sweep.
 
-    ``grid`` maps parameter names to value lists; ``evaluate`` is called
-    with each assignment as keyword arguments, in deterministic
+    ``grid`` maps parameter names to value iterables; ``evaluate`` is
+    called with each assignment as keyword arguments, in deterministic
     lexicographic order of the grid definition.
+
+    ``backend`` — any :class:`repro.engine.executor.ExecutionBackend`;
+    points are dispatched through it (for a process pool, ``evaluate``
+    must be picklable) and always come back in grid order.
+    ``capture_errors`` — record per-point failures on the returned
+    :class:`SweepPoint` instead of raising; implied behaviour of every
+    engine backend, re-raised here unless requested.
     """
-    if not grid:
-        raise ParameterError("grid must be non-empty")
-    names = list(grid)
-    for name, values in grid.items():
-        if len(values) == 0:
-            raise ParameterError(f"grid axis {name!r} is empty")
-    points: list[SweepPoint] = []
-    for combo in itertools.product(*(grid[n] for n in names)):
-        assignment = dict(zip(names, combo))
-        point = SweepPoint(assignment=assignment, value=evaluate(**assignment))
+    axes = _materialize_axes(grid)
+    names = list(axes)
+    assignments = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[n] for n in names))
+    ]
+
+    if backend is not None:
+        outcomes = backend.run(
+            functools.partial(_apply_assignment, evaluate), assignments
+        )
+        points: list[SweepPoint] = []
+        for assignment, outcome in zip(assignments, outcomes):
+            if not outcome.ok and not capture_errors:
+                # Match the serial path's exception semantics: the
+                # backend carries the original exception object across
+                # the process boundary when it pickles; re-raise it so
+                # callers see the same type either way.
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise ParameterError(
+                    f"sweep point {assignment!r} failed: "
+                    f"{outcome.error_type}: {outcome.error}"
+                )
+            points.append(
+                SweepPoint(
+                    assignment=assignment,
+                    value=outcome.value,
+                    error=None if outcome.ok else outcome.error,
+                )
+            )
+            if progress is not None:
+                progress(points[-1])
+        return points
+
+    points = []
+    for assignment in assignments:
+        if capture_errors:
+            try:
+                point = SweepPoint(assignment=assignment, value=evaluate(**assignment))
+            except Exception as exc:  # noqa: BLE001 — capture is opt-in
+                point = SweepPoint(assignment=assignment, value=None, error=str(exc))
+        else:
+            point = SweepPoint(assignment=assignment, value=evaluate(**assignment))
         points.append(point)
         if progress is not None:
             progress(point)

@@ -8,22 +8,59 @@ Subcommands:
 * ``paper [--full] [--out DIR]`` — run every figure experiment
   (``fig2`` … ``fig5``);
 * ``evaluate [--n N] [--m M] [--tids T] ...`` — single model evaluation
-  with a summary report.
+  with a summary report;
+* ``sweep --axis k=v1,v2 … | --spec jobs.json`` — batch-evaluate a
+  parameter grid (or a declarative multi-job campaign) through the
+  :mod:`repro.engine` cache and backends.
+
+``run``, ``paper`` and ``sweep`` all accept ``--jobs N`` (process-pool
+workers; 0/1 = serial) and ``--cache-dir DIR`` (persistent
+content-addressed result cache shared across invocations).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Any, Optional, Sequence
 
 from .analysis.experiments import ExperimentConfig, get_experiment, list_experiments
 from .analysis.io import write_experiment_artifacts
 from .core.metrics import evaluate as evaluate_model
-from .errors import ReproError
+from .engine import BatchRunner, ResultCache, make_backend
+from .engine.jobs import Campaign, SweepJob, load_campaign
+from .errors import ParameterError, ReproError
 from .params import GCSParameters
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for model sweeps (0/1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache directory (reused across runs)",
+    )
+
+
+def _build_runner(
+    jobs: Optional[int], cache_dir: Optional[str]
+) -> Optional[BatchRunner]:
+    """A runner when any engine flag is set; ``None`` keeps the seed path."""
+    if jobs is None and cache_dir is None:
+        return None
+    cache = ResultCache(cache_dir=Path(cache_dir)) if cache_dir else ResultCache()
+    return BatchRunner(cache=cache, backend=make_backend(jobs))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,11 +83,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--plot", action="store_true", help="render ASCII plots of each series"
     )
+    _add_engine_flags(p_run)
 
     p_paper = sub.add_parser("paper", help="run all figure experiments")
     p_paper.add_argument("--full", action="store_true")
     p_paper.add_argument("--seed", type=int, default=0)
     p_paper.add_argument("--out", default=None)
+    _add_engine_flags(p_paper)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="batch-evaluate a parameter grid through the engine"
+    )
+    p_sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="grid axis over any GCSParameters.replacing key (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="base",
+        help="fixed base parameter override (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--spec", default=None, metavar="FILE", help="JSON campaign/job spec"
+    )
+    p_sweep.add_argument("--n", type=int, default=None, help="group size N")
+    p_sweep.add_argument(
+        "--method", default="fast", choices=("fast", "spn", "spn-coupled")
+    )
+    p_sweep.add_argument("--out", default=None, help="JSON artifact path")
+    _add_engine_flags(p_sweep)
 
     p_eval = sub.add_parser("evaluate", help="evaluate one parameter point")
     p_eval.add_argument("--n", type=int, default=100, help="group size N")
@@ -82,9 +149,10 @@ def _cmd_run(
     seed: int,
     out: Optional[str],
     plot: bool = False,
+    runner: Optional[BatchRunner] = None,
 ) -> int:
     exp = get_experiment(experiment)
-    result = exp.run(ExperimentConfig(quick=not full, seed=seed))
+    result = exp.run(ExperimentConfig(quick=not full, seed=seed, runner=runner))
     print(result.render())
     if plot:
         from .analysis.plots import ascii_plot
@@ -100,12 +168,117 @@ def _cmd_run(
     return 0
 
 
-def _cmd_paper(full: bool, seed: int, out: Optional[str]) -> int:
+def _cmd_paper(
+    full: bool,
+    seed: int,
+    out: Optional[str],
+    runner: Optional[BatchRunner] = None,
+) -> int:
     status = 0
     for fig in ("fig2", "fig3", "fig4", "fig5"):
-        status |= _cmd_run(fig, full, seed, out)
+        status |= _cmd_run(fig, full, seed, out, runner=runner)
         print()
+    if runner is not None:
+        print(runner.cache.describe())
     return status
+
+
+def _parse_scalar(text: str) -> Any:
+    """int → float → bool → bare string, in that order."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            pass
+    if text in ("true", "false"):
+        return text == "true"
+    return text
+
+
+def _parse_assignment(text: str, *, what: str) -> tuple[str, str]:
+    name, sep, value = text.partition("=")
+    if not sep or not name or not value:
+        raise ParameterError(f"{what} must look like NAME=VALUE, got {text!r}")
+    return name, value
+
+
+def _sweep_campaign(args: argparse.Namespace) -> Campaign:
+    if args.spec:
+        if args.axis or args.base or args.n is not None:
+            raise ParameterError("--spec excludes --axis/--set/--n")
+        return load_campaign(args.spec)
+    if not args.axis:
+        raise ParameterError("sweep needs at least one --axis (or a --spec file)")
+    axes: dict[str, tuple[Any, ...]] = {}
+    for spec in args.axis:
+        name, values = _parse_assignment(spec, what="--axis")
+        axes[name] = tuple(_parse_scalar(v) for v in values.split(",") if v)
+    base: dict[str, Any] = {}
+    for spec in args.base:
+        name, value = _parse_assignment(spec, what="--set")
+        base[name] = _parse_scalar(value)
+    if args.n is not None:
+        base["num_nodes"] = args.n
+    job = SweepJob(name="cli-sweep", axes=axes, base=base, method=args.method)
+    return Campaign(name="cli-sweep", jobs=(job,))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    campaign = _sweep_campaign(args)
+    runner = _build_runner(args.jobs, args.cache_dir) or BatchRunner()
+    outcome = campaign.run(runner)
+    for job_outcome in outcome.outcomes:
+        job = job_outcome.job
+        axis_names = list(job.axes)
+        print(f"== {job.name}: {len(job_outcome.points)} points ==")
+        header = [f"{n:>20s}" for n in axis_names] + [
+            f"{'MTTSF_s':>12s}",
+            f"{'Ctotal_hop_bits_s':>18s}",
+        ]
+        print(" ".join(header))
+        for assignment, result in job_outcome.points:
+            cells = [f"{assignment[n]!s:>20s}" for n in axis_names]
+            if result is None:
+                cells.append(f"{'FAILED':>12s}")
+                cells.append(f"{'FAILED':>18s}")
+            else:
+                cells.append(f"{result.mttsf_s:12.4e}")
+                cells.append(f"{result.ctotal_hop_bits_s:18.4e}")
+            print(" ".join(cells))
+        print()
+    print(outcome.report.describe())
+    print(runner.cache.describe())
+    for error in outcome.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.out:
+        artifact = {
+            "campaign": campaign.to_dict(),
+            "report": {
+                "n_requested": outcome.report.n_requested,
+                "n_unique": outcome.report.n_unique,
+                "n_cache_hits": outcome.report.n_cache_hits,
+                "n_evaluated": outcome.report.n_evaluated,
+                "n_errors": outcome.report.n_errors,
+            },
+            "jobs": [
+                {
+                    "name": job_outcome.job.name,
+                    "points": [
+                        {
+                            "assignment": dict(assignment),
+                            "result": result.to_dict() if result else None,
+                        }
+                        for assignment, result in job_outcome.points
+                    ],
+                }
+                for job_outcome in outcome.outcomes
+            ],
+        }
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2))
+        print(f"artifact: {path}")
+    return 1 if outcome.errors else 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -129,12 +302,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(
-                args.experiment, args.full, args.seed, args.out, plot=args.plot
+                args.experiment,
+                args.full,
+                args.seed,
+                args.out,
+                plot=args.plot,
+                runner=_build_runner(args.jobs, args.cache_dir),
             )
         if args.command == "paper":
-            return _cmd_paper(args.full, args.seed, args.out)
+            return _cmd_paper(
+                args.full,
+                args.seed,
+                args.out,
+                runner=_build_runner(args.jobs, args.cache_dir),
+            )
         if args.command == "evaluate":
             return _cmd_evaluate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

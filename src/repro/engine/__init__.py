@@ -1,0 +1,70 @@
+"""Parallel batch-evaluation engine with content-addressed caching.
+
+Turns one-off sweeps into a scalable evaluation service::
+
+    from repro.engine import BatchRunner, ResultCache, make_backend
+    from repro.engine.jobs import paper_campaign
+
+    runner = BatchRunner(
+        cache=ResultCache(cache_dir="~/.cache/repro"),
+        backend=make_backend(jobs=4),
+    )
+    outcome = paper_campaign(quick=True).run(runner)
+    print(outcome.report.describe())
+
+Modules:
+
+=================  ====================================================
+``keys``           content-addressed scenario fingerprints
+``cache``          persistent disk store + in-memory LRU, hit/miss stats
+``executor``       serial / process-pool backends with error capture
+``batch``          dedup → cache → evaluate → store composition
+``jobs``           declarative job specs and multi-figure campaigns
+=================  ====================================================
+"""
+
+from .batch import (
+    BatchReport,
+    BatchResult,
+    BatchRunner,
+    EvalRequest,
+    PointError,
+    evaluate_request,
+    run_tids_sweep,
+)
+from .cache import CacheStats, ResultCache, result_from_dict
+from .executor import (
+    ExecutionBackend,
+    PointOutcome,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from .jobs import Campaign, JobOutcome, SweepJob, load_campaign, paper_campaign
+from .keys import SCHEMA_VERSION, params_from_dict, scenario_fingerprint
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "scenario_fingerprint",
+    "params_from_dict",
+    "CacheStats",
+    "ResultCache",
+    "result_from_dict",
+    "ExecutionBackend",
+    "PointOutcome",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "EvalRequest",
+    "PointError",
+    "BatchReport",
+    "BatchResult",
+    "BatchRunner",
+    "evaluate_request",
+    "run_tids_sweep",
+    "Campaign",
+    "SweepJob",
+    "JobOutcome",
+    "load_campaign",
+    "paper_campaign",
+]

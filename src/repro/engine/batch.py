@@ -1,0 +1,291 @@
+"""Batch evaluation: dedup → cache lookup → parallel evaluate → store.
+
+:class:`BatchRunner` is the engine's front door. It takes a list of
+:class:`EvalRequest` (one per grid point), fingerprints each, collapses
+duplicates, serves what it can from the :class:`ResultCache`, fans the
+misses out over an :class:`ExecutionBackend`, stores fresh results, and
+scatters everything back into **input order**. One runner (hence one
+cache) is shared across a whole campaign, so identical scenario points
+requested by different figures are evaluated exactly once.
+
+A per-point failure becomes a :class:`PointError` in the report rather
+than an exception; callers that want the seed path's abort-on-error
+semantics call :meth:`BatchReport.raise_on_error`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..core.metrics import GCSEvaluation, resolve_network
+from ..core.optimizer import TradeoffPoint
+from ..core.results import GCSResult
+from ..errors import ExperimentError
+from ..manet.network import NetworkModel
+from ..params import GCSParameters
+from ..validation import require_sorted_unique
+from .cache import ResultCache
+from .executor import ExecutionBackend, SerialBackend
+from .keys import scenario_fingerprint
+
+__all__ = [
+    "EvalRequest",
+    "PointError",
+    "BatchReport",
+    "BatchResult",
+    "BatchRunner",
+    "run_tids_sweep",
+]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One scenario point to evaluate.
+
+    ``network=None`` resolves the network from the parameters inside the
+    worker (deterministic for analytic / explicit-rate scenarios);
+    passing a resolved model shares one mobility measurement across the
+    batch exactly like :class:`~repro.core.scenario.Scenario` does.
+    """
+
+    params: GCSParameters
+    network: Optional[NetworkModel] = None
+    method: str = "fast"
+    include_breakdown: bool = False
+    include_variance: bool = False
+
+    def fingerprint(self) -> str:
+        return scenario_fingerprint(
+            self.params,
+            network=self.network,
+            method=self.method,
+            options={
+                "include_breakdown": self.include_breakdown,
+                "include_variance": self.include_variance,
+            },
+        )
+
+
+def evaluate_request(request: EvalRequest) -> GCSResult:
+    """Evaluate one request (module level: process pools pickle it)."""
+    network = resolve_network(request.params, request.network)
+    engine = GCSEvaluation(request.params, network)
+    return engine.run(
+        method=request.method,
+        include_breakdown=request.include_breakdown,
+        include_variance=request.include_variance,
+    )
+
+
+@dataclass(frozen=True)
+class PointError:
+    """A captured per-point evaluation failure."""
+
+    index: int
+    request: EvalRequest
+    error: str
+    error_type: str
+
+    def __str__(self) -> str:
+        return (
+            f"point {self.index} ({self.request.params.describe()}): "
+            f"{self.error_type}: {self.error}"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Where each point of a batch came from, and how long it took."""
+
+    n_requested: int = 0
+    n_unique: int = 0
+    n_cache_hits: int = 0
+    n_evaluated: int = 0
+    errors: list[PointError] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    backend: str = "serial"
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.errors)
+
+    @property
+    def n_deduplicated(self) -> int:
+        """Requests served by another identical request in the same batch."""
+        return self.n_requested - self.n_unique
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of unique points served from the cache."""
+        return self.n_cache_hits / self.n_unique if self.n_unique else 0.0
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            detail = "; ".join(str(e) for e in self.errors[:3])
+            more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
+            raise ExperimentError(
+                f"{len(self.errors)} of {self.n_requested} batch points "
+                f"failed: {detail}{more}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"batch[{self.backend}]: {self.n_requested} requested, "
+            f"{self.n_unique} unique, {self.n_cache_hits} cached "
+            f"({self.cache_hit_rate:.0%}), {self.n_evaluated} evaluated, "
+            f"{self.n_errors} errors in {self.elapsed_seconds:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results in input order (``None`` where the point errored)."""
+
+    results: tuple[Optional[GCSResult], ...]
+    report: BatchReport
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+#: Progress callback: (input index, fingerprint, source) where source is
+#: ``"cache"``, ``"evaluated"`` or ``"error"``.
+ProgressFn = Callable[[int, str, str], None]
+
+
+class BatchRunner:
+    """Composable batch evaluator sharing one cache and one backend."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.backend = backend if backend is not None else SerialBackend()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: Sequence[EvalRequest],
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> BatchResult:
+        t0 = time.perf_counter()
+        report = BatchReport(
+            n_requested=len(requests), backend=self.backend.describe()
+        )
+
+        # Dedup: map every input index onto the first request with the
+        # same fingerprint; only representatives are looked up and run.
+        keys = [request.fingerprint() for request in requests]
+        representative: dict[str, int] = {}
+        for i, key in enumerate(keys):
+            representative.setdefault(key, i)
+        report.n_unique = len(representative)
+
+        by_key: dict[str, GCSResult] = {}
+        misses: list[tuple[str, int]] = []
+        for key, i in representative.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                by_key[key] = cached
+                report.n_cache_hits += 1
+            else:
+                misses.append((key, i))
+
+        fresh: set[str] = set()
+        if misses:
+            outcomes = self.backend.run(
+                evaluate_request, [requests[i] for _, i in misses]
+            )
+            for (key, i), outcome in zip(misses, outcomes):
+                if outcome.ok:
+                    by_key[key] = outcome.value
+                    self.cache.put(key, outcome.value)
+                    report.n_evaluated += 1
+                    fresh.add(key)
+                else:
+                    report.errors.append(
+                        PointError(
+                            index=i,
+                            request=requests[i],
+                            error=outcome.error,
+                            error_type=outcome.error_type,
+                        )
+                    )
+
+        results: list[Optional[GCSResult]] = []
+        for i, key in enumerate(keys):
+            result = by_key.get(key)
+            results.append(result)
+            if progress is not None:
+                if result is None:
+                    source = "error"
+                elif representative[key] == i and key in fresh:
+                    source = "evaluated"
+                else:
+                    source = "cache"
+                progress(i, key, source)
+
+        report.elapsed_seconds = time.perf_counter() - t0
+        return BatchResult(results=tuple(results), report=report)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, request: EvalRequest) -> GCSResult:
+        """Single-point convenience (cache-through)."""
+        batch = self.run([request])
+        batch.report.raise_on_error()
+        result = batch.results[0]
+        assert result is not None
+        return result
+
+    def describe(self) -> str:
+        return f"BatchRunner({self.backend.describe()}; {self.cache.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Sweep adapters
+# ---------------------------------------------------------------------------
+
+def run_tids_sweep(
+    runner: BatchRunner,
+    params: GCSParameters,
+    tids_grid_s: Sequence[float],
+    *,
+    network: Optional[NetworkModel] = None,
+    method: str = "fast",
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> list[TradeoffPoint]:
+    """Engine-backed equivalent of :meth:`Scenario.sweep_tids`.
+
+    Builds one :class:`EvalRequest` per grid value (applying
+    ``overrides`` first, then the ``TIDS`` value, exactly like the
+    serial path in :func:`repro.core.optimizer.tradeoff_curve`), runs
+    them as one batch and returns :class:`TradeoffPoint` objects in
+    grid order. Raises on any point failure, and applies the same
+    sorted-unique grid validation, matching the serial sweep's
+    semantics.
+    """
+    tids_grid_s = require_sorted_unique("tids_grid_s", tids_grid_s)
+    base = params.replacing(**dict(overrides)) if overrides else params
+    requests = [
+        EvalRequest(
+            params=base.replacing(detection_interval_s=float(tids)),
+            network=network,
+            method=method,
+        )
+        for tids in tids_grid_s
+    ]
+    batch = runner.run(requests)
+    batch.report.raise_on_error()
+    return [
+        TradeoffPoint(tids_s=float(tids), result=result)
+        for tids, result in zip(tids_grid_s, batch.results)
+    ]

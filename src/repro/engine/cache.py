@@ -1,0 +1,225 @@
+"""Persistent, content-addressed result store with an in-memory LRU.
+
+Layout on disk (sharded JSON, human-inspectable, no extra deps)::
+
+    <cache_dir>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json
+
+Each record holds the fingerprint, the schema version and the full
+:meth:`GCSResult.to_dict` payload. Records written under a different
+schema version live in a different ``v*`` directory and therefore never
+hit — bumping :data:`~repro.engine.keys.SCHEMA_VERSION` invalidates the
+whole store without deleting anything (``prune_stale_versions`` reclaims
+the space on request).
+
+The in-memory layer is a plain ordered-dict LRU in front of the disk
+store; :class:`CacheStats` counts hits split by layer so the benchmark
+can report warm-cache hit rates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..core.results import GCSResult
+from ..errors import ParameterError
+from .keys import SCHEMA_VERSION, params_from_dict
+
+__all__ = ["CacheStats", "ResultCache", "result_from_dict"]
+
+
+def result_from_dict(data: Mapping[str, Any]) -> GCSResult:
+    """Rebuild a :class:`GCSResult` from its :meth:`~GCSResult.to_dict`."""
+    try:
+        return GCSResult(
+            params=params_from_dict(data["params"]),
+            mttsf_s=float(data["mttsf_s"]),
+            ctotal_hop_bits_s=float(data["ctotal_hop_bits_s"]),
+            failure_probabilities=dict(data["failure_probabilities"]),
+            channel_utilization=float(data["channel_utilization"]),
+            num_states=int(data["num_states"]),
+            solver=str(data["solver"]),
+            build_seconds=float(data["build_seconds"]),
+            solve_seconds=float(data["solve_seconds"]),
+            cost_breakdown=dict(data["cost_breakdown"])
+            if data.get("cost_breakdown") is not None
+            else None,
+            mttsf_std_s=float(data["mttsf_std_s"])
+            if data.get("mttsf_std_s") is not None
+            else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ParameterError(f"malformed cached result: {exc}") from exc
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache` lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_records: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either layer (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt_records": self.corrupt_records,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Two-layer (memory LRU over sharded-JSON disk) result cache.
+
+    ``cache_dir=None`` gives a memory-only cache — same API, nothing
+    persisted — which is what ephemeral sweeps and most tests want.
+    ``memory_capacity`` bounds the LRU layer; 0 disables it entirely
+    (every hit then reads from disk, useful for testing persistence).
+    """
+
+    cache_dir: Optional[Path] = None
+    memory_capacity: int = 4096
+    version: int = SCHEMA_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.memory_capacity < 0:
+            raise ParameterError(
+                f"memory_capacity must be >= 0, got {self.memory_capacity}"
+            )
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        self._memory: OrderedDict[str, GCSResult] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _record_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"v{self.version}" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[GCSResult]:
+        """Look ``key`` up; ``None`` on miss. Promotes disk hits to the
+        memory layer and silently treats corrupt records as misses."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._record_path(key)
+            if path.exists():
+                try:
+                    record = json.loads(path.read_text())
+                    if record.get("version") != self.version:
+                        raise ParameterError("schema version mismatch")
+                    result = result_from_dict(record["result"])
+                except (OSError, ValueError, KeyError, ParameterError):
+                    self.stats.corrupt_records += 1
+                else:
+                    self.stats.disk_hits += 1
+                    self._remember(key, result)
+                    return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: GCSResult) -> None:
+        """Store under ``key`` in both layers (atomic disk write)."""
+        self._remember(key, result)
+        self.stats.stores += 1
+        if self.cache_dir is None:
+            return
+        path = self._record_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"key": key, "version": self.version, "result": result.to_dict()}
+        # Write-then-rename so a crashed writer never leaves a torn
+        # record that a concurrent reader would see as corruption.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._record_path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of persisted records (memory-only size when ephemeral)."""
+        if self.cache_dir is None:
+            return len(self._memory)
+        root = self.cache_dir / f"v{self.version}"
+        return sum(1 for _ in root.glob("*/*.json")) if root.exists() else 0
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, result: GCSResult) -> None:
+        if self.memory_capacity == 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the LRU layer (disk records survive)."""
+        self._memory.clear()
+
+    def prune_stale_versions(self) -> int:
+        """Delete on-disk records written under other schema versions;
+        returns the number of files removed."""
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return 0
+        removed = 0
+        for vdir in self.cache_dir.glob("v*"):
+            if vdir.name == f"v{self.version}" or not vdir.is_dir():
+                continue
+            for record in vdir.glob("*/*.json"):
+                record.unlink()
+                removed += 1
+            for shard in sorted(vdir.glob("*"), reverse=True):
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+            if not any(vdir.iterdir()):
+                vdir.rmdir()
+        return removed
+
+    def describe(self) -> str:
+        where = str(self.cache_dir) if self.cache_dir else "memory-only"
+        s = self.stats
+        return (
+            f"ResultCache[{where}] v{self.version}: {len(self)} records, "
+            f"{s.hits} hits ({s.memory_hits} mem / {s.disk_hits} disk), "
+            f"{s.misses} misses, hit rate {s.hit_rate:.1%}"
+        )

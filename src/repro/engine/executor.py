@@ -1,0 +1,163 @@
+"""Pluggable execution backends for batch evaluation.
+
+Two backends behind one ``run(fn, items)`` contract:
+
+* :class:`SerialBackend` — in-process loop, zero overhead, the
+  reference semantics;
+* :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool
+  with chunked dispatch (one IPC round-trip per chunk, not per point).
+
+Both return :class:`PointOutcome` records in **input order** regardless
+of completion order, and both capture per-point exceptions into the
+outcome instead of aborting the whole batch — a sweep with one
+pathological grid point still yields the other N−1 results. The two
+backends are observationally equivalent: same inputs, same outcomes,
+same ordering (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol, Sequence
+
+from ..errors import ParameterError
+
+__all__ = [
+    "PointOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Result (or captured failure) of evaluating one task.
+
+    ``exception`` carries the original exception object when it
+    survives a pickle round-trip (so callers can re-raise with the
+    true type); ``error``/``error_type`` are its string form, always
+    present on failure.
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _evaluate_one(fn: Callable[[Any], Any], index: int, item: Any) -> PointOutcome:
+    try:
+        return PointOutcome(index=index, value=fn(item))
+    except Exception as exc:  # noqa: BLE001 — per-point capture is the contract
+        try:
+            carried = pickle.loads(pickle.dumps(exc))
+        except Exception:  # noqa: BLE001 — unpicklable exception
+            carried = None
+        return PointOutcome(
+            index=index,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            exception=carried,
+        )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[tuple[int, Any]]
+) -> list[PointOutcome]:
+    """Worker-side loop (module level so the pool can pickle it)."""
+    return [_evaluate_one(fn, index, item) for index, item in chunk]
+
+
+class ExecutionBackend(Protocol):
+    """Anything that can map a callable over tasks with error capture."""
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[PointOutcome]:
+        """Evaluate ``fn`` on every item; outcomes in input order."""
+        ...  # pragma: no cover
+
+    def describe(self) -> str:
+        ...  # pragma: no cover
+
+
+class SerialBackend:
+    """In-process reference backend."""
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[PointOutcome]:
+        return [_evaluate_one(fn, i, item) for i, item in enumerate(items)]
+
+    def describe(self) -> str:
+        return "serial"
+
+
+class ProcessPoolBackend:
+    """Chunked ``ProcessPoolExecutor`` backend.
+
+    ``chunksize=None`` auto-sizes to about four chunks per worker — small
+    enough to balance load across uneven point costs, large enough that
+    pickling overhead stays negligible. ``fn`` and the items must be
+    picklable (the engine's evaluation requests are).
+    """
+
+    def __init__(self, max_workers: int, *, chunksize: Optional[int] = None) -> None:
+        if max_workers < 1:
+            raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ParameterError(f"chunksize must be >= 1, got {chunksize}")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def _chunksize_for(self, n_items: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, math.ceil(n_items / (self.max_workers * 4)))
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[PointOutcome]:
+        indexed = list(enumerate(items))
+        if not indexed:
+            return []
+        if len(indexed) == 1:  # pool spin-up is never worth one point
+            return SerialBackend().run(fn, items)
+        size = self._chunksize_for(len(indexed))
+        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        outcomes: list[Optional[PointOutcome]] = [None] * len(indexed)
+        with ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(chunks))
+        ) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            for future in futures:
+                # Point-level errors are already captured inside the
+                # chunk; a future-level error means the worker died
+                # (unpicklable fn, OOM kill) and should propagate.
+                for outcome in future.result():
+                    outcomes[outcome.index] = outcome
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        return f"process-pool(workers={self.max_workers})"
+
+
+def make_backend(jobs: Optional[int]) -> ExecutionBackend:
+    """``jobs`` semantics shared by the CLI: ``None``/0/1 → serial,
+    ``n > 1`` → a process pool with ``n`` workers."""
+    if jobs is not None and jobs < 0:
+        raise ParameterError(f"jobs must be >= 0, got {jobs}")
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(max_workers=jobs)

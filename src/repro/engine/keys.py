@@ -1,0 +1,152 @@
+"""Content-addressed scenario fingerprints.
+
+A *fingerprint* is a stable SHA-256 digest of everything that determines
+a model evaluation's output: the full :class:`GCSParameters` bundle, the
+resolved network environment, the solver options, and a schema version.
+Two evaluations with equal fingerprints are guaranteed to produce the
+same :class:`~repro.core.results.GCSResult` (up to wall-clock timing
+fields), which is what makes the result cache safe.
+
+The digest is computed over canonical JSON — sorted keys, no whitespace
+variance — so dict ordering and dataclass field order never leak into
+the key. Floats serialise via :func:`repr`, which round-trips exactly
+in Python 3, so ``60.0`` and ``60.00`` collide (same value) while
+``60.0`` and ``60.000001`` do not.
+
+Bump :data:`SCHEMA_VERSION` whenever the model semantics change in a way
+that alters results for identical parameters (new cost term, solver
+reformulation, …): every previously cached entry then misses, which is
+the versioned-invalidation story for the on-disk store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+from ..core.metrics import resolve_network
+from ..errors import ParameterError
+from ..manet.network import NetworkModel
+from ..params import (
+    AttackParameters,
+    DetectionParameters,
+    GCSParameters,
+    GroupDynamicsParameters,
+    NetworkParameters,
+    WorkloadParameters,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "network_signature",
+    "scenario_fingerprint",
+    "params_from_dict",
+]
+
+#: Version of the (parameters, model, result) contract. Part of every
+#: fingerprint and of the on-disk cache layout.
+SCHEMA_VERSION = 1
+
+
+def _normalize(obj: Any) -> Any:
+    """Collapse numerically equal values onto one encoding.
+
+    ``int`` and ``float`` of the same value (``15`` vs ``15.0``) must
+    produce the same key — a CLI axis parses ``15`` as ``int`` while
+    the figure grids carry ``15.0``, and both evaluate identically.
+    Bools stay bools (they are ``int`` subclasses but semantically
+    flags, and ``True``/``1`` never describe the same parameter).
+    """
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {k: _normalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v) for v in obj]
+    return obj
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators,
+    int/float-equal values collapsed)."""
+    try:
+        return json.dumps(
+            _normalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"value is not canonically serialisable: {exc}") from exc
+
+
+def network_signature(network: Optional[NetworkModel]) -> dict[str, Any]:
+    """The network-model fields that influence evaluation results.
+
+    ``None`` (network resolved from the parameters alone) is encoded
+    distinctly from any explicit model, so a measured mobility network
+    never collides with the analytic default. The model's own
+    :class:`NetworkParameters` are part of the signature — the cost and
+    delay equations read them (bandwidth, radio range, …), so two
+    models differing only there must not share a fingerprint.
+    """
+    if network is None:
+        return {"resolved": "from-params"}
+    return {
+        "resolved": "explicit",
+        "params": dataclasses.asdict(network.params),
+        "avg_hops": network.avg_hops,
+        "partition_rate_hz": network.partition_rate_hz,
+        "merge_rate_hz": network.merge_rate_hz,
+        "measured": network.measured,
+    }
+
+
+def scenario_fingerprint(
+    params: GCSParameters,
+    *,
+    network: Optional[NetworkModel] = None,
+    method: str = "fast",
+    options: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """SHA-256 hex digest identifying one evaluation scenario.
+
+    ``options`` carries any extra solver knobs (``include_breakdown``,
+    ``include_variance``, …). Flags set to ``False`` — every option's
+    default — are dropped during normalisation, so an omitted mapping,
+    an empty one, and one spelling the defaults out all produce the
+    same key (``EvalRequest.fingerprint()`` spells them out;
+    ``scenario_fingerprint(params)`` omits them).
+
+    An explicit ``network`` that is exactly what the parameters resolve
+    to on their own (e.g. a :class:`~repro.core.scenario.Scenario`'s
+    shared analytic model) is canonicalised to the ``from-params``
+    form, so scenario-routed and params-only requests for the same
+    point share one cache entry.
+    """
+    if network is not None and network == resolve_network(params, None):
+        network = None
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "params": params.to_dict(),
+        "network": network_signature(network),
+        "method": method,
+        "options": {k: v for k, v in (options or {}).items() if v is not False},
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def params_from_dict(data: Mapping[str, Any]) -> GCSParameters:
+    """Inverse of :meth:`GCSParameters.to_dict` (cache deserialisation)."""
+    try:
+        return GCSParameters(
+            network=NetworkParameters(**data["network"]),
+            workload=WorkloadParameters(**data["workload"]),
+            attack=AttackParameters(**data["attack"]),
+            detection=DetectionParameters(**data["detection"]),
+            groups=GroupDynamicsParameters(**data["groups"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ParameterError(f"malformed parameter record: {exc}") from exc

@@ -55,3 +55,68 @@ class TestCommands:
         import repro
 
         assert repro.__version__
+
+
+class TestSweepCommand:
+    def test_sweep_parses_engine_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "num_voters=3,5", "--jobs", "2",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.axis == ["num_voters=3,5"]
+        assert args.jobs == 2 and args.cache_dir == "/tmp/x"
+
+    def test_sweep_grid(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--axis", "detection_interval_s=15,60",
+             "--axis", "num_voters=3,5", "--n", "12",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--out", str(tmp_path / "sweep.json")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out and "MTTSF_s" in out
+        artifact = (tmp_path / "sweep.json").read_text()
+        assert "cli-sweep" in artifact
+
+    def test_sweep_needs_axes(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--axis" in capsys.readouterr().err
+
+    def test_sweep_bad_axis_spec(self, capsys):
+        assert main(["sweep", "--axis", "nonsense"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_sweep_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({
+            "name": "mini",
+            "jobs": [
+                {"name": "a", "base": {"num_nodes": 12},
+                 "axes": {"detection_interval_s": [15.0, 60.0]}},
+                {"name": "b", "base": {"num_nodes": 12},
+                 "axes": {"detection_interval_s": [15.0, 60.0]}},
+            ],
+        }))
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "4 requested, 2 unique" in out
+
+    def test_run_with_cache_reuses_results(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "abl-hostids", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "abl-hostids", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+
+        def series_lines(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("==")  # header carries wall time
+            ]
+
+        assert series_lines(first) == series_lines(second)
+        cache_files = list((tmp_path / "cache").glob("v*/*/*.json"))
+        assert len(cache_files) == 5  # one per host-IDS quality level
