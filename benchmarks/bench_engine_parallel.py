@@ -17,6 +17,11 @@ N = 40):
 Runs under pytest-benchmark like the other `bench_*` files, and also as
 a standalone script (``PYTHONPATH=src python benchmarks/bench_engine_parallel.py``)
 printing a small report table.
+
+Setting ``REPRO_BENCH_REQUIRE_MULTICORE=1`` (the CI ``engine-parallel``
+job does) turns "single core, can only bound overhead" from a downgrade
+into a hard failure — it catches the silent regression where CI quietly
+stops testing the parallel path because the runner shrank to one core.
 """
 
 from __future__ import annotations
@@ -24,15 +29,12 @@ from __future__ import annotations
 import os
 import time
 
-from repro.engine import BatchRunner, ResultCache, make_backend
+from repro.engine import BatchRunner, ResultCache, available_cpus, make_backend
 from repro.engine.jobs import paper_campaign
 
 
 def _cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover — non-Linux
-        return os.cpu_count() or 1
+    return available_cpus()
 
 
 def _workers() -> int:
@@ -76,6 +78,11 @@ def _run_all(tmp_cache_dir=None):
 
 
 def _assert_claims(r) -> None:
+    if os.environ.get("REPRO_BENCH_REQUIRE_MULTICORE"):
+        assert _cpus() > 1, (
+            f"REPRO_BENCH_REQUIRE_MULTICORE is set but only {_cpus()} CPU "
+            "is usable — the parallel path is not actually being tested"
+        )
     serial_vals = _outcome_values(r["outcome_serial"])
     assert serial_vals == _outcome_values(r["outcome_cold"])
     assert serial_vals == _outcome_values(r["outcome_warm"])

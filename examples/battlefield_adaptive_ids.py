@@ -15,16 +15,21 @@ while the deployed IDS was configured for a logarithmic one:
    MTTSF;
 4. compare the model-predicted survivability before vs after adaptation.
 
-Run:  python examples/battlefield_adaptive_ids.py
+Model evaluations (before/after and every candidate the controller
+tries) are submitted through the batch engine: ``--jobs`` parallelises,
+``--cache-dir`` makes repeated candidates free.
+
+Run:  python examples/battlefield_adaptive_ids.py [--jobs N|auto] [--cache-dir DIR]
 """
 
-import dataclasses
+import argparse
 
 import numpy as np
 
 from repro import GCSParameters, Scenario
 from repro.attackers import AttackerFunction
 from repro.detection import AdaptiveIDSController
+from repro.engine import EvalRequest, make_runner
 
 TIDS_GRID = (15.0, 30.0, 60.0, 120.0, 240.0, 480.0)
 N = 40
@@ -45,6 +50,16 @@ def simulate_compromise_history(
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", default=None, help="engine workers: N, 'auto' or 'thread[:N]'"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+    args = parser.parse_args()
+    runner = make_runner(args.jobs, args.cache_dir)
+
     # Ground truth: polynomial attacker. Deployed config: logarithmic IDS.
     truth = GCSParameters.paper_defaults(
         num_nodes=N,
@@ -53,7 +68,9 @@ def main() -> None:
         detection_interval_s=240.0,
     )
     scenario = Scenario(truth)
-    before = scenario.evaluate()
+    before = runner.evaluate(
+        EvalRequest(params=truth, network=scenario.network)
+    )
     print("Deployed (mismatched) configuration:")
     print(before.summary(), "\n")
 
@@ -70,7 +87,9 @@ def main() -> None:
     # --- adapt: identify, match, re-optimise TIDS ---------------------------
     def model_mttsf(detection_params) -> float:
         candidate = truth.replacing(detection=detection_params)
-        return Scenario(candidate, network=scenario.network).evaluate().mttsf_s
+        return runner.evaluate(
+            EvalRequest(params=candidate, network=scenario.network)
+        ).mttsf_s
 
     adapted_detection = controller.adapt(
         evaluator=model_mttsf, tids_grid_s=TIDS_GRID
@@ -81,7 +100,9 @@ def main() -> None:
 
     # --- after ----------------------------------------------------------------
     adapted = truth.replacing(detection=adapted_detection)
-    after = Scenario(adapted, network=scenario.network).evaluate()
+    after = runner.evaluate(
+        EvalRequest(params=adapted, network=scenario.network)
+    )
     print("Adapted configuration:")
     print(after.summary(), "\n")
 

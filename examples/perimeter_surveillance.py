@@ -18,19 +18,35 @@ the whole chain is derived:
 4. report the chosen configuration with the exact failure-time
    variance and a distribution-free mission-survival bound.
 
-Run:  python examples/perimeter_surveillance.py
+The design sweep in step 3 is submitted through the batch engine:
+``--jobs`` fans it out over workers, ``--cache-dir`` persists it.
+
+Run:  python examples/perimeter_surveillance.py [--jobs N|auto] [--cache-dir DIR]
 """
 
-from repro import GCSParameters, Scenario
+import argparse
+
+from repro import GCSParameters, Scenario, select_optimum
 from repro.constants import HOUR, PAPER_TIDS_GRID_S
 from repro.costs import DelayModel, MessageSizes
 from repro.detection.audit import AnomalyDetector
+from repro.engine import EvalRequest, make_runner, run_tids_sweep
 
 MISSION_S = 48 * HOUR
 DELAY_BUDGET_S = 0.060  # 60 ms mean end-to-end packet delay
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", default=None, help="engine workers: N, 'auto' or 'thread[:N]'"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+    args = parser.parse_args()
+    runner = make_runner(args.jobs, args.cache_dir)
+
     # -- 1. derive (p1, p2) from the audit-feature detector ---------------
     detector = AnomalyDetector.calibrated(target_false_positive=0.01)
     host_ids = detector.to_host_ids()
@@ -56,19 +72,23 @@ def main() -> None:
     )
 
     # -- 3. optimise TIDS under the derived constraint ---------------------
-    plan = scenario.optimize(
-        PAPER_TIDS_GRID_S,
-        objective="max-mttsf",
-        cost_ceiling_hop_bits_s=ceiling,
+    curve = run_tids_sweep(
+        runner, params, PAPER_TIDS_GRID_S, network=scenario.network
+    )
+    plan = select_optimum(
+        curve, objective="max-mttsf", cost_ceiling_hop_bits_s=ceiling
     )
     print(plan.summary(), "\n")
     if not plan.feasible:
         raise SystemExit("no feasible configuration under the delay budget")
 
     # -- 4. report with exact variance and survival bound ------------------
-    chosen = scenario.evaluate(
-        detection_interval_s=plan.optimal_tids_s,
-        include_variance=True,
+    chosen = runner.evaluate(
+        EvalRequest(
+            params=params.replacing(detection_interval_s=plan.optimal_tids_s),
+            network=scenario.network,
+            include_variance=True,
+        )
     )
     print("selected configuration:")
     print(chosen.summary())

@@ -14,12 +14,17 @@ The planner sweeps the number of vote-participants ``m`` and the
 detection interval ``TIDS``, prints the feasible region, and picks the
 cheapest configuration that satisfies both requirements — exactly the
 design procedure the paper's Section 5 sketches for system designers.
+The whole (m × TIDS) grid is submitted through the batch engine, so
+``--jobs`` parallelises it and ``--cache-dir`` persists the points.
 
-Run:  python examples/rescue_mission_planning.py
+Run:  python examples/rescue_mission_planning.py [--jobs N|auto] [--cache-dir DIR]
 """
+
+import argparse
 
 from repro import GCSParameters, Scenario
 from repro.constants import HOUR
+from repro.engine import make_runner, run_tids_sweep
 
 MISSION_S = 72 * HOUR
 COST_BUDGET = 4.0e5  # hop-bits/s
@@ -28,8 +33,18 @@ M_GRID = (3, 5, 7, 9)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", default=None, help="engine workers: N, 'auto' or 'thread[:N]'"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+    args = parser.parse_args()
+
     base = GCSParameters.paper_defaults(num_nodes=40)
     scenario = Scenario(base)
+    runner = make_runner(args.jobs, args.cache_dir)
     print(scenario.describe())
     print(
         f"requirements: MTTSF >= {MISSION_S:g}s (72 h), "
@@ -39,7 +54,14 @@ def main() -> None:
     feasible = []
     print(f"{'m':>3} {'TIDS(s)':>8} {'MTTSF(h)':>10} {'Ctotal':>10}  verdict")
     for m in M_GRID:
-        for point in scenario.sweep_tids(TIDS_GRID, num_voters=m):
+        points = run_tids_sweep(
+            runner,
+            base,
+            TIDS_GRID,
+            network=scenario.network,
+            overrides={"num_voters": m},
+        )
+        for point in points:
             result = point.result
             ok_surv = result.mttsf_s >= MISSION_S
             ok_cost = result.ctotal_hop_bits_s <= COST_BUDGET
@@ -70,6 +92,7 @@ def main() -> None:
         f"({best.result.channel_utilization:.0%} of channel)"
     )
     print(f"dominant residual risk: {best.result.dominant_failure_mode}")
+    print(f"\n{runner.cache.describe()}")
 
 
 if __name__ == "__main__":

@@ -33,7 +33,7 @@ Subpackages (see DESIGN.md for the full inventory):
 """
 
 from .core.metrics import evaluate
-from .core.optimizer import optimize_tids, tradeoff_curve
+from .core.optimizer import optimize_tids, select_optimum, tradeoff_curve
 from .core.results import GCSResult
 from .core.scenario import Scenario
 from .errors import ReproError
@@ -61,5 +61,6 @@ __all__ = [
     "Scenario",
     "evaluate",
     "optimize_tids",
+    "select_optimum",
     "tradeoff_curve",
 ]

@@ -19,7 +19,8 @@ from .. import constants as C
 from ..core.optimizer import TradeoffPoint
 from ..core.results import GCSResult
 from ..core.scenario import Scenario
-from ..engine.batch import BatchRunner, EvalRequest, run_tids_sweep
+from ..engine.batch import BatchRunner, EvalRequest, evaluate_request, run_tids_sweep
+from ..engine.executor import SerialBackend
 from ..errors import ExperimentError
 from ..params import GCSParameters
 from ..sim.runner import run_replications
@@ -166,6 +167,25 @@ def _evaluate_point(
     return scenario.evaluate(**overrides)
 
 
+def _evaluate_requests(
+    config: ExperimentConfig, requests: Sequence[EvalRequest]
+) -> list[GCSResult]:
+    """Evaluate arbitrary requests through the configured runner.
+
+    With a runner the whole list is one deduplicated, cached,
+    possibly-parallel batch that aborts on any point failure (matching
+    the serial path's exception semantics); without one it is the plain
+    in-process loop over the identical evaluation code.
+    """
+    if config.runner is not None:
+        batch = config.runner.run(requests)
+        batch.report.raise_on_error()
+        results = list(batch.results)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+    return [evaluate_request(request) for request in requests]
+
+
 def _fig2(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     scenario = _base_scenario(config)
     grid = config.tids_grid
@@ -177,7 +197,7 @@ def _fig2(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
         best = max(points, key=lambda p: p.mttsf_s)
         notes.append(
             f"m={m}: optimal TIDS={best.tids_s:g}s, MTTSF={best.mttsf_s:.3e}s "
-            f"(paper: optimal TIDS=480/60/15/5 for m=3/5/7/9)"
+            "(paper: optimal TIDS=480/60/15/5 for m=3/5/7/9)"
         )
     data = DataSeries.build("fig2_mttsf_vs_tids", "TIDS_s", grid, "MTTSF_s", series)
     return [data], notes
@@ -328,22 +348,28 @@ def _ablation_ng_coupling(
     config: ExperimentConfig,
 ) -> tuple[list[DataSeries], list[str]]:
     """Decoupled vs exactly-coupled group dynamics (small N)."""
-    from ..core.metrics import evaluate
     from ..params import GroupDynamicsParameters
 
     partition_rates = (1e-6, 1e-5, 1e-4, 2.78e-4, 1e-3)
-    decoupled: list[float] = []
-    coupled: list[float] = []
     n = 12 if config.quick else 20
-    for nu_p in partition_rates:
-        params = GCSParameters.paper_defaults(
+    grid_params = [
+        GCSParameters.paper_defaults(
             num_nodes=n,
             groups=GroupDynamicsParameters(
                 partition_rate_hz=nu_p, merge_rate_hz=1.11e-3, max_groups=4
             ),
         )
-        decoupled.append(evaluate(params, method="fast").mttsf_s)
-        coupled.append(evaluate(params, method="spn-coupled").mttsf_s)
+        for nu_p in partition_rates
+    ]
+    # Both solver variants of every grid point go through the engine as
+    # one batch when a runner is configured (cached + parallelisable).
+    results = _evaluate_requests(
+        config,
+        [EvalRequest(params=p, method="fast") for p in grid_params]
+        + [EvalRequest(params=p, method="spn-coupled") for p in grid_params],
+    )
+    decoupled = [r.mttsf_s for r in results[: len(grid_params)]]
+    coupled = [r.mttsf_s for r in results[len(grid_params) :]]
     gaps = [abs(a - b) / b for a, b in zip(decoupled, coupled)]
     notes = [
         f"partition_rate={r:.1e}/s: decoupling error {g:.1%}"
@@ -364,31 +390,55 @@ def _ablation_ng_coupling(
     return [data], notes
 
 
+def _valsim_replications(task: tuple[GCSParameters, int, int]) -> tuple[float, float, float]:
+    """One grid point's replication batch (module level: pools pickle it)."""
+    params, replications, seed = task
+    summary = run_replications(
+        params, replications=replications, mode="rates", seed=seed
+    )
+    lo, hi = summary.ttsf.interval
+    return summary.ttsf.mean, lo, hi
+
+
 def _validation_sim(config: ExperimentConfig) -> tuple[list[DataSeries], list[str]]:
     """Monte Carlo vs analytic MTTSF across TIDS."""
-    from ..core.metrics import evaluate
-
     n = 12 if config.quick else 30
     reps = 150 if config.quick else 400
     grid = (15.0, 60.0, 240.0, 960.0)
-    analytic: list[float] = []
+    grid_params = [
+        GCSParameters.small_test(num_nodes=n, detection_interval_s=tids)
+        for tids in grid
+    ]
+
+    # Analytic side: one engine batch when a runner is configured.
+    analytic = [
+        r.mttsf_s
+        for r in _evaluate_requests(
+            config, [EvalRequest(params=p) for p in grid_params]
+        )
+    ]
+
+    # Simulation side: the replication batches are embarrassingly
+    # parallel across grid points, so fan them out over the runner's
+    # execution backend (they are stochastic, hence never cached).
+    backend = config.runner.backend if config.runner is not None else SerialBackend()
+    outcomes = backend.run(
+        _valsim_replications, [(p, reps, config.seed) for p in grid_params]
+    )
     sim_mean: list[float] = []
     sim_lo: list[float] = []
     sim_hi: list[float] = []
     inside = 0
-    for tids in grid:
-        params = GCSParameters.small_test(
-            num_nodes=n, detection_interval_s=tids
-        )
-        analytic.append(evaluate(params).mttsf_s)
-        summary = run_replications(
-            params, replications=reps, mode="rates", seed=config.seed
-        )
-        sim_mean.append(summary.ttsf.mean)
-        lo, hi = summary.ttsf.interval
+    for value, outcome in zip(analytic, outcomes):
+        if not outcome.ok:
+            raise ExperimentError(
+                f"replication batch failed: {outcome.error_type}: {outcome.error}"
+            )
+        mean, lo, hi = outcome.value
+        sim_mean.append(mean)
         sim_lo.append(lo)
         sim_hi.append(hi)
-        if lo <= analytic[-1] <= hi:
+        if lo <= value <= hi:
             inside += 1
     notes = [
         f"analytic MTTSF inside the 95% CI at {inside}/{len(grid)} grid points "
@@ -479,7 +529,7 @@ def _ablation_workload(config: ExperimentConfig) -> tuple[list[DataSeries], list
         mttsf_by_lq[label] = [p.mttsf_s for p in points]
 
     notes = [
-        f"optimal TIDS vs attacker tempo (λc = 1/48h, 1/12h, 1/3h): "
+        "optimal TIDS vs attacker tempo (λc = 1/48h, 1/12h, 1/3h): "
         f"{optimal_tids[0]:g}s, {optimal_tids[1]:g}s, {optimal_tids[2]:g}s "
         "(faster compromise favours more frequent detection)",
         "higher data-request rate λq inflates the C1 leak channel and "

@@ -13,9 +13,11 @@ Subcommands:
   parameter grid (or a declarative multi-job campaign) through the
   :mod:`repro.engine` cache and backends.
 
-``run``, ``paper`` and ``sweep`` all accept ``--jobs N`` (process-pool
-workers; 0/1 = serial) and ``--cache-dir DIR`` (persistent
-content-addressed result cache shared across invocations).
+``run``, ``paper`` and ``sweep`` all accept ``--jobs N|auto|thread[:N]``
+(evaluation workers; 0/1 = serial), ``--cache-dir DIR`` (persistent
+content-addressed result cache, safe to share between concurrent
+processes), ``--cache-cap-mb MB`` (LRU disk eviction cap) and
+``--verbose`` (cache hit/miss/eviction statistics).
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from typing import Any, Optional, Sequence
 from .analysis.experiments import ExperimentConfig, get_experiment, list_experiments
 from .analysis.io import write_experiment_artifacts
 from .core.metrics import evaluate as evaluate_model
-from .engine import BatchRunner, ResultCache, make_backend
+from .engine import BatchRunner, make_runner
 from .engine.jobs import Campaign, SweepJob, load_campaign
 from .errors import ParameterError, ReproError
 from .params import GCSParameters
@@ -37,30 +39,75 @@ from .params import GCSParameters
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_spec(text: str) -> "int | str":
+    """``--jobs`` argparse type: ints parse, backend specs pass through."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_spec,
         default=None,
         metavar="N",
-        help="process-pool workers for model sweeps (0/1 = serial)",
+        help=(
+            "evaluation workers: N (process pool), 'auto' (one per usable "
+            "CPU), or 'thread[:N]' (thread pool); 0/1 = serial"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="persistent result cache directory (reused across runs)",
+        help=(
+            "persistent result cache directory (reused across runs; safe "
+            "to share between concurrent processes)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "cap the disk cache at MB megabytes; least-recently-used "
+            "records are evicted beyond it (requires --cache-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print cache hit/miss/eviction statistics",
     )
 
 
-def _build_runner(
-    jobs: Optional[int], cache_dir: Optional[str]
-) -> Optional[BatchRunner]:
-    """A runner when any engine flag is set; ``None`` keeps the seed path."""
-    if jobs is None and cache_dir is None:
+def _build_runner(args: argparse.Namespace) -> Optional[BatchRunner]:
+    """A runner when any engine flag is set; ``None`` keeps the seed path.
+
+    A lone ``--cache-cap-mb`` also reaches :func:`make_runner` so its
+    "requires --cache-dir" validation fires instead of the flag being
+    silently dropped.
+    """
+    if args.jobs is None and args.cache_dir is None and args.cache_cap_mb is None:
         return None
-    cache = ResultCache(cache_dir=Path(cache_dir)) if cache_dir else ResultCache()
-    return BatchRunner(cache=cache, backend=make_backend(jobs))
+    return make_runner(args.jobs, args.cache_dir, cache_cap_mb=args.cache_cap_mb)
+
+
+def _print_cache_stats(runner: Optional[BatchRunner], verbose: bool) -> None:
+    if runner is None or not verbose:
+        return
+    print(runner.cache.describe())
+    stats = runner.cache.stats.as_dict()
+    print(
+        "cache stats: "
+        + ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in stats.items()
+        )
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +197,7 @@ def _cmd_run(
     out: Optional[str],
     plot: bool = False,
     runner: Optional[BatchRunner] = None,
+    verbose: bool = False,
 ) -> int:
     exp = get_experiment(experiment)
     result = exp.run(ExperimentConfig(quick=not full, seed=seed, runner=runner))
@@ -165,6 +213,7 @@ def _cmd_run(
     if out:
         paths = write_experiment_artifacts(result, out)
         print(f"\nartifacts: {', '.join(str(p) for p in paths)}")
+    _print_cache_stats(runner, verbose)
     return 0
 
 
@@ -173,13 +222,15 @@ def _cmd_paper(
     seed: int,
     out: Optional[str],
     runner: Optional[BatchRunner] = None,
+    verbose: bool = False,
 ) -> int:
     status = 0
     for fig in ("fig2", "fig3", "fig4", "fig5"):
         status |= _cmd_run(fig, full, seed, out, runner=runner)
         print()
-    if runner is not None:
+    if runner is not None and not verbose:
         print(runner.cache.describe())
+    _print_cache_stats(runner, verbose)
     return status
 
 
@@ -225,7 +276,7 @@ def _sweep_campaign(args: argparse.Namespace) -> Campaign:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     campaign = _sweep_campaign(args)
-    runner = _build_runner(args.jobs, args.cache_dir) or BatchRunner()
+    runner = _build_runner(args) or BatchRunner()
     outcome = campaign.run(runner)
     for job_outcome in outcome.outcomes:
         job = job_outcome.job
@@ -247,7 +298,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(" ".join(cells))
         print()
     print(outcome.report.describe())
-    print(runner.cache.describe())
+    if not args.verbose:
+        print(runner.cache.describe())
+    _print_cache_stats(runner, args.verbose)
     for error in outcome.errors:
         print(f"error: {error}", file=sys.stderr)
     if args.out:
@@ -278,7 +331,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(artifact, indent=2))
         print(f"artifact: {path}")
-    return 1 if outcome.errors else 0
+    if outcome.errors:
+        # Partial series were reported (and marked FAILED) above; the
+        # exit code must still flag them so CI never ships them silently.
+        print(
+            f"error: {len(outcome.errors)} of {outcome.report.n_requested} "
+            "grid points failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -307,14 +369,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.seed,
                 args.out,
                 plot=args.plot,
-                runner=_build_runner(args.jobs, args.cache_dir),
+                runner=_build_runner(args),
+                verbose=args.verbose,
             )
         if args.command == "paper":
             return _cmd_paper(
                 args.full,
                 args.seed,
                 args.out,
-                runner=_build_runner(args.jobs, args.cache_dir),
+                runner=_build_runner(args),
+                verbose=args.verbose,
             )
         if args.command == "evaluate":
             return _cmd_evaluate(args)

@@ -19,7 +19,13 @@ from .failure import FailureClass, is_absorbed, security_failure_condition
 from .fastpath import build_lattice_chain
 from .metrics import GCSEvaluation, evaluate
 from .model import build_gcs_spn
-from .optimizer import OptimizationResult, TradeoffPoint, optimize_tids, tradeoff_curve
+from .optimizer import (
+    OptimizationResult,
+    TradeoffPoint,
+    optimize_tids,
+    select_optimum,
+    tradeoff_curve,
+)
 from .rates import GCSRates
 from .results import GCSResult
 from .scenario import Scenario
@@ -37,6 +43,7 @@ __all__ = [
     "OptimizationResult",
     "TradeoffPoint",
     "optimize_tids",
+    "select_optimum",
     "tradeoff_curve",
     "Scenario",
 ]

@@ -25,7 +25,13 @@ from ..validation import require_sorted_unique
 from .metrics import GCSEvaluation, resolve_network
 from .results import GCSResult
 
-__all__ = ["TradeoffPoint", "OptimizationResult", "tradeoff_curve", "optimize_tids"]
+__all__ = [
+    "TradeoffPoint",
+    "OptimizationResult",
+    "tradeoff_curve",
+    "select_optimum",
+    "optimize_tids",
+]
 
 
 @dataclass(frozen=True)
@@ -144,6 +150,55 @@ def tradeoff_curve(
     return points
 
 
+def _validate_objective(
+    objective: str, cost_ceiling_hop_bits_s: Optional[float]
+) -> None:
+    if objective not in ("max-mttsf", "min-ctotal"):
+        raise ParameterError(
+            f"objective must be max-mttsf|min-ctotal, got {objective!r}"
+        )
+    if cost_ceiling_hop_bits_s is not None and cost_ceiling_hop_bits_s <= 0:
+        raise ParameterError("cost_ceiling_hop_bits_s must be > 0")
+    if objective == "min-ctotal" and cost_ceiling_hop_bits_s is not None:
+        raise ParameterError("a cost ceiling only applies to max-mttsf")
+
+
+def select_optimum(
+    curve: Sequence[TradeoffPoint],
+    *,
+    objective: str = "max-mttsf",
+    cost_ceiling_hop_bits_s: Optional[float] = None,
+) -> OptimizationResult:
+    """Pick the best point of an already-evaluated tradeoff curve.
+
+    This is the selection half of :func:`optimize_tids`, split out so
+    curves produced elsewhere — in particular by the batch engine's
+    :func:`repro.engine.batch.run_tids_sweep` — share the exact same
+    objective and feasibility semantics as the serial path.
+    """
+    _validate_objective(objective, cost_ceiling_hop_bits_s)
+
+    candidates = list(curve)
+    if cost_ceiling_hop_bits_s is not None:
+        candidates = [
+            p for p in curve if p.ctotal_hop_bits_s <= cost_ceiling_hop_bits_s
+        ]
+
+    best: Optional[TradeoffPoint] = None
+    if candidates:
+        if objective == "max-mttsf":
+            best = max(candidates, key=lambda p: p.mttsf_s)
+        else:
+            best = min(candidates, key=lambda p: p.ctotal_hop_bits_s)
+
+    return OptimizationResult(
+        objective=objective,
+        best=best,
+        curve=tuple(curve),
+        cost_ceiling_hop_bits_s=cost_ceiling_hop_bits_s,
+    )
+
+
 def optimize_tids(
     params: GCSParameters,
     tids_grid_s: Sequence[float],
@@ -163,34 +218,14 @@ def optimize_tids(
       satisfying imposed performance requirements");
     * ``"min-ctotal"`` — minimise Ĉtotal (Figure 3/5 reading).
     """
-    if objective not in ("max-mttsf", "min-ctotal"):
-        raise ParameterError(
-            f"objective must be max-mttsf|min-ctotal, got {objective!r}"
-        )
-    if cost_ceiling_hop_bits_s is not None and cost_ceiling_hop_bits_s <= 0:
-        raise ParameterError("cost_ceiling_hop_bits_s must be > 0")
-    if objective == "min-ctotal" and cost_ceiling_hop_bits_s is not None:
-        raise ParameterError("a cost ceiling only applies to max-mttsf")
+    # Validate before evaluating so bad objectives fail fast.
+    _validate_objective(objective, cost_ceiling_hop_bits_s)
 
     curve = tradeoff_curve(
         params, tids_grid_s, network=network, method=method, workers=workers
     )
-    candidates = curve
-    if cost_ceiling_hop_bits_s is not None:
-        candidates = [
-            p for p in curve if p.ctotal_hop_bits_s <= cost_ceiling_hop_bits_s
-        ]
-
-    best: Optional[TradeoffPoint] = None
-    if candidates:
-        if objective == "max-mttsf":
-            best = max(candidates, key=lambda p: p.mttsf_s)
-        else:
-            best = min(candidates, key=lambda p: p.ctotal_hop_bits_s)
-
-    return OptimizationResult(
+    return select_optimum(
+        curve,
         objective=objective,
-        best=best,
-        curve=tuple(curve),
         cost_ceiling_hop_bits_s=cost_ceiling_hop_bits_s,
     )

@@ -16,11 +16,19 @@ Modules:
 
 =================  ====================================================
 ``keys``           content-addressed scenario fingerprints
-``cache``          persistent disk store + in-memory LRU, hit/miss stats
-``executor``       serial / process-pool backends with error capture
+``locks``          advisory file locking (fcntl/msvcrt) for shared dirs
+``cache``          persistent disk store (locked writes, LRU eviction)
+                   + in-memory LRU, hit/miss/eviction stats
+``executor``       serial / process-pool / thread-pool backends with
+                   error capture; ``make_backend("auto")`` selection
 ``batch``          dedup → cache → evaluate → store composition
 ``jobs``           declarative job specs and multi-figure campaigns
 =================  ====================================================
+
+A cache directory may be shared by many concurrent processes: record
+writes are atomic (tmp + rename), multi-file mutations are serialised
+by an advisory file lock, and ``max_disk_bytes`` bounds the store with
+LRU-by-mtime eviction.
 """
 
 from .batch import (
@@ -30,6 +38,7 @@ from .batch import (
     EvalRequest,
     PointError,
     evaluate_request,
+    make_runner,
     run_tids_sweep,
 )
 from .cache import CacheStats, ResultCache, result_from_dict
@@ -38,10 +47,13 @@ from .executor import (
     PointOutcome,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
+    available_cpus,
     make_backend,
 )
 from .jobs import Campaign, JobOutcome, SweepJob, load_campaign, paper_campaign
 from .keys import SCHEMA_VERSION, params_from_dict, scenario_fingerprint
+from .locks import FileLock
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -50,16 +62,20 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "result_from_dict",
+    "FileLock",
     "ExecutionBackend",
     "PointOutcome",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "available_cpus",
     "make_backend",
     "EvalRequest",
     "PointError",
     "BatchReport",
     "BatchResult",
     "BatchRunner",
+    "make_runner",
     "evaluate_request",
     "run_tids_sweep",
     "Campaign",

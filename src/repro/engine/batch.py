@@ -17,17 +17,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..core.metrics import GCSEvaluation, resolve_network
 from ..core.optimizer import TradeoffPoint
 from ..core.results import GCSResult
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ParameterError
 from ..manet.network import NetworkModel
 from ..params import GCSParameters
 from ..validation import require_sorted_unique
 from .cache import ResultCache
-from .executor import ExecutionBackend, SerialBackend
+from .executor import ExecutionBackend, SerialBackend, make_backend
 from .keys import scenario_fingerprint
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "BatchReport",
     "BatchResult",
     "BatchRunner",
+    "make_runner",
     "run_tids_sweep",
 ]
 
@@ -248,6 +250,30 @@ class BatchRunner:
 
     def describe(self) -> str:
         return f"BatchRunner({self.backend.describe()}; {self.cache.describe()})"
+
+
+def make_runner(
+    jobs: "int | str | None" = None,
+    cache_dir: "str | Path | None" = None,
+    *,
+    cache_cap_mb: Optional[float] = None,
+) -> BatchRunner:
+    """One-call runner factory shared by the CLI and the examples.
+
+    ``jobs`` follows the :func:`~repro.engine.executor.make_backend`
+    grammar (``N``, ``"auto"``, ``"thread[:N]"``; ``None`` = serial).
+    ``cache_dir=None`` gives a memory-only cache; ``cache_cap_mb``
+    bounds a persistent one (LRU-by-mtime disk eviction).
+    """
+    if cache_cap_mb is not None and cache_dir is None:
+        raise ParameterError("cache_cap_mb requires cache_dir")
+    cache = ResultCache(
+        cache_dir=Path(cache_dir) if cache_dir is not None else None,
+        max_disk_bytes=int(cache_cap_mb * 1024 * 1024)
+        if cache_cap_mb is not None
+        else None,
+    )
+    return BatchRunner(cache=cache, backend=make_backend(jobs))
 
 
 # ---------------------------------------------------------------------------

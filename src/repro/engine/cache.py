@@ -11,9 +11,24 @@ hit — bumping :data:`~repro.engine.keys.SCHEMA_VERSION` invalidates the
 whole store without deleting anything (``prune_stale_versions`` reclaims
 the space on request).
 
-The in-memory layer is a plain ordered-dict LRU in front of the disk
-store; :class:`CacheStats` counts hits split by layer so the benchmark
-can report warm-cache hit rates.
+The store is safe to share between processes:
+
+* every record write is write-to-tmp + ``os.replace``, so readers never
+  observe a torn record no matter when the writer dies;
+* a truncated / corrupt / mid-replace-missing record is treated as a
+  miss (and counted), never an exception;
+* multi-file mutations (disk eviction, version pruning) run under an
+  advisory :class:`~repro.engine.locks.FileLock` on
+  ``<cache_dir>/v<version>/.lock``, so concurrent writers cooperate
+  instead of double-deleting.
+
+``max_disk_bytes`` bounds the on-disk layer: when a store pushes the
+current version directory over the cap, the least-recently-*used*
+records (mtime order — disk hits refresh mtime) are evicted until the
+directory fits again. The in-memory layer is a plain ordered-dict LRU
+in front of the disk store; :class:`CacheStats` counts hits split by
+layer plus evictions on both layers so the benchmark and the CLI's
+``--verbose`` can report them.
 """
 
 from __future__ import annotations
@@ -29,6 +44,7 @@ from typing import Any, Mapping, Optional
 from ..core.results import GCSResult
 from ..errors import ParameterError
 from .keys import SCHEMA_VERSION, params_from_dict
+from .locks import FileLock
 
 __all__ = ["CacheStats", "ResultCache", "result_from_dict"]
 
@@ -66,6 +82,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
+    disk_bytes_evicted: int = 0
     corrupt_records: int = 0
 
     @property
@@ -88,6 +106,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
+            "disk_bytes_evicted": self.disk_bytes_evicted,
             "corrupt_records": self.corrupt_records,
             "hit_rate": self.hit_rate,
         }
@@ -101,10 +121,14 @@ class ResultCache:
     persisted — which is what ephemeral sweeps and most tests want.
     ``memory_capacity`` bounds the LRU layer; 0 disables it entirely
     (every hit then reads from disk, useful for testing persistence).
+    ``max_disk_bytes`` caps the on-disk layer (LRU-by-mtime eviction);
+    ``None`` leaves it unbounded. One directory may be shared by many
+    concurrent processes — see the module docstring for the guarantees.
     """
 
     cache_dir: Optional[Path] = None
     memory_capacity: int = 4096
+    max_disk_bytes: Optional[int] = None
     version: int = SCHEMA_VERSION
     stats: CacheStats = field(default_factory=CacheStats)
 
@@ -113,45 +137,80 @@ class ResultCache:
             raise ParameterError(
                 f"memory_capacity must be >= 0, got {self.memory_capacity}"
             )
+        if self.max_disk_bytes is not None and self.max_disk_bytes <= 0:
+            raise ParameterError(
+                f"max_disk_bytes must be > 0, got {self.max_disk_bytes}"
+            )
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
         self._memory: OrderedDict[str, GCSResult] = OrderedDict()
+        self._lock: Optional[FileLock] = (
+            FileLock(self._version_dir() / ".lock")
+            if self.cache_dir is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
-    def _record_path(self, key: str) -> Path:
+    def _version_dir(self) -> Path:
         assert self.cache_dir is not None
-        return self.cache_dir / f"v{self.version}" / key[:2] / f"{key}.json"
+        return self.cache_dir / f"v{self.version}"
+
+    def _record_path(self, key: str) -> Path:
+        return self._version_dir() / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[GCSResult]:
         """Look ``key`` up; ``None`` on miss. Promotes disk hits to the
-        memory layer and silently treats corrupt records as misses."""
+        memory layer, refreshes their LRU recency (mtime), and treats
+        torn / corrupt / concurrently-evicted records as misses."""
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
             return self._memory[key]
         if self.cache_dir is not None:
             path = self._record_path(key)
-            if path.exists():
+            try:
+                record = json.loads(path.read_text())
+                if record.get("version") != self.version:
+                    raise ParameterError("schema version mismatch")
+                result = result_from_dict(record["result"])
+            except FileNotFoundError:
+                pass  # plain miss (never written, or evicted under us)
+            except (OSError, ValueError, KeyError, ParameterError):
+                self.stats.corrupt_records += 1
+            else:
+                self.stats.disk_hits += 1
                 try:
-                    record = json.loads(path.read_text())
-                    if record.get("version") != self.version:
-                        raise ParameterError("schema version mismatch")
-                    result = result_from_dict(record["result"])
-                except (OSError, ValueError, KeyError, ParameterError):
-                    self.stats.corrupt_records += 1
-                else:
-                    self.stats.disk_hits += 1
-                    self._remember(key, result)
-                    return result
+                    os.utime(path)  # refresh LRU recency for eviction
+                except OSError:
+                    pass  # concurrently evicted; the hit still counts
+                self._remember(key, result)
+                return result
         self.stats.misses += 1
         return None
 
     def put(self, key: str, result: GCSResult) -> None:
-        """Store under ``key`` in both layers (atomic disk write)."""
+        """Store under ``key`` in both layers.
+
+        The disk write is write-to-tmp + atomic rename, which is safe
+        against concurrent writers on its own; only when a size cap is
+        configured does the write-plus-eviction pair additionally take
+        the advisory file lock (eviction is a multi-file
+        read-modify-write, and two unlocked evictors would
+        double-delete). Uncapped writers therefore never contend.
+        """
         self._remember(key, result)
         self.stats.stores += 1
         if self.cache_dir is None:
             return
+        if self.max_disk_bytes is None:
+            self._write_record(key, result)
+            return
+        assert self._lock is not None
+        with self._lock:
+            self._write_record(key, result)
+            self._enforce_disk_cap(protect=key)
+
+    def _write_record(self, key: str, result: GCSResult) -> None:
         path = self._record_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": key, "version": self.version, "result": result.to_dict()}
@@ -169,6 +228,53 @@ class ResultCache:
                 pass
             raise
 
+    # ------------------------------------------------------------------
+    def disk_usage_bytes(self) -> int:
+        """Total size of the current version's records (0 when ephemeral)."""
+        if self.cache_dir is None:
+            return 0
+        total = 0
+        for record in self._version_dir().glob("*/*.json"):
+            try:
+                total += record.stat().st_size
+            except OSError:
+                pass  # evicted by another process mid-walk
+        return total
+
+    def _enforce_disk_cap(self, *, protect: str) -> None:
+        """Evict least-recently-used records until the cap holds.
+
+        Caller must hold ``self._lock``. The just-written ``protect``
+        record is never the victim, so the cap can be exceeded by at
+        most one record (when a single record is larger than the cap).
+        """
+        assert self.max_disk_bytes is not None
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        protect_path = self._record_path(protect)
+        for record in self._version_dir().glob("*/*.json"):
+            try:
+                stat = record.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            if record != protect_path:
+                entries.append((stat.st_mtime, stat.st_size, record))
+        if total <= self.max_disk_bytes:
+            return
+        entries.sort()  # oldest mtime first == least recently used
+        for _, size, record in entries:
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                record.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.disk_evictions += 1
+            self.stats.disk_bytes_evicted += size
+
+    # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
@@ -178,7 +284,7 @@ class ResultCache:
         """Number of persisted records (memory-only size when ephemeral)."""
         if self.cache_dir is None:
             return len(self._memory)
-        root = self.cache_dir / f"v{self.version}"
+        root = self._version_dir()
         return sum(1 for _ in root.glob("*/*.json")) if root.exists() else 0
 
     # ------------------------------------------------------------------
@@ -202,24 +308,32 @@ class ResultCache:
         if self.cache_dir is None or not self.cache_dir.exists():
             return 0
         removed = 0
-        for vdir in self.cache_dir.glob("v*"):
-            if vdir.name == f"v{self.version}" or not vdir.is_dir():
-                continue
-            for record in vdir.glob("*/*.json"):
-                record.unlink()
-                removed += 1
-            for shard in sorted(vdir.glob("*"), reverse=True):
-                if shard.is_dir() and not any(shard.iterdir()):
-                    shard.rmdir()
-            if not any(vdir.iterdir()):
-                vdir.rmdir()
+        assert self._lock is not None
+        with self._lock:
+            for vdir in self.cache_dir.glob("v*"):
+                if vdir.name == f"v{self.version}" or not vdir.is_dir():
+                    continue
+                for record in vdir.glob("*/*.json"):
+                    record.unlink()
+                    removed += 1
+                for shard in sorted(vdir.glob("*"), reverse=True):
+                    if shard.is_dir() and not any(shard.iterdir()):
+                        shard.rmdir()
+                if not any(vdir.iterdir()):
+                    vdir.rmdir()
         return removed
 
     def describe(self) -> str:
         where = str(self.cache_dir) if self.cache_dir else "memory-only"
         s = self.stats
-        return (
+        line = (
             f"ResultCache[{where}] v{self.version}: {len(self)} records, "
             f"{s.hits} hits ({s.memory_hits} mem / {s.disk_hits} disk), "
             f"{s.misses} misses, hit rate {s.hit_rate:.1%}"
         )
+        if self.max_disk_bytes is not None:
+            line += (
+                f"; disk {self.disk_usage_bytes()}/{self.max_disk_bytes} B, "
+                f"{s.disk_evictions} evicted"
+            )
+        return line

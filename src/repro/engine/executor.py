@@ -1,27 +1,37 @@
 """Pluggable execution backends for batch evaluation.
 
-Two backends behind one ``run(fn, items)`` contract:
+Three backends behind one ``run(fn, items)`` contract:
 
 * :class:`SerialBackend` — in-process loop, zero overhead, the
   reference semantics;
 * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool
-  with chunked dispatch (one IPC round-trip per chunk, not per point).
+  with chunked dispatch (one IPC round-trip per chunk, not per point);
+* :class:`ThreadPoolBackend` — ``concurrent.futures`` thread pool for
+  workloads that release the GIL (the scipy sparse solves at the heart
+  of an evaluation spend their time in native code); zero pickling, so
+  it also accepts unpicklable callables and items.
 
-Both return :class:`PointOutcome` records in **input order** regardless
-of completion order, and both capture per-point exceptions into the
+All return :class:`PointOutcome` records in **input order** regardless
+of completion order, and all capture per-point exceptions into the
 outcome instead of aborting the whole batch — a sweep with one
-pathological grid point still yields the other N−1 results. The two
+pathological grid point still yields the other N−1 results. The
 backends are observationally equivalent: same inputs, same outcomes,
 same ordering (asserted by the test suite).
+
+:func:`make_backend` maps the CLI's ``--jobs`` grammar (``N``,
+``auto``, ``thread``, ``thread:N``) onto a backend;
+:func:`available_cpus` is the ``auto`` worker count (cgroup/affinity
+aware where the platform exposes it).
 """
 
 from __future__ import annotations
 
 import math
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Protocol, Sequence
+from typing import Any, Callable, Optional, Protocol, Sequence, Union
 
 from ..errors import ParameterError
 
@@ -30,6 +40,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "available_cpus",
     "make_backend",
 ]
 
@@ -153,9 +165,88 @@ class ProcessPoolBackend:
         return f"process-pool(workers={self.max_workers})"
 
 
-def make_backend(jobs: Optional[int]) -> ExecutionBackend:
-    """``jobs`` semantics shared by the CLI: ``None``/0/1 → serial,
-    ``n > 1`` → a process pool with ``n`` workers."""
+class ThreadPoolBackend:
+    """Thread-pool backend for solver-releasing-GIL workloads.
+
+    The heavy part of a model evaluation — the sparse linear solve —
+    runs in native scipy/BLAS code that releases the GIL, so threads
+    overlap it without process spin-up or pickling costs. Pure-Python
+    stages still serialise on the GIL, which is why the process pool
+    stays the default for ``--jobs N``; threads win when spawn cost or
+    unpicklable work dominates.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[PointOutcome]:
+        indexed = list(enumerate(items))
+        if not indexed:
+            return []
+        if len(indexed) == 1:  # pool spin-up is never worth one point
+            return SerialBackend().run(fn, items)
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(indexed))
+        ) as pool:
+            futures = [
+                pool.submit(_evaluate_one, fn, index, item)
+                for index, item in indexed
+            ]
+            return [future.result() for future in futures]
+
+    def describe(self) -> str:
+        return f"thread-pool(workers={self.max_workers})"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover — macOS / Windows
+        return os.cpu_count() or 1
+
+
+def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
+    """Map the shared ``--jobs`` grammar onto a backend.
+
+    * ``None`` / ``0`` / ``1`` / ``"serial"`` — :class:`SerialBackend`;
+    * ``n > 1`` (int or numeric string) — process pool with ``n``
+      workers;
+    * ``"auto"`` — process pool sized to :func:`available_cpus`
+      (serial when only one CPU is usable);
+    * ``"thread"`` / ``"thread:auto"`` — thread pool sized to
+      :func:`available_cpus`;
+    * ``"thread:N"`` — thread pool with ``N`` workers.
+    """
+    if isinstance(jobs, str):
+        spec = jobs.strip().lower()
+        if spec == "serial":
+            return SerialBackend()
+        if spec == "auto":
+            n = available_cpus()
+            return SerialBackend() if n <= 1 else ProcessPoolBackend(max_workers=n)
+        if spec == "thread" or spec.startswith("thread:"):
+            _, colon, count = spec.partition(":")
+            if count == "auto" or not colon:
+                return ThreadPoolBackend(max_workers=available_cpus())
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ParameterError(
+                    "thread worker count must be an integer or 'auto', "
+                    f"got {jobs!r}"
+                ) from None
+            return ThreadPoolBackend(max_workers=workers)
+        try:
+            jobs = int(spec)
+        except ValueError:
+            raise ParameterError(
+                f"jobs must be N, 'auto', 'serial' or 'thread[:N]', got {jobs!r}"
+            ) from None
     if jobs is not None and jobs < 0:
         raise ParameterError(f"jobs must be >= 0, got {jobs}")
     if jobs is None or jobs <= 1:

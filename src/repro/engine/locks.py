@@ -1,0 +1,145 @@
+"""Advisory file locking behind one small seam.
+
+The shared result cache lets N worker *processes* point at one
+``--cache-dir``. Individual record writes are already safe without any
+lock (write-to-tmp + ``os.replace`` is atomic on POSIX and NTFS), but
+two mutations are read-modify-write over many files and would race
+without mutual exclusion:
+
+* disk eviction — two evictors both summing sizes and both deleting
+  "the oldest" records can overshoot the cap's hysteresis or delete a
+  record the other just promoted;
+* stale-version pruning — walking and rmdir'ing shard directories while
+  another process recreates them.
+
+:class:`FileLock` wraps the platform advisory-lock primitive —
+``fcntl.flock`` on POSIX, ``msvcrt.locking`` on Windows — as a
+re-entrant context manager over a dedicated lockfile (never over a data
+file, so locks survive ``os.replace`` of the records they guard). On
+exotic platforms with neither primitive it degrades to a no-op and says
+so via :attr:`FileLock.advisory`; single-process use stays correct
+because every write is still atomic.
+
+Advisory means *cooperating* writers: processes that mutate the cache
+through :class:`~repro.engine.cache.ResultCache` exclude each other,
+while readers never block (they rely on atomic replace, not the lock).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from types import TracebackType
+from typing import Optional
+
+__all__ = ["FileLock"]
+
+try:  # POSIX
+    import fcntl
+
+    def _acquire(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+    def _release(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+    _HAVE_LOCKS = True
+except ImportError:  # pragma: no cover — Windows
+    try:
+        import msvcrt
+
+        def _acquire(fd: int) -> None:
+            # Lock one byte at offset 0. LK_LOCK is not truly blocking:
+            # it retries once per second for ~10 attempts and then
+            # raises OSError, so loop until the lock is actually held
+            # to match the fcntl path's block-until-available contract.
+            os.lseek(fd, 0, os.SEEK_SET)
+            while True:
+                try:
+                    msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                    return
+                except OSError:
+                    continue
+
+        def _release(fd: int) -> None:
+            os.lseek(fd, 0, os.SEEK_SET)
+            msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+
+        _HAVE_LOCKS = True
+    except ImportError:  # pragma: no cover — neither primitive
+
+        def _acquire(fd: int) -> None:
+            pass
+
+        def _release(fd: int) -> None:
+            pass
+
+        _HAVE_LOCKS = False
+
+
+class FileLock:
+    """Re-entrant advisory lock on a dedicated lockfile.
+
+    ``with FileLock(path):`` blocks until the calling process holds the
+    exclusive advisory lock on ``path`` (created on demand, never
+    deleted — deleting a lockfile while another process holds its fd
+    would split future lockers onto a fresh inode and void exclusion).
+
+    Re-entrancy is per *instance*, which matches the cache's usage (one
+    lock object per :class:`~repro.engine.cache.ResultCache`); the OS
+    lock itself is per process, so nested instances in one process
+    would deadlock on ``flock`` platforms and must share the instance.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._depth = 0
+
+    @property
+    def advisory(self) -> bool:
+        """True when a real OS locking primitive backs this lock."""
+        return _HAVE_LOCKS
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def acquire(self) -> "FileLock":
+        if self._depth == 0:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                _acquire(self._fd)
+            except OSError:
+                os.close(self._fd)
+                self._fd = None
+                raise
+        self._depth += 1
+        return self
+
+    def release(self) -> None:
+        if self._depth == 0:
+            raise RuntimeError(f"release of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                _release(self._fd)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        state = "held" if self.held else "free"
+        return f"FileLock({self.path}, {state}, advisory={self.advisory})"

@@ -66,6 +66,36 @@ class TestSweepCommand:
         assert args.axis == ["num_voters=3,5"]
         assert args.jobs == 2 and args.cache_dir == "/tmp/x"
 
+    def test_jobs_accepts_backend_grammar(self):
+        args = build_parser().parse_args(["run", "fig2", "--jobs", "auto"])
+        assert args.jobs == "auto"
+        args = build_parser().parse_args(["run", "fig2", "--jobs", "thread:2"])
+        assert args.jobs == "thread:2"
+
+    def test_bad_jobs_spec_is_an_error(self, capsys):
+        assert main(["run", "scale", "--jobs", "nonsense"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_cache_cap_requires_cache_dir(self, capsys):
+        assert main(["run", "scale", "--jobs", "0", "--cache-cap-mb", "1"]) == 2
+        assert "cache_cap_mb" in capsys.readouterr().err
+        # A lone --cache-cap-mb must fail the same way, not be silently
+        # dropped because no other engine flag was given.
+        assert main(["run", "scale", "--cache-cap-mb", "1"]) == 2
+        assert "cache_cap_mb" in capsys.readouterr().err
+
+    def test_verbose_prints_cache_stats(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--axis", "detection_interval_s=15,60", "--n", "12",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--cache-cap-mb", "8", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache stats:" in out
+        assert "disk_evictions=0" in out
+        assert "misses=2" in out
+
     def test_sweep_grid(self, capsys, tmp_path):
         code = main(
             ["sweep", "--axis", "detection_interval_s=15,60",
@@ -103,6 +133,23 @@ class TestSweepCommand:
         assert main(["sweep", "--spec", str(spec)]) == 0
         out = capsys.readouterr().out
         assert "4 requested, 2 unique" in out
+
+    def test_point_errors_exit_nonzero_not_silent(self, capsys, tmp_path):
+        import json
+
+        # A bogus method passes spec construction but fails per point at
+        # evaluation time: the series must be marked FAILED and the exit
+        # code must flag it (never a silent 0 with partial data).
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "name": "bad", "base": {"num_nodes": 12}, "method": "bogus",
+            "axes": {"detection_interval_s": [15.0, 60.0]},
+        }))
+        out_path = tmp_path / "partial.json"
+        assert main(["sweep", "--spec", str(spec), "--out", str(out_path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out.count("FAILED") == 4  # 2 points x 2 metrics
+        assert "2 of 2 grid points failed" in captured.err
 
     def test_run_with_cache_reuses_results(self, capsys, tmp_path):
         cache = str(tmp_path / "cache")

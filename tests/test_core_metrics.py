@@ -1,11 +1,10 @@
 """Evaluation pipeline: solver-path agreement, metrics, breakdowns."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import GCSEvaluation, Scenario, build_lattice_chain, evaluate
+from repro.core import Scenario, build_lattice_chain, evaluate
 from repro.core.metrics import resolve_network
 from repro.errors import ParameterError
 from repro.manet import NetworkModel

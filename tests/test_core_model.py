@@ -1,8 +1,6 @@
 """Core model: failure conditions, rates, the Figure 1 SPN."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core import GCSRates, build_gcs_spn, security_failure_condition

@@ -1,6 +1,5 @@
 """Communication-cost model: component equations, aggregation, ledger parity."""
 
-import numpy as np
 import pytest
 
 from repro.costs import ComponentRates, CostContext, GCSCostModel, MessageSizes

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
@@ -12,12 +13,16 @@ from repro.engine import (
     BatchRunner,
     Campaign,
     EvalRequest,
+    FileLock,
     ProcessPoolBackend,
     ResultCache,
     SerialBackend,
     SweepJob,
+    ThreadPoolBackend,
+    available_cpus,
     load_campaign,
     make_backend,
+    make_runner,
     paper_campaign,
     params_from_dict,
     result_from_dict,
@@ -183,6 +188,153 @@ class TestResultCache:
         )
         assert result_from_dict(rich.to_dict()) == rich
 
+    def test_truncated_record_is_a_miss_not_a_crash(self, tmp_path, params, reference):
+        # A torn write (powered-off writer without the atomic-rename
+        # protection) leaves a prefix of valid JSON; readers must treat
+        # it as a miss and count it, never raise.
+        cache = ResultCache(cache_dir=tmp_path, memory_capacity=0)
+        key = scenario_fingerprint(params)
+        cache.put(key, reference)
+        record = next(tmp_path.glob("v*/*/*.json"))
+        full = record.read_text()
+        record.write_text(full[: len(full) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_records == 1
+        # An empty record (0-byte file) is the same story.
+        record.write_text("")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_records == 2
+
+    def test_missing_record_is_plain_miss(self, tmp_path, params):
+        # Concurrent eviction deletes files under a reader; that is a
+        # miss, not a "corrupt record".
+        cache = ResultCache(cache_dir=tmp_path, memory_capacity=0)
+        assert cache.get(scenario_fingerprint(params)) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt_records == 0
+
+
+# ---------------------------------------------------------------------------
+# locks
+# ---------------------------------------------------------------------------
+
+class TestFileLock:
+    def test_acquire_release_and_reentrancy(self, tmp_path):
+        lock = FileLock(tmp_path / "sub" / ".lock")
+        assert not lock.held
+        with lock:
+            assert lock.held
+            with lock:  # re-entrant on the same instance
+                assert lock.held
+            assert lock.held
+        assert not lock.held
+        assert (tmp_path / "sub" / ".lock").exists()
+
+    def test_release_unheld_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unheld"):
+            FileLock(tmp_path / ".lock").release()
+
+    def test_advisory_on_posix(self, tmp_path):
+        assert FileLock(tmp_path / ".lock").advisory is True
+
+    def test_exception_releases(self, tmp_path):
+        lock = FileLock(tmp_path / ".lock")
+        with pytest.raises(ValueError):
+            with lock:
+                raise ValueError("boom")
+        assert not lock.held
+
+
+# ---------------------------------------------------------------------------
+# disk eviction
+# ---------------------------------------------------------------------------
+
+class TestDiskEviction:
+    def _record_size(self, tmp_path, reference) -> int:
+        probe = ResultCache(cache_dir=tmp_path / "probe")
+        probe.put("aa" * 32, reference)
+        return next((tmp_path / "probe").glob("v*/*/*.json")).stat().st_size
+
+    def test_cap_validation(self, tmp_path):
+        with pytest.raises(ParameterError, match="max_disk_bytes"):
+            ResultCache(cache_dir=tmp_path, max_disk_bytes=0)
+
+    def test_size_cap_honored(self, tmp_path, reference):
+        size = self._record_size(tmp_path, reference)
+        cache = ResultCache(
+            cache_dir=tmp_path / "c",
+            max_disk_bytes=3 * size,
+            memory_capacity=0,
+        )
+        for i in range(8):
+            cache.put(f"{i:02d}" + "a" * 62, reference)
+            time.sleep(0.01)  # distinct mtimes on coarse filesystems
+            assert cache.disk_usage_bytes() <= 3 * size
+        assert len(cache) == 3
+        assert cache.stats.disk_evictions == 5
+        assert cache.stats.disk_bytes_evicted == 5 * size
+
+    def test_lru_by_mtime_victim_selection(self, tmp_path, reference):
+        size = self._record_size(tmp_path, reference)
+        cache = ResultCache(
+            cache_dir=tmp_path / "c",
+            max_disk_bytes=3 * size,
+            memory_capacity=0,  # force disk reads so mtime refreshes
+        )
+        keys = [f"{i:02d}" + "b" * 62 for i in range(3)]
+        for key in keys:
+            cache.put(key, reference)
+            time.sleep(0.01)
+        # Touch the oldest record: it becomes most-recently-used …
+        assert cache.get(keys[0]) is not None
+        time.sleep(0.01)
+        cache.put("ff" + "b" * 62, reference)
+        # … so the eviction victim is keys[1], not keys[0].
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.stats.disk_evictions == 1
+
+    def test_single_record_larger_than_cap_survives(self, tmp_path, reference):
+        cache = ResultCache(
+            cache_dir=tmp_path / "c", max_disk_bytes=1, memory_capacity=0
+        )
+        cache.put("aa" + "c" * 62, reference)
+        # The just-written record is protected even when it alone busts
+        # the cap (the cap may overshoot by at most one record).
+        assert cache.get("aa" + "c" * 62) is not None
+        # The next put evicts the previous one and keeps itself.
+        cache.put("bb" + "c" * 62, reference)
+        assert len(cache) == 1
+        assert cache.get("bb" + "c" * 62) is not None
+
+    def test_unbounded_by_default(self, tmp_path, reference):
+        cache = ResultCache(cache_dir=tmp_path)
+        for i in range(6):
+            cache.put(f"{i:02d}" + "d" * 62, reference)
+        assert len(cache) == 6
+        assert cache.stats.disk_evictions == 0
+
+
+# ---------------------------------------------------------------------------
+# runner factory
+# ---------------------------------------------------------------------------
+
+class TestMakeRunner:
+    def test_defaults_are_serial_and_ephemeral(self):
+        runner = make_runner()
+        assert isinstance(runner.backend, SerialBackend)
+        assert runner.cache.cache_dir is None
+
+    def test_flags_build_cache_and_backend(self, tmp_path):
+        runner = make_runner("thread:2", tmp_path, cache_cap_mb=1.0)
+        assert isinstance(runner.backend, ThreadPoolBackend)
+        assert runner.cache.cache_dir == tmp_path
+        assert runner.cache.max_disk_bytes == 1024 * 1024
+
+    def test_cap_requires_cache_dir(self):
+        with pytest.raises(ParameterError, match="cache_cap_mb"):
+            make_runner(cache_cap_mb=1.0)
+
 
 # ---------------------------------------------------------------------------
 # executors
@@ -212,7 +364,24 @@ class TestExecutors:
             (o.index, o.value, o.error) for o in pooled
         ]
 
-    @pytest.mark.parametrize("backend", [SerialBackend(), ProcessPoolBackend(2)])
+    def test_thread_pool_matches_serial(self):
+        items = list(range(7))
+        serial = SerialBackend().run(_square, items)
+        threaded = ThreadPoolBackend(3).run(_square, items)
+        assert [(o.index, o.value, o.error) for o in serial] == [
+            (o.index, o.value, o.error) for o in threaded
+        ]
+
+    def test_thread_pool_accepts_unpicklable_fn(self):
+        # Closures can't cross a process boundary; threads don't care.
+        offset = 10
+        outcomes = ThreadPoolBackend(2).run(lambda x: x + offset, [1, 2, 3])
+        assert [o.value for o in outcomes] == [11, 12, 13]
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ProcessPoolBackend(2), ThreadPoolBackend(2)],
+    )
     def test_error_capture(self, backend):
         outcomes = backend.run(_explode_on_two, [1, 2, 3])
         assert [o.ok for o in outcomes] == [True, False, True]
@@ -221,9 +390,12 @@ class TestExecutors:
         # Original exception object crosses the process boundary.
         assert isinstance(outcomes[1].exception, ValueError)
 
-    def test_empty_and_single_item(self):
-        assert ProcessPoolBackend(2).run(_square, []) == []
-        assert ProcessPoolBackend(2).run(_square, [4])[0].value == 16
+    @pytest.mark.parametrize(
+        "backend", [ProcessPoolBackend(2), ThreadPoolBackend(2)]
+    )
+    def test_empty_and_single_item(self, backend):
+        assert backend.run(_square, []) == []
+        assert backend.run(_square, [4])[0].value == 16
 
     def test_make_backend_semantics(self):
         assert isinstance(make_backend(None), SerialBackend)
@@ -233,11 +405,35 @@ class TestExecutors:
         with pytest.raises(ParameterError):
             make_backend(-1)
 
+    def test_make_backend_string_grammar(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("1"), SerialBackend)
+        assert isinstance(make_backend("3"), ProcessPoolBackend)
+        auto = make_backend("auto")
+        if available_cpus() > 1:
+            assert isinstance(auto, ProcessPoolBackend)
+            assert auto.max_workers == available_cpus()
+        else:
+            assert isinstance(auto, SerialBackend)
+        threads = make_backend("thread")
+        assert isinstance(threads, ThreadPoolBackend)
+        assert threads.max_workers == available_cpus()
+        assert make_backend("thread:5").max_workers == 5
+        assert isinstance(make_backend("thread:auto"), ThreadPoolBackend)
+        for bad in ("nonsense", "thread:x", "thread:"):
+            with pytest.raises(ParameterError):
+                make_backend(bad)
+
     def test_backend_validation(self):
         with pytest.raises(ParameterError):
             ProcessPoolBackend(0)
         with pytest.raises(ParameterError):
             ProcessPoolBackend(2, chunksize=0)
+        with pytest.raises(ParameterError):
+            ThreadPoolBackend(0)
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +626,27 @@ class TestExperimentIntegration:
         from repro.analysis.experiments import ExperimentConfig, get_experiment
 
         exp = get_experiment("abl-hostids")
+        seed_path = exp.run(ExperimentConfig(quick=True))
+        engine_path = exp.run(
+            ExperimentConfig(quick=True, runner=BatchRunner())
+        )
+        assert [s.to_dict() for s in seed_path.series] == [
+            s.to_dict() for s in engine_path.series
+        ]
+        assert seed_path.notes == engine_path.notes
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("experiment_id", ["abl-coupling", "val-sim"])
+    def test_newly_routed_experiments_identical_to_seed_path(
+        self, experiment_id
+    ):
+        # PR 2 routed the last registry experiments through the engine:
+        # abl-coupling (two solver variants per point, one batch) and
+        # val-sim (analytic batch + replication fan-out). Both must be
+        # byte-identical to the serial path.
+        from repro.analysis.experiments import ExperimentConfig, get_experiment
+
+        exp = get_experiment(experiment_id)
         seed_path = exp.run(ExperimentConfig(quick=True))
         engine_path = exp.run(
             ExperimentConfig(quick=True, runner=BatchRunner())

@@ -1,0 +1,112 @@
+"""Concurrent multi-process cache-sharing stress tests.
+
+The acceptance bar for the shared result store: N independent worker
+*processes* pointed at one ``--cache-dir`` must produce byte-identical
+series to the serial path, leave zero torn or corrupt records behind,
+and — when a size cap is configured — never let the directory exceed
+it.
+
+Process count scales with ``REPRO_TEST_JOBS`` (the CI ``engine-parallel``
+job sets 4; the default 3 keeps single-core laptops honest but quick).
+Workers are deliberately *processes*, not threads: the point is the
+advisory file lock and the atomic rename, which in-process locks never
+exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import BatchRunner, ResultCache, run_tids_sweep
+from repro.engine.cache import result_from_dict
+from repro.params import GCSParameters
+
+GRID = (15.0, 60.0, 240.0, 960.0)
+
+N_WORKERS = max(2, int(os.environ.get("REPRO_TEST_JOBS", "3")))
+
+
+def _hammer_shared_cache(args: tuple[str, "int | None"]) -> list[float]:
+    """One worker: sweep the grid through a cache in the shared dir."""
+    cache_dir, max_disk_bytes = args
+    cache = ResultCache(
+        cache_dir=Path(cache_dir),
+        max_disk_bytes=max_disk_bytes,
+        memory_capacity=0,  # every hit goes to disk: maximal contention
+    )
+    points = run_tids_sweep(
+        BatchRunner(cache=cache), GCSParameters.small_test(), GRID
+    )
+    return [p.mttsf_s for p in points]
+
+
+def _serial_reference() -> list[float]:
+    points = run_tids_sweep(BatchRunner(), GCSParameters.small_test(), GRID)
+    return [p.mttsf_s for p in points]
+
+
+def _assert_no_torn_records(cache_dir: Path) -> int:
+    """Every record on disk parses and rebuilds; returns the count."""
+    records = sorted(cache_dir.glob("v*/*/*.json"))
+    for record in records:
+        payload = json.loads(record.read_text())  # raises on torn JSON
+        assert payload["key"] == record.stem
+        result_from_dict(payload["result"])  # raises on truncated payload
+    assert not list(cache_dir.glob("v*/*/*.tmp")), "leaked tmp files"
+    return len(records)
+
+
+def _run_workers(cache_dir: Path, cap: "int | None") -> list[list[float]]:
+    tasks = [(str(cache_dir), cap)] * N_WORKERS
+    # fork shares the warm imports; every worker still has its own
+    # ResultCache instance and its own advisory lock fd.
+    with multiprocessing.get_context("fork").Pool(N_WORKERS) as pool:
+        return pool.map(_hammer_shared_cache, tasks)
+
+
+@pytest.mark.slow
+class TestConcurrentWriters:
+    def test_shared_dir_identical_to_serial(self, tmp_path):
+        reference = _serial_reference()
+        all_values = _run_workers(tmp_path, cap=None)
+        for values in all_values:
+            assert values == reference  # byte-identical, not approx
+        # All four unique points landed, none torn, none duplicated.
+        assert _assert_no_torn_records(tmp_path) == len(GRID)
+
+    def test_shared_dir_respects_size_cap(self, tmp_path):
+        probe_dir = tmp_path / "probe"
+        _hammer_shared_cache((str(probe_dir), None))
+        record_size = max(
+            p.stat().st_size for p in probe_dir.glob("v*/*/*.json")
+        )
+        cap = 2 * record_size + record_size // 2  # room for 2 of 4 records
+
+        shared = tmp_path / "shared"
+        reference = _serial_reference()
+        all_values = _run_workers(shared, cap=cap)
+        for values in all_values:
+            assert values == reference
+        usage = sum(p.stat().st_size for p in shared.glob("v*/*/*.json"))
+        assert usage <= cap, f"cache dir {usage} B exceeds cap {cap} B"
+        _assert_no_torn_records(shared)
+
+    def test_warm_shared_dir_serves_every_worker_from_disk(self, tmp_path):
+        _hammer_shared_cache((str(tmp_path), None))  # pre-warm serially
+        before = {
+            p: p.read_bytes() for p in sorted(tmp_path.glob("v*/*/*.json"))
+        }
+        all_values = _run_workers(tmp_path, cap=None)
+        reference = _serial_reference()
+        for values in all_values:
+            assert values == reference
+        after = {
+            p: p.read_bytes() for p in sorted(tmp_path.glob("v*/*/*.json"))
+        }
+        # Warm workers only read: records are byte-for-byte untouched.
+        assert before == after

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 import scipy.stats as stats
 from hypothesis import given, settings
