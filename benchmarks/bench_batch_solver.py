@@ -1,0 +1,177 @@
+"""Batched lattice solver benchmark: per-point vs structure-sharing.
+
+Runs the full fig2–fig5 paper campaign (quick N = 40 grids, 112 points,
+54 unique after dedup) twice through the engine:
+
+* **per-point serial** — the seed path: every unique point rebuilds and
+  solves its own chain (`BatchRunner()` with the serial backend);
+* **batched vector** — `--jobs vector`: one cached lattice structure,
+  rate fills stacked, a single multi-point level-scheduled backward
+  sweep for all points (`VectorBackend`).
+
+and asserts
+
+* the two campaigns are **bit-identical** (every MTTSF and Ĉtotal value
+  compared with ``==``, not a tolerance);
+* with ``REPRO_BENCH_REQUIRE_SPEEDUP=<X>`` set (the CI multi-core job
+  sets 3), the batched run is at least ``X``× faster than serial —
+  the batched win is algorithmic, so it must hold even on one core.
+
+The report is also emitted as machine-readable JSON (``--json PATH`` or
+``REPRO_BENCH_JSON=PATH``) with points/s and speedup, which CI uploads
+as an artifact so the speedup trend is diffable across commits.
+
+Runs under pytest-benchmark like the other ``bench_*`` files and as a
+standalone script
+(``PYTHONPATH=src python benchmarks/bench_batch_solver.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.fastpath import clear_structure_cache
+from repro.engine import BatchRunner, available_cpus, make_backend
+from repro.engine.jobs import paper_campaign
+from repro.voting.majority import clear_table_cache
+
+
+def _cold_caches() -> None:
+    """Drop every process-wide memo a prior run could have warmed.
+
+    Both timed runs must start equally cold — the structure cache *and*
+    the voting-table memo — or whichever pipeline runs second inherits
+    the first one's tables and the comparison measures cache warming
+    instead of the solver.
+    """
+    clear_structure_cache()
+    clear_table_cache()
+
+
+def _campaign_values(outcome):
+    return [
+        (
+            job_outcome.job.name,
+            tuple(job_outcome.values("mttsf_s")),
+            tuple(job_outcome.values("ctotal_hop_bits_s")),
+        )
+        for job_outcome in outcome.outcomes
+    ]
+
+
+def _run_all():
+    campaign = paper_campaign(quick=True)
+
+    # Cold per-point serial: drop every memo so the serial run pays the
+    # seed path's full cost exactly once, like a fresh process.
+    _cold_caches()
+    serial = BatchRunner()
+    t0 = time.perf_counter()
+    outcome_serial = campaign.run(serial)
+    serial_s = time.perf_counter() - t0
+
+    _cold_caches()
+    vector = BatchRunner(backend=make_backend("vector"))
+    t1 = time.perf_counter()
+    outcome_vector = campaign.run(vector)
+    vector_s = time.perf_counter() - t1
+
+    n_unique = outcome_vector.report.n_unique
+    return {
+        "campaign": campaign.name,
+        "n_points": len(campaign),
+        "n_unique": n_unique,
+        "serial_s": serial_s,
+        "vector_s": vector_s,
+        "speedup": serial_s / vector_s,
+        "points_per_s_serial": n_unique / serial_s,
+        "points_per_s_vector": n_unique / vector_s,
+        "cpus": available_cpus(),
+        "outcome_serial": outcome_serial,
+        "outcome_vector": outcome_vector,
+    }
+
+
+def _assert_claims(r) -> None:
+    assert r["outcome_serial"].report.n_errors == 0
+    assert r["outcome_vector"].report.n_errors == 0
+
+    # Bit-identical across the whole campaign — the solver contract.
+    serial_vals = _campaign_values(r["outcome_serial"])
+    vector_vals = _campaign_values(r["outcome_vector"])
+    assert serial_vals == vector_vals, "batched campaign diverged from per-point"
+
+    required = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP")
+    if required:
+        floor = float(required)
+        assert r["speedup"] >= floor, (
+            f"batched solver {r['speedup']:.2f}x not >= required {floor:g}x "
+            f"(serial {r['serial_s']:.2f}s, vector {r['vector_s']:.2f}s, "
+            f"{r['cpus']} cpus)"
+        )
+
+
+def _json_report(r) -> dict:
+    return {
+        key: r[key]
+        for key in (
+            "campaign",
+            "n_points",
+            "n_unique",
+            "serial_s",
+            "vector_s",
+            "speedup",
+            "points_per_s_serial",
+            "points_per_s_vector",
+            "cpus",
+        )
+    }
+
+
+def _write_json(r, path: "str | Path | None") -> None:
+    path = path or os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_json_report(r), indent=2) + "\n")
+    print(f"json report: {path}")
+
+
+def bench_batch_solver(once):
+    r = once(_run_all)
+    _assert_claims(r)
+    _write_json(r, None)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable report here "
+        "(default: $REPRO_BENCH_JSON if set)",
+    )
+    args = parser.parse_args(argv)
+
+    r = _run_all()
+    _assert_claims(r)
+    report = r["outcome_vector"].report
+    print(
+        f"campaign: {r['campaign']} ({r['n_points']} points, "
+        f"{r['n_unique']} unique after dedup; {r['cpus']} cpus)"
+    )
+    print(f"{'per-point serial':18s} {r['serial_s']:8.2f}s  "
+          f"{r['points_per_s_serial']:7.1f} pts/s   1.00x")
+    print(f"{'batched (vector)':18s} {r['vector_s']:8.2f}s  "
+          f"{r['points_per_s_vector']:7.1f} pts/s  {r['speedup']:5.2f}x")
+    print(f"batch report: {report.describe()}")
+    print("bit-identical: yes (asserted)")
+    _write_json(r, args.json)
+
+
+if __name__ == "__main__":
+    main()

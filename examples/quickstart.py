@@ -30,7 +30,7 @@ def main() -> None:
         "--full", action="store_true", help="paper-scale N=100 (slower)"
     )
     parser.add_argument(
-        "--jobs", default=None, help="engine workers: N, 'auto' or 'thread[:N]'"
+        "--jobs", default=None, help="engine workers: N, 'auto', 'thread[:N]' or 'vector'"
     )
     parser.add_argument(
         "--cache-dir", default=None, help="persistent result cache directory"

@@ -21,13 +21,14 @@ from .experiments import (
 )
 from .figures import DataSeries
 from .io import write_experiment_artifacts
-from .sweep import grid_sweep
+from .sweep import grid_sweep, model_grid_sweep
 from .tables import render_table
 
 __all__ = [
     "DataSeries",
     "render_table",
     "grid_sweep",
+    "model_grid_sweep",
     "EXPERIMENTS",
     "ExperimentConfig",
     "ExperimentResult",

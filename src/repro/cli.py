@@ -13,8 +13,10 @@ Subcommands:
   parameter grid (or a declarative multi-job campaign) through the
   :mod:`repro.engine` cache and backends.
 
-``run``, ``paper`` and ``sweep`` all accept ``--jobs N|auto|thread[:N]``
-(evaluation workers; 0/1 = serial), ``--cache-dir DIR`` (persistent
+``run``, ``paper`` and ``sweep`` all accept
+``--jobs N|auto|thread[:N]|vector`` (evaluation workers; 0/1 = serial;
+``vector`` = the structure-sharing batched solver), ``--cache-dir DIR``
+(persistent
 content-addressed result cache, safe to share between concurrent
 processes), ``--cache-cap-mb MB`` (LRU disk eviction cap) and
 ``--verbose`` (cache hit/miss/eviction statistics).
@@ -55,7 +57,9 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help=(
             "evaluation workers: N (process pool), 'auto' (one per usable "
-            "CPU), or 'thread[:N]' (thread pool); 0/1 = serial"
+            "CPU), 'thread[:N]' (thread pool), or 'vector' (structure-"
+            "sharing batched solver, solves whole sweeps at once); "
+            "0/1 = serial"
         ),
     )
     parser.add_argument(

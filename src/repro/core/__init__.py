@@ -16,8 +16,13 @@
 """
 
 from .failure import FailureClass, is_absorbed, security_failure_condition
-from .fastpath import build_lattice_chain
-from .metrics import GCSEvaluation, evaluate
+from .fastpath import (
+    LatticeStructure,
+    build_lattice_chain,
+    fill_transition_rates,
+    lattice_structure,
+)
+from .metrics import GCSEvaluation, evaluate, evaluate_batch, evaluate_batch_outcomes
 from .model import build_gcs_spn
 from .optimizer import (
     OptimizationResult,
@@ -37,8 +42,13 @@ __all__ = [
     "GCSRates",
     "build_gcs_spn",
     "build_lattice_chain",
+    "LatticeStructure",
+    "lattice_structure",
+    "fill_transition_rates",
     "GCSEvaluation",
     "evaluate",
+    "evaluate_batch",
+    "evaluate_batch_outcomes",
     "GCSResult",
     "OptimizationResult",
     "TradeoffPoint",

@@ -16,13 +16,13 @@ cost within the system's performance requirement. This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from ..errors import ParameterError
 from ..manet.network import NetworkModel
 from ..params import GCSParameters
 from ..validation import require_sorted_unique
-from .metrics import GCSEvaluation, resolve_network
+from .metrics import GCSEvaluation, evaluate_batch, resolve_network
 from .results import GCSResult
 
 __all__ = [
@@ -70,12 +70,25 @@ class OptimizationResult:
             raise ParameterError("no feasible point; inspect .curve")
         return self.best.tids_s
 
+    @property
+    def best_index(self) -> Optional[int]:
+        """Curve index of the optimum (identity, not float equality —
+        distinct curve points can share a ``tids_s`` value when callers
+        stitch curves together)."""
+        if self.best is None:
+            return None
+        for i, point in enumerate(self.curve):
+            if point is self.best:
+                return i
+        return None  # pragma: no cover — best always comes from curve
+
     def summary(self) -> str:
         lines = [f"objective: {self.objective}"]
         if self.cost_ceiling_hop_bits_s is not None:
             lines[0] += f" (Ctotal <= {self.cost_ceiling_hop_bits_s:g} hop-bits/s)"
-        for point in self.curve:
-            marker = " <== optimal" if self.best is not None and point.tids_s == self.best.tids_s else ""
+        best_index = self.best_index
+        for i, point in enumerate(self.curve):
+            marker = " <== optimal" if i == best_index else ""
             lines.append(
                 f"  TIDS={point.tids_s:7.4g}s  MTTSF={point.mttsf_s:10.4g}s  "
                 f"Ctotal={point.ctotal_hop_bits_s:10.4g}{marker}"
@@ -105,7 +118,7 @@ def tradeoff_curve(
     network: Optional[NetworkModel] = None,
     method: str = "fast",
     progress: Optional[Callable[[TradeoffPoint], None]] = None,
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
 ) -> list[TradeoffPoint]:
     """Evaluate the scenario at every ``TIDS`` in the grid.
 
@@ -117,9 +130,35 @@ def tradeoff_curve(
     single-threaded, so the speedup is near-linear until memory
     bandwidth saturates. Results are returned in grid order either way;
     ``progress`` fires in completion order when parallel.
+
+    ``workers="vector"`` solves the whole grid in one structure-sharing
+    batched sweep (:func:`repro.core.metrics.evaluate_batch`) — no
+    processes, bit-identical results, and typically faster than a
+    process pool because the win is algorithmic, not parallel.
     """
     grid = require_sorted_unique("tids_grid_s", tids_grid_s)
     net = resolve_network(params, network)
+
+    if isinstance(workers, str):
+        if workers != "vector":
+            raise ParameterError(
+                f"workers must be an int or 'vector', got {workers!r}"
+            )
+        results = evaluate_batch(
+            [
+                (params.replacing(detection_interval_s=float(tids)), net)
+                for tids in grid
+            ],
+            method=method,
+        )
+        points = [
+            TradeoffPoint(tids_s=float(tids), result=result)
+            for tids, result in zip(grid, results)
+        ]
+        if progress is not None:
+            for point in points:
+                progress(point)
+        return points
 
     if workers is not None and workers < 1:
         raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -207,7 +246,7 @@ def optimize_tids(
     cost_ceiling_hop_bits_s: Optional[float] = None,
     network: Optional[NetworkModel] = None,
     method: str = "fast",
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
 ) -> OptimizationResult:
     """Pick the best ``TIDS`` on a grid.
 
@@ -217,6 +256,10 @@ def optimize_tids(
       ``cost_ceiling_hop_bits_s``, the paper's "maximise MTTSF while
       satisfying imposed performance requirements");
     * ``"min-ctotal"`` — minimise Ĉtotal (Figure 3/5 reading).
+
+    ``workers`` follows :func:`tradeoff_curve` — an int fans grid
+    points over a process pool, ``"vector"`` solves them in one
+    structure-sharing batched sweep.
     """
     # Validate before evaluating so bad objectives fail fast.
     _validate_objective(objective, cost_ceiling_hop_bits_s)

@@ -19,7 +19,14 @@ provides:
 """
 
 from .absorbing import AbsorbingSolution, analyze_absorbing
-from .acyclic import DagStructure, solve_dag, topological_levels
+from .acyclic import (
+    BatchDagStructure,
+    DagStructure,
+    batch_dag_structure,
+    solve_dag,
+    solve_dag_batch,
+    topological_levels,
+)
 from .birth_death import BirthDeathProcess
 from .chain import CTMC
 from .linear import solve_linear_system
@@ -32,8 +39,11 @@ __all__ = [
     "AbsorbingSolution",
     "analyze_absorbing",
     "DagStructure",
+    "BatchDagStructure",
     "topological_levels",
+    "batch_dag_structure",
     "solve_dag",
+    "solve_dag_batch",
     "solve_linear_system",
     "poisson_weights",
     "transient_distribution",

@@ -30,7 +30,14 @@ import numpy as np
 from ..errors import SolverError
 from .chain import CTMC
 
-__all__ = ["DagStructure", "topological_levels", "solve_dag"]
+__all__ = [
+    "DagStructure",
+    "topological_levels",
+    "solve_dag",
+    "BatchDagStructure",
+    "batch_dag_structure",
+    "solve_dag_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -144,3 +151,254 @@ def solve_dag(
         x[rows] = (b[rows] + contrib) / q[rows, None]
 
     return x[:, 0] if squeeze else x
+
+
+# ---------------------------------------------------------------------------
+# Structure-sharing multi-point solver
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchDagStructure:
+    """Shared sparsity pattern + level schedule for many rate fills.
+
+    A whole parameter sweep shares one transition *pattern* — only the
+    rate values differ per grid point — so the topological schedule and
+    the gather plan are computed once and reused by every
+    :func:`solve_dag_batch` call. The pattern is stored twice:
+
+    * canonical CSR (``indptr``/``indices``, columns sorted within each
+      row) — the shape rate fills scatter into;
+    * padded ELL (``ell_cols``/``ell_slots``/``ell_pad``, one fixed-width
+      row per state, real slots first in CSR order, pads after) — the
+      shape the vectorised backward sweep gathers from. Keeping the
+      real slots in CSR order makes the batched per-row accumulation
+      run in exactly the sequence scipy's CSR matvec uses, which is
+      what makes the batched solve *bit-identical* to the per-point
+      one (trailing ``+ 0.0`` pads cannot perturb an IEEE sum of
+      finite non-negative terms).
+
+    The level schedule is computed on the pattern alone. Any per-point
+    pattern is a subset (rates may evaluate to zero), and removing
+    edges only ever relaxes scheduling constraints, so the shared
+    schedule stays valid for every point; per-point *rate-absorbing*
+    states (all-zero rows) are handled by the boundary short-circuit in
+    :func:`solve_dag_batch`.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    #: Row index of every CSR slot (``nnz``-long, non-decreasing).
+    slot_rows: np.ndarray
+    structure: DagStructure
+    ell_cols: np.ndarray
+    ell_slots: np.ndarray
+    ell_pad: np.ndarray
+    width: int
+
+    @property
+    def num_states(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def nnz(self) -> int:
+        return self.indices.size
+
+
+def batch_dag_structure(
+    indptr: np.ndarray, indices: np.ndarray
+) -> BatchDagStructure:
+    """Build the shared schedule for a CSR sparsity pattern.
+
+    ``indptr``/``indices`` must be canonical CSR (columns ascending
+    within each row, no duplicates). Raises
+    :class:`~repro.errors.SolverError` when the pattern has a cycle.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    n = indptr.size - 1
+    nnz = indices.size
+    if n < 1 or indptr[0] != 0 or indptr[-1] != nnz:
+        raise SolverError("malformed CSR pattern")
+
+    deg = np.diff(indptr)
+    width = int(deg.max()) if n else 0
+    rows_of_slot = np.repeat(np.arange(n, dtype=np.int64), deg)
+    pos_in_row = np.arange(nnz, dtype=np.int64) - np.repeat(indptr[:-1], deg)
+
+    ell_slots = np.zeros((n, max(width, 1)), dtype=np.int64)
+    ell_pad = np.ones((n, max(width, 1)), dtype=bool)
+    ell_cols = np.zeros((n, max(width, 1)), dtype=np.int64)
+    ell_slots[rows_of_slot, pos_in_row] = np.arange(nnz, dtype=np.int64)
+    ell_pad[rows_of_slot, pos_in_row] = False
+    ell_cols[rows_of_slot, pos_in_row] = indices
+
+    # Predecessor lists (CSC view of the pattern) for the level sweep.
+    order = np.argsort(indices, kind="stable")
+    pred_rows = rows_of_slot[order]
+    pred_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(indices, minlength=n), out=pred_indptr[1:])
+
+    # Level-synchronous Kahn: wave L processes exactly the states whose
+    # longest path to an out-degree-zero state is L, so levels fall out
+    # of the wave index; everything per wave is array arithmetic.
+    remaining = deg.copy()
+    levels = np.zeros(n, dtype=np.int64)
+    current = np.flatnonzero(remaining == 0)
+    processed = current.size
+    level = 0
+    while True:
+        starts = pred_indptr[current]
+        lens = pred_indptr[current + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            break
+        # Ragged gather of every predecessor slot of the current wave.
+        offsets = np.repeat(np.cumsum(lens) - lens, lens)
+        flat = np.repeat(starts, lens) + (np.arange(total) - offsets)
+        preds = pred_rows[flat]
+        level += 1
+        levels[preds] = level
+        remaining -= np.bincount(preds, minlength=n)
+        candidates = np.unique(preds)
+        current = candidates[remaining[candidates] == 0]
+        processed += current.size
+    if processed != n:
+        raise SolverError("pattern is cyclic; batched DAG solve not applicable")
+
+    depth = int(levels.max()) + 1 if n else 0
+    order_l = np.argsort(levels, kind="stable")
+    sorted_levels = levels[order_l]
+    boundaries = np.searchsorted(sorted_levels, np.arange(depth + 1))
+    level_states = [order_l[boundaries[L] : boundaries[L + 1]] for L in range(depth)]
+
+    return BatchDagStructure(
+        indptr=indptr,
+        indices=indices,
+        slot_rows=rows_of_slot,
+        structure=DagStructure(levels=levels, level_states=level_states),
+        ell_cols=ell_cols,
+        ell_slots=ell_slots,
+        ell_pad=ell_pad,
+        width=width,
+    )
+
+
+def _row_sums(shared: BatchDagStructure, values: np.ndarray) -> np.ndarray:
+    """Per-point out-rates, bit-identical to scipy's on the pruned chain.
+
+    scipy's CSR ``sum(axis=1)`` reduces each row's data with
+    ``np.add.reduceat`` — *pairwise* grouping over exactly the stored
+    (nonzero) entries — while its matvec accumulates sequentially. The
+    backward sweep must therefore compute ``q`` with the same reduceat
+    over the same element multiset: a plain reduceat over the shared
+    pattern when a point stores no explicit zeros, and a reduceat over
+    the zero-pruned copy when it does (an inserted ``0.0`` changes the
+    pairwise grouping, unlike in a sequential sum).
+    """
+    P, n = values.shape[0], shared.num_states
+    q = np.zeros((P, n))
+    if shared.nnz == 0:
+        return q
+    deg = np.diff(shared.indptr)
+    nonempty = deg > 0
+    starts = shared.indptr[:-1][nonempty]
+    if starts.size:
+        q[:, nonempty] = np.add.reduceat(values, starts, axis=1)
+    zero_points = np.flatnonzero(~np.all(values != 0.0, axis=1))
+    if zero_points.size == 0:
+        return q
+    # Zero-containing points, grouped by identical zero pattern: a
+    # sweep that zeroes a rate usually zeroes it at the *same* slots
+    # for every grid point (e.g. host_false_positive = 0 kills every
+    # false-accusation edge), so one stacked reduceat per distinct
+    # pattern keeps the correction vectorised across points instead of
+    # degrading to a per-point Python loop.
+    masks = values[zero_points] != 0.0
+    patterns, inverse = np.unique(masks, axis=0, return_inverse=True)
+    for g in range(patterns.shape[0]):
+        keep = patterns[g]
+        points = zero_points[inverse == g]
+        pruned = values[np.ix_(points, np.flatnonzero(keep))]
+        deg_g = np.bincount(shared.slot_rows[keep], minlength=n)
+        nonempty_g = deg_g > 0
+        starts_g = (np.cumsum(deg_g) - deg_g)[nonempty_g]
+        q_g = np.zeros((points.size, n))
+        if starts_g.size:
+            q_g[:, nonempty_g] = np.add.reduceat(pruned, starts_g, axis=1)
+        q[points] = q_g
+    return q
+
+
+def solve_dag_batch(
+    shared: BatchDagStructure,
+    values: np.ndarray,
+    numerators: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Solve the boundary-value recurrence for ``P`` rate fills at once.
+
+    Parameters
+    ----------
+    shared:
+        Output of :func:`batch_dag_structure` for the common pattern.
+    values:
+        ``(P, nnz)`` transition rates, one row per grid point, aligned
+        with the pattern's CSR slots. Explicit zeros are allowed (they
+        contribute exact ``+0.0`` terms).
+    numerators:
+        ``(P, n, k)`` per-state numerators ``b``; ignored wherever a
+        point's state is absorbing (zero out-rate *for that point*).
+    boundary:
+        ``(n, k)`` (shared) or ``(P, n, k)`` prescribed values at
+        absorbing states; ignored at transient states.
+
+    Returns
+    -------
+    ``(P, n, k)`` array ``x`` with, per point, ``x = boundary`` on that
+    point's absorbing states and ``x_s = (b_s + Σ_j R_sj x_j) / q_s``
+    on its transient states — bit-identical to running
+    :func:`solve_dag` per point on the per-point (zero-pruned) chain.
+    """
+    values = np.asarray(values, dtype=float)
+    numerators = np.asarray(numerators, dtype=float)
+    boundary = np.asarray(boundary, dtype=float)
+    if values.ndim != 2 or values.shape[1] != shared.nnz:
+        raise SolverError(
+            f"values must have shape (P, {shared.nnz}), got {values.shape}"
+        )
+    P = values.shape[0]
+    n = shared.num_states
+    if numerators.ndim != 3 or numerators.shape[:2] != (P, n):
+        raise SolverError(
+            f"numerators must have shape ({P}, {n}, k), got {numerators.shape}"
+        )
+    k = numerators.shape[2]
+    if boundary.shape == (n, k):
+        boundary = np.broadcast_to(boundary, (P, n, k))
+    elif boundary.shape != (P, n, k):
+        raise SolverError(
+            f"boundary must have shape ({n}, {k}) or ({P}, {n}, {k}), "
+            f"got {boundary.shape}"
+        )
+
+    # Gather the CSR values into the padded ELL layout (pads -> 0.0).
+    if shared.nnz == 0:
+        ell_vals = np.zeros((P,) + shared.ell_slots.shape)
+    else:
+        ell_vals = np.where(shared.ell_pad, 0.0, values[:, shared.ell_slots])
+
+    q = _row_sums(shared, values)
+
+    absorbing = q == 0.0
+    x = np.where(absorbing[:, :, None], boundary, 0.0)
+    safe_q = np.where(absorbing, 1.0, q)
+
+    for rows in shared.structure.level_states[1:]:
+        cols = shared.ell_cols[rows]
+        contrib = np.zeros((P, rows.size, k))
+        for j in range(shared.width):
+            contrib += ell_vals[:, rows, j, None] * x[:, cols[:, j], :]
+        solved = (numerators[:, rows, :] + contrib) / safe_q[:, rows, None]
+        x[:, rows, :] = np.where(absorbing[:, rows, None], x[:, rows, :], solved)
+
+    return x

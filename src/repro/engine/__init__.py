@@ -19,8 +19,9 @@ Modules:
 ``locks``          advisory file locking (fcntl/msvcrt) for shared dirs
 ``cache``          persistent disk store (locked writes, LRU eviction)
                    + in-memory LRU, hit/miss/eviction stats
-``executor``       serial / process-pool / thread-pool backends with
-                   error capture; ``make_backend("auto")`` selection
+``executor``       serial / process-pool / thread-pool / vectorised
+                   backends with error capture; ``make_backend("auto")``
+                   selection
 ``batch``          dedup → cache → evaluate → store composition
 ``jobs``           declarative job specs and multi-figure campaigns
 =================  ====================================================
@@ -48,6 +49,7 @@ from .executor import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    VectorBackend,
     available_cpus,
     make_backend,
 )
@@ -68,6 +70,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ThreadPoolBackend",
+    "VectorBackend",
     "available_cpus",
     "make_backend",
     "EvalRequest",

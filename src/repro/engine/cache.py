@@ -8,8 +8,11 @@ Each record holds the fingerprint, the schema version and the full
 :meth:`GCSResult.to_dict` payload. Records written under a different
 schema version live in a different ``v*`` directory and therefore never
 hit — bumping :data:`~repro.engine.keys.SCHEMA_VERSION` invalidates the
-whole store without deleting anything (``prune_stale_versions`` reclaims
-the space on request).
+whole store atomically; stale version directories are reclaimed
+automatically the next time a cache opens on the directory
+(``prune_stale_on_open``, also available manually as
+``prune_stale_versions``), so the size accounting — which only walks
+the current version — never silently excludes dead records.
 
 The store is safe to share between processes:
 
@@ -130,6 +133,12 @@ class ResultCache:
     memory_capacity: int = 4096
     max_disk_bytes: Optional[int] = None
     version: int = SCHEMA_VERSION
+    #: Reclaim other-schema-version record dirs when the cache opens.
+    #: Stale records can never hit (the version is part of the layout),
+    #: so they are dead weight that the size accounting — which only
+    #: sees the current version directory — would otherwise never
+    #: count nor evict. Disable only to inspect old records manually.
+    prune_stale_on_open: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -149,6 +158,8 @@ class ResultCache:
             if self.cache_dir is not None
             else None
         )
+        if self.prune_stale_on_open and self._has_stale_versions():
+            self.prune_stale_versions()
 
     # ------------------------------------------------------------------
     def _version_dir(self) -> Path:
@@ -212,21 +223,34 @@ class ResultCache:
 
     def _write_record(self, key: str, result: GCSResult) -> None:
         path = self._record_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": key, "version": self.version, "result": result.to_dict()}
         # Write-then-rename so a crashed writer never leaves a torn
-        # record that a concurrent reader would see as corruption.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(record, fh)
-            os.replace(tmp, path)
-        except OSError:
+        # record that a concurrent reader would see as corruption. One
+        # retry covers a newer-schema process pruning this (to it,
+        # stale) version's shard directory between mkdir and mkstemp
+        # during a rolling upgrade.
+        for attempt in (0, 1):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                continue
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(record, fh)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                if attempt:
+                    raise
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     # ------------------------------------------------------------------
     def disk_usage_bytes(self) -> int:
@@ -302,25 +326,61 @@ class ResultCache:
         """Drop the LRU layer (disk records survive)."""
         self._memory.clear()
 
+    def _has_stale_versions(self) -> bool:
+        """Cheap open-time probe: any other-version *records* on disk?
+
+        Checks for record files, not bare directories: a stale version
+        dir can legitimately survive pruning as an empty husk (its
+        ``.lock`` file is never deleted — see :mod:`repro.engine.locks`
+        on why deleting a lockfile voids exclusion), and re-locking and
+        re-walking the tree on every subsequent open for a husk would
+        defeat the probe's purpose.
+        """
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return False
+        return any(
+            vdir.is_dir()
+            and vdir.name != f"v{self.version}"
+            and any(vdir.glob("*/*.json"))
+            for vdir in self.cache_dir.glob("v*")
+        )
+
     def prune_stale_versions(self) -> int:
         """Delete on-disk records written under other schema versions;
-        returns the number of files removed."""
+        returns the number of files removed. Runs automatically when a
+        cache opens (``prune_stale_on_open``) so stale version dirs
+        never accumulate outside the size accounting."""
         if self.cache_dir is None or not self.cache_dir.exists():
             return 0
         removed = 0
         assert self._lock is not None
         with self._lock:
+            # The held lock is the *current* version's — a still-running
+            # old-version process serialises on its own ``v*/.lock`` (or
+            # none), so every delete below must tolerate that process
+            # recreating files and directories under us mid-walk. Worst
+            # case during such a rolling upgrade: the old process's
+            # freshly-written (stale-by-contract) record is deleted and
+            # it re-evaluates; record writes stay atomic throughout.
             for vdir in self.cache_dir.glob("v*"):
                 if vdir.name == f"v{self.version}" or not vdir.is_dir():
                     continue
                 for record in vdir.glob("*/*.json"):
-                    record.unlink()
+                    try:
+                        record.unlink()
+                    except OSError:
+                        continue  # deleted (or locked) by someone else
                     removed += 1
                 for shard in sorted(vdir.glob("*"), reverse=True):
-                    if shard.is_dir() and not any(shard.iterdir()):
-                        shard.rmdir()
-                if not any(vdir.iterdir()):
+                    if shard.is_dir():
+                        try:
+                            shard.rmdir()
+                        except OSError:
+                            pass  # non-empty again, or gone already
+                try:
                     vdir.rmdir()
+                except OSError:
+                    pass  # .lock remains, or a writer re-appeared
         return removed
 
     def describe(self) -> str:

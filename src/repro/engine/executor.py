@@ -1,6 +1,6 @@
 """Pluggable execution backends for batch evaluation.
 
-Three backends behind one ``run(fn, items)`` contract:
+Four backends behind one ``run(fn, items)`` contract:
 
 * :class:`SerialBackend` — in-process loop, zero overhead, the
   reference semantics;
@@ -10,16 +10,23 @@ Three backends behind one ``run(fn, items)`` contract:
   workloads that release the GIL (the scipy sparse solves at the heart
   of an evaluation spend their time in native code); zero pickling, so
   it also accepts unpicklable callables and items.
+* :class:`VectorBackend` — no concurrency at all: model-evaluation
+  batches are recognised and solved *simultaneously* by the
+  structure-sharing batched lattice solver
+  (:func:`repro.core.metrics.evaluate_batch_outcomes`); anything else
+  falls back to an inner backend (serial by default). The speedup is
+  algorithmic, so it stacks with single-core machines.
 
 All return :class:`PointOutcome` records in **input order** regardless
 of completion order, and all capture per-point exceptions into the
 outcome instead of aborting the whole batch — a sweep with one
 pathological grid point still yields the other N−1 results. The
 backends are observationally equivalent: same inputs, same outcomes,
-same ordering (asserted by the test suite).
+same ordering (asserted by the test suite; the vector backend is
+additionally *bit-identical* to the others on model batches).
 
 :func:`make_backend` maps the CLI's ``--jobs`` grammar (``N``,
-``auto``, ``thread``, ``thread:N``) onto a backend;
+``auto``, ``thread``, ``thread:N``, ``vector``) onto a backend;
 :func:`available_cpus` is the ``auto`` worker count (cgroup/affinity
 aware where the platform exposes it).
 """
@@ -41,6 +48,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ThreadPoolBackend",
+    "VectorBackend",
     "available_cpus",
     "make_backend",
 ]
@@ -202,6 +210,95 @@ class ThreadPoolBackend:
         return f"thread-pool(workers={self.max_workers})"
 
 
+class VectorBackend:
+    """Structure-sharing batched evaluation behind the backend contract.
+
+    When ``run`` receives the engine's canonical model-evaluation task
+    (``fn`` is :func:`repro.engine.batch.evaluate_request` over
+    :class:`~repro.engine.batch.EvalRequest` items), the whole batch is
+    handed to :func:`repro.core.metrics.evaluate_batch_outcomes`:
+    requests are grouped by solver options, each group shares one
+    cached lattice structure per ``N``, and a single multi-point
+    backward sweep solves every grid point at once — bit-identical
+    results, no processes, no pickling. ``spn``/``spn-coupled``
+    requests and arbitrary callables fall back to ``fallback``
+    (serial by default), so the backend is safe to use anywhere a
+    backend is accepted.
+
+    Composes with the result cache exactly like every other backend:
+    the :class:`~repro.engine.batch.BatchRunner` fingerprints and
+    stores results *around* the backend, so batched results land under
+    the same content-addressed keys as per-point runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        fallback: Optional["ExecutionBackend"] = None,
+        max_batch_bytes: Optional[int] = None,
+    ) -> None:
+        self.fallback = fallback if fallback is not None else SerialBackend()
+        self.max_batch_bytes = max_batch_bytes
+
+    def _vectorisable(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
+        from .batch import EvalRequest, evaluate_request
+
+        return fn is evaluate_request and all(
+            isinstance(item, EvalRequest) for item in items
+        )
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[PointOutcome]:
+        if not items:
+            return []
+        if not self._vectorisable(fn, items):
+            return self.fallback.run(fn, items)
+
+        from ..core.metrics import DEFAULT_BATCH_BYTES, evaluate_batch_outcomes
+
+        max_bytes = (
+            self.max_batch_bytes
+            if self.max_batch_bytes is not None
+            else DEFAULT_BATCH_BYTES
+        )
+        # One evaluate_batch call per distinct option bundle; scatter
+        # the outcomes back into input order.
+        outcomes: list[Optional[PointOutcome]] = [None] * len(items)
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(items):
+            key = (
+                request.method,
+                request.include_breakdown,
+                request.include_variance,
+            )
+            groups.setdefault(key, []).append(i)
+        for (method, breakdown, variance), indices in groups.items():
+            pairs = [(items[i].params, items[i].network) for i in indices]
+            batch = evaluate_batch_outcomes(
+                pairs,
+                method=method,
+                include_breakdown=breakdown,
+                include_variance=variance,
+                max_batch_bytes=max_bytes,
+            )
+            for i, (result, error) in zip(indices, batch):
+                if error is None:
+                    outcomes[i] = PointOutcome(index=i, value=result)
+                else:
+                    outcomes[i] = PointOutcome(
+                        index=i,
+                        error=str(error),
+                        error_type=type(error).__name__,
+                        exception=error,
+                    )
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        return "vector"
+
+
 def available_cpus() -> int:
     """CPUs this process may actually use (affinity-aware on Linux)."""
     try:
@@ -220,12 +317,16 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
       (serial when only one CPU is usable);
     * ``"thread"`` / ``"thread:auto"`` — thread pool sized to
       :func:`available_cpus`;
-    * ``"thread:N"`` — thread pool with ``N`` workers.
+    * ``"thread:N"`` — thread pool with ``N`` workers;
+    * ``"vector"`` — :class:`VectorBackend` (structure-sharing batched
+      solver; no worker processes needed).
     """
     if isinstance(jobs, str):
         spec = jobs.strip().lower()
         if spec == "serial":
             return SerialBackend()
+        if spec == "vector":
+            return VectorBackend()
         if spec == "auto":
             n = available_cpus()
             return SerialBackend() if n <= 1 else ProcessPoolBackend(max_workers=n)
@@ -245,7 +346,8 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
             jobs = int(spec)
         except ValueError:
             raise ParameterError(
-                f"jobs must be N, 'auto', 'serial' or 'thread[:N]', got {jobs!r}"
+                "jobs must be N, 'auto', 'serial', 'vector' or "
+                f"'thread[:N]', got {jobs!r}"
             ) from None
     if jobs is not None and jobs < 0:
         raise ParameterError(f"jobs must be >= 0, got {jobs}")

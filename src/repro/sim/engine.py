@@ -26,22 +26,42 @@ class ScheduledEvent:
     kind: str = field(compare=False)
     payload: Any = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    #: Owning queue (set by ``schedule``), so cancellation can keep the
+    #: queue's live-event counter exact without a heap scan.
+    _queue: Optional["EventQueue"] = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
+        """Mark the event dead; it will be skipped when popped.
+
+        Idempotent: cancelling twice decrements the owning queue's
+        live-event counter once.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
 
 
 class EventQueue:
-    """Time-ordered event queue with lazy cancellation."""
+    """Time-ordered event queue with lazy cancellation.
+
+    ``len()`` is O(1): a live-event counter tracks schedules,
+    cancellations and pops instead of scanning the heap (the simulator
+    polls queue emptiness every iteration, so a scan would make the
+    main loop quadratic in the backlog).
+    """
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._counter = itertools.count()
+        self._live = 0
         self.now_s: float = 0.0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule(self, delay_s: float, kind: str, payload: Any = None) -> ScheduledEvent:
         """Queue an event ``delay_s`` from the current time."""
@@ -52,8 +72,10 @@ class EventQueue:
             sequence=next(self._counter),
             kind=kind,
             payload=payload,
+            _queue=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time_s: float, kind: str, payload: Any = None) -> ScheduledEvent:
@@ -73,6 +95,8 @@ class EventQueue:
             if event.time_s < self.now_s:  # pragma: no cover - defensive
                 raise SimulationError("event queue went backwards in time")
             self.now_s = event.time_s
+            self._live -= 1
+            event._queue = None  # cancelling a popped event is a no-op
             return event
         return None
 
@@ -84,4 +108,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop all pending events (keeps the clock)."""
+        for event in self._heap:
+            event._queue = None  # detach: late cancels must not count
         self._heap.clear()
+        self._live = 0

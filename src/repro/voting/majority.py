@@ -40,7 +40,7 @@ from ..errors import ParameterError
 from ..validation import require_non_negative_int, require_odd, require_probability
 from .combinatorics import binomial_tail, hypergeometric_pmf
 
-__all__ = ["VotingErrorModel"]
+__all__ = ["VotingErrorModel", "clear_table_cache"]
 
 
 @dataclass(frozen=True)
@@ -150,7 +150,21 @@ class VotingErrorModel:
         hypergeometric weights × a tiny binomial-tail lookup), because
         the fast model pipeline evaluates ~(2N)² cells per scenario;
         element-wise equality with the scalar methods is a test.
+
+        Memoised process-wide on ``(m, p1, p2, max_nodes)``: the table
+        is rate-free apart from these four scalars, and a batched sweep
+        re-requests the same handful of tables for every grid point —
+        recomputation used to dominate the whole batched solve. The
+        cached arrays are read-only; callers index, never mutate.
         """
+        return _table_cached(
+            self.num_voters,
+            self.host_false_negative,
+            self.host_false_positive,
+            max_nodes,
+        )
+
+    def _table_uncached(self, max_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
         require_non_negative_int("max_nodes", max_nodes)
         n = max_nodes
         g_grid, b_grid = np.meshgrid(
@@ -225,3 +239,37 @@ class VotingErrorModel:
         explain the effect of ``m`` (Figure 2 discussion)."""
         pfp, pfn = self.probabilities(n_good, n_bad)
         return pfp + pfn
+
+
+@lru_cache(maxsize=64)
+def _table_cached(
+    num_voters: int,
+    host_false_negative: float,
+    host_false_positive: float,
+    max_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Process-wide memo behind :meth:`VotingErrorModel.table`.
+
+    Keyed by exactly the scalars the table depends on; the arrays are
+    frozen (``writeable = False``) so a mutating caller fails loudly
+    instead of corrupting every future lookup.
+    """
+    model = VotingErrorModel(
+        num_voters=num_voters,
+        host_false_negative=host_false_negative,
+        host_false_positive=host_false_positive,
+    )
+    pfp, pfn = model._table_uncached(max_nodes)
+    pfp.setflags(write=False)
+    pfn.setflags(write=False)
+    return pfp, pfn
+
+
+def clear_table_cache() -> None:
+    """Drop the process-wide table memo (benchmarks, tests).
+
+    Benchmarks that compare two pipelines in one process must clear
+    this between timed runs — otherwise the first run warms the memo
+    and the second gets its tables for free, biasing the comparison.
+    """
+    _table_cached.cache_clear()

@@ -81,6 +81,33 @@ class TestOptimizeTids:
         out = optimize_tids(params, [30.0, 120.0])
         assert "<== optimal" in out.summary()
 
+    def test_summary_marks_exactly_one_point(self, curve):
+        # Stitch two copies of the curve together: several points now
+        # share a tids_s with the optimum, so marking by float equality
+        # on tids_s would flag duplicates — the marker must go by curve
+        # index instead.
+        from repro.core.optimizer import select_optimum
+
+        doubled = list(curve) + list(curve)
+        out = select_optimum(doubled)
+        summary = out.summary()
+        assert summary.count("<== optimal") == 1
+        marked_line = next(
+            line for line in summary.splitlines() if "<== optimal" in line
+        )
+        lines = summary.splitlines()[1:]  # skip the objective header
+        assert lines.index(marked_line) == out.best_index
+
+    def test_best_index_none_when_infeasible(self, curve):
+        from repro.core.optimizer import select_optimum
+
+        out = select_optimum(
+            curve, objective="max-mttsf", cost_ceiling_hop_bits_s=1e-12
+        )
+        assert out.best is None
+        assert out.best_index is None
+        assert "NO FEASIBLE POINT" in out.summary()
+
     def test_validation(self, params):
         with pytest.raises(ParameterError):
             optimize_tids(params, GRID, objective="max-fun")

@@ -157,13 +157,40 @@ class TestResultCache:
         ResultCache(cache_dir=tmp_path, version=1).put(key, reference)
         assert ResultCache(cache_dir=tmp_path, version=2).get(key) is None
 
-    def test_prune_stale_versions(self, tmp_path, params, reference):
+    def test_prune_stale_versions_on_open(self, tmp_path, params, reference):
         key = scenario_fingerprint(params)
         ResultCache(cache_dir=tmp_path, version=1).put(key, reference)
-        new = ResultCache(cache_dir=tmp_path, version=2)
+        assert (tmp_path / "v1").exists()
+        new = ResultCache(cache_dir=tmp_path, version=2)  # prunes on open
+        assert not (tmp_path / "v1").exists()
         new.put(key, reference)
-        assert new.prune_stale_versions() == 1
+        assert new.prune_stale_versions() == 0  # nothing stale left
         assert len(new) == 1  # current-version record survives
+
+    def test_prune_ignores_lockfile_husk(self, tmp_path, params, reference):
+        # A capped cache creates v1/.lock, which pruning never deletes
+        # (deleting a live lockfile would void exclusion). The leftover
+        # husk must not read as "stale records present" — otherwise
+        # every subsequent open re-locks and re-walks the tree forever.
+        key = scenario_fingerprint(params)
+        old = ResultCache(cache_dir=tmp_path, version=1, max_disk_bytes=10**9)
+        old.put(key, reference)
+        assert (tmp_path / "v1" / ".lock").exists()
+        new = ResultCache(cache_dir=tmp_path, version=2)  # prunes on open
+        assert not list((tmp_path / "v1").glob("*/*.json"))
+        assert not new._has_stale_versions()
+        assert new.prune_stale_versions() == 0
+
+    def test_prune_stale_versions_manual(self, tmp_path, params, reference):
+        key = scenario_fingerprint(params)
+        ResultCache(cache_dir=tmp_path, version=1).put(key, reference)
+        new = ResultCache(
+            cache_dir=tmp_path, version=2, prune_stale_on_open=False
+        )
+        new.put(key, reference)
+        assert (tmp_path / "v1").exists()  # opt-out keeps old records
+        assert new.prune_stale_versions() == 1
+        assert len(new) == 1
 
     def test_corrupt_record_counts_as_miss(self, tmp_path, params, reference):
         cache = ResultCache(cache_dir=tmp_path, memory_capacity=0)

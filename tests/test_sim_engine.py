@@ -57,6 +57,51 @@ class TestEventQueue:
         q.schedule(1.0, "x", payload={"node": 3})
         assert q.pop().payload == {"node": 3}
 
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        events = [q.schedule(float(i + 1), "e") for i in range(5)]
+        assert len(q) == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert len(q) == 3
+        q.pop()
+        assert len(q) == 2
+
+    def test_len_is_constant_time(self):
+        # The counter, not a heap scan: len() must not depend on the
+        # number of dead events still sitting in the heap.
+        q = EventQueue()
+        events = [q.schedule(float(i + 1), "e") for i in range(1000)]
+        for e in events[:-1]:
+            e.cancel()
+        assert len(q) == 1
+        assert len(q._heap) == 1000  # lazily cancelled, not removed
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        e.cancel()
+        e.cancel()  # double-cancel must not double-decrement
+        assert len(q) == 1
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        popped = q.pop()
+        popped.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_clear_is_noop(self):
+        q = EventQueue()
+        e = q.schedule(1.0, "x")
+        q.clear()
+        e.cancel()
+        assert len(q) == 0
+        q.schedule(1.5, "z")
+        assert len(q) == 1
+
 
 class TestGroupState:
     def test_fresh_all_trusted(self):
