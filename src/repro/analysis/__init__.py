@@ -21,7 +21,7 @@ from .experiments import (
 )
 from .figures import DataSeries
 from .io import write_experiment_artifacts
-from .sweep import grid_sweep, model_grid_sweep
+from .sweep import grid_sweep, model_grid_sweep, survivability_grid_sweep
 from .tables import render_table
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "render_table",
     "grid_sweep",
     "model_grid_sweep",
+    "survivability_grid_sweep",
     "EXPERIMENTS",
     "ExperimentConfig",
     "ExperimentResult",

@@ -24,7 +24,12 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
 from ..errors import ParameterError
 
-__all__ = ["SweepPoint", "grid_sweep", "model_grid_sweep"]
+__all__ = [
+    "SweepPoint",
+    "grid_sweep",
+    "model_grid_sweep",
+    "survivability_grid_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -222,6 +227,58 @@ def model_grid_sweep(
         ]
     resolved = _resolve_backend(backend) or SerialBackend()
     outcomes = resolved.run(evaluate_request, requests)
+    return _points_from_outcomes(
+        assignments, outcomes, capture_errors=capture_errors, progress=progress
+    )
+
+
+def survivability_grid_sweep(
+    grid: Mapping[str, Iterable[Any]],
+    times: Iterable[float],
+    *,
+    base: Optional[Mapping[str, Any]] = None,
+    params: Optional[Any] = None,
+    eps: float = 1e-12,
+    backend: Union[Any, str, int, None] = None,
+    capture_errors: bool = False,
+    progress: Callable[[SweepPoint], None] | None = None,
+) -> list[SweepPoint]:
+    """Survivability-curve sweep routed through the engine's backends.
+
+    The transient counterpart of :func:`model_grid_sweep`: every grid
+    point becomes a :class:`~repro.engine.batch.SurvivabilityRequest`
+    over the shared mission-time grid ``times``, so
+    ``backend="vector"`` solves the whole sweep with one multi-point
+    uniformization pass (and ``backend="vector:N"`` fans chunks over
+    ``N`` pool workers). Returned ``SweepPoint.value``s are
+    :class:`~repro.core.results.SurvivabilityResult` objects.
+    """
+    from ..engine.batch import SurvivabilityRequest, evaluate_survivability_request
+    from ..engine.executor import SerialBackend
+    from ..engine.jobs import SurvivabilitySweep
+
+    times = tuple(float(t) for t in times)
+    if params is None:
+        sweep = SurvivabilitySweep(
+            name="survivability-grid-sweep",
+            times_s=times,
+            axes=_materialize_axes(grid),
+            base=dict(base or {}),
+            eps=eps,
+        )
+        assignments, requests = map(list, zip(*sweep.requests()))
+    else:
+        if base:
+            raise ParameterError("pass either params or base overrides, not both")
+        assignments = _expand_assignments(_materialize_axes(grid))
+        requests = [
+            SurvivabilityRequest(
+                params=params.replacing(**assignment), times_s=times, eps=eps
+            )
+            for assignment in assignments
+        ]
+    resolved = _resolve_backend(backend) or SerialBackend()
+    outcomes = resolved.run(evaluate_survivability_request, requests)
     return _points_from_outcomes(
         assignments, outcomes, capture_errors=capture_errors, progress=progress
     )

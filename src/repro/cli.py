@@ -11,15 +11,19 @@ Subcommands:
   with a summary report;
 * ``sweep --axis k=v1,v2 … | --spec jobs.json`` — batch-evaluate a
   parameter grid (or a declarative multi-job campaign) through the
-  :mod:`repro.engine` cache and backends.
+  :mod:`repro.engine` cache and backends;
+* ``survivability --times T1,T2,… [--axis k=v1,v2 …]`` — time-bounded
+  survivability curves ``S(t)`` over a parameter grid (batched
+  transient analysis; same engine cache and backends).
 
-``run``, ``paper`` and ``sweep`` all accept
-``--jobs N|auto|thread[:N]|vector`` (evaluation workers; 0/1 = serial;
-``vector`` = the structure-sharing batched solver), ``--cache-dir DIR``
-(persistent
-content-addressed result cache, safe to share between concurrent
-processes), ``--cache-cap-mb MB`` (LRU disk eviction cap) and
-``--verbose`` (cache hit/miss/eviction statistics).
+``run``, ``paper``, ``sweep`` and ``survivability`` all accept
+``--jobs N|auto|thread[:N]|vector[:N]`` (evaluation workers; 0/1 =
+serial; ``vector`` = the structure-sharing batched solver;
+``vector:N`` = the vector+procs hybrid fanning batch chunks over ``N``
+pool workers), ``--cache-dir DIR`` (persistent content-addressed
+result cache, safe to share between concurrent processes),
+``--cache-cap-mb MB`` (LRU disk eviction cap) and ``--verbose``
+(cache hit/miss/eviction statistics).
 """
 
 from __future__ import annotations
@@ -57,9 +61,10 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help=(
             "evaluation workers: N (process pool), 'auto' (one per usable "
-            "CPU), 'thread[:N]' (thread pool), or 'vector' (structure-"
-            "sharing batched solver, solves whole sweeps at once); "
-            "0/1 = serial"
+            "CPU), 'thread[:N]' (thread pool), 'vector' (structure-"
+            "sharing batched solver, solves whole sweeps at once), or "
+            "'vector:N' (vector+procs hybrid: batched chunks fanned over "
+            "N pool workers); 0/1 = serial"
         ),
     )
     parser.add_argument(
@@ -170,6 +175,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--out", default=None, help="JSON artifact path")
     _add_engine_flags(p_sweep)
 
+    p_surv = sub.add_parser(
+        "survivability",
+        help="time-bounded survivability curves S(t) over a parameter grid",
+    )
+    p_surv.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="grid axis over any GCSParameters.replacing key (repeatable; "
+        "omit for a single-point curve)",
+    )
+    p_surv.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="base",
+        help="fixed base parameter override (repeatable)",
+    )
+    p_surv.add_argument("--n", type=int, default=None, help="group size N")
+    p_surv.add_argument(
+        "--times",
+        default=None,
+        metavar="T1,T2,...",
+        help="strictly increasing mission times in seconds",
+    )
+    p_surv.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="T",
+        help="alternative to --times: evenly spaced grid up to T seconds",
+    )
+    p_surv.add_argument(
+        "--points",
+        type=int,
+        default=8,
+        metavar="K",
+        help="grid size for --until (default 8)",
+    )
+    p_surv.add_argument(
+        "--log",
+        action="store_true",
+        help="space the --until grid geometrically instead of evenly",
+    )
+    p_surv.add_argument(
+        "--eps",
+        type=float,
+        default=1e-12,
+        help="uniformization truncation mass per time point",
+    )
+    p_surv.add_argument("--out", default=None, help="JSON artifact path")
+    _add_engine_flags(p_surv)
+
     p_eval = sub.add_parser("evaluate", help="evaluate one parameter point")
     p_eval.add_argument("--n", type=int, default=100, help="group size N")
     p_eval.add_argument("--m", type=int, default=5, help="vote participants")
@@ -257,13 +317,10 @@ def _parse_assignment(text: str, *, what: str) -> tuple[str, str]:
     return name, value
 
 
-def _sweep_campaign(args: argparse.Namespace) -> Campaign:
-    if args.spec:
-        if args.axis or args.base or args.n is not None:
-            raise ParameterError("--spec excludes --axis/--set/--n")
-        return load_campaign(args.spec)
-    if not args.axis:
-        raise ParameterError("sweep needs at least one --axis (or a --spec file)")
+def _parse_axes_base(
+    args: argparse.Namespace,
+) -> tuple[dict[str, tuple[Any, ...]], dict[str, Any]]:
+    """Shared ``--axis``/``--set``/``--n`` parsing for grid subcommands."""
     axes: dict[str, tuple[Any, ...]] = {}
     for spec in args.axis:
         name, values = _parse_assignment(spec, what="--axis")
@@ -274,6 +331,17 @@ def _sweep_campaign(args: argparse.Namespace) -> Campaign:
         base[name] = _parse_scalar(value)
     if args.n is not None:
         base["num_nodes"] = args.n
+    return axes, base
+
+
+def _sweep_campaign(args: argparse.Namespace) -> Campaign:
+    if args.spec:
+        if args.axis or args.base or args.n is not None:
+            raise ParameterError("--spec excludes --axis/--set/--n")
+        return load_campaign(args.spec)
+    if not args.axis:
+        raise ParameterError("sweep needs at least one --axis (or a --spec file)")
+    axes, base = _parse_axes_base(args)
     job = SweepJob(name="cli-sweep", axes=axes, base=base, method=args.method)
     return Campaign(name="cli-sweep", jobs=(job,))
 
@@ -347,6 +415,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _survivability_times(args: argparse.Namespace) -> tuple[float, ...]:
+    if args.times and args.until is not None:
+        raise ParameterError("pass either --times or --until, not both")
+    if args.times:
+        return tuple(float(v) for v in args.times.split(",") if v)
+    if args.until is not None:
+        import numpy as np
+
+        if args.points < 2:
+            raise ParameterError(f"--points must be >= 2, got {args.points}")
+        if args.log:
+            grid = np.geomspace(args.until / 100.0, args.until, args.points)
+        else:
+            grid = np.linspace(args.until / args.points, args.until, args.points)
+        return tuple(float(t) for t in grid)
+    raise ParameterError("survivability needs --times T1,T2,... or --until T")
+
+
+def _cmd_survivability(args: argparse.Namespace) -> int:
+    from .engine.jobs import SurvivabilitySweep
+
+    axes, base = _parse_axes_base(args)
+    sweep = SurvivabilitySweep(
+        name="cli-survivability",
+        times_s=_survivability_times(args),
+        axes=axes,
+        base=base,
+        eps=args.eps,
+    )
+    runner = _build_runner(args) or BatchRunner()
+    outcome = sweep.run(runner)
+
+    times = sweep.times_s
+    shown = (
+        list(range(len(times)))
+        if len(times) <= 6
+        else [0, 1, 2, 3, 4, len(times) - 1]
+    )
+    axis_names = list(sweep.axes)
+    print(f"== {sweep.name}: {len(outcome.points)} points, S(t) ==")
+    header = [f"{n:>20s}" for n in axis_names] + [
+        f"{f'S@{times[i]:g}s':>12s}" for i in shown
+    ]
+    print(" ".join(header))
+    for assignment, result in outcome.points:
+        cells = [f"{assignment[n]!s:>20s}" for n in axis_names]
+        if result is None:
+            cells.extend([f"{'FAILED':>12s}"] * len(shown))
+        else:
+            cells.extend(f"{result.survival[i]:12.6f}" for i in shown)
+        print(" ".join(cells))
+    print()
+    print(outcome.report.describe())
+    if not args.verbose:
+        print(runner.cache.describe())
+    _print_cache_stats(runner, args.verbose)
+    for error in outcome.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.out:
+        artifact = {
+            "sweep": sweep.to_dict(),
+            "report": {
+                "n_requested": outcome.report.n_requested,
+                "n_unique": outcome.report.n_unique,
+                "n_cache_hits": outcome.report.n_cache_hits,
+                "n_evaluated": outcome.report.n_evaluated,
+                "n_errors": outcome.report.n_errors,
+            },
+            "points": [
+                {
+                    "assignment": dict(assignment),
+                    "result": result.to_dict() if result else None,
+                }
+                for assignment, result in outcome.points
+            ],
+        }
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2))
+        print(f"artifact: {path}")
+    if outcome.errors:
+        print(
+            f"error: {len(outcome.errors)} of {outcome.report.n_requested} "
+            "grid points failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     params = GCSParameters.paper_defaults(
         num_nodes=args.n,
@@ -388,6 +546,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_evaluate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "survivability":
+            return _cmd_survivability(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -22,7 +22,15 @@ from .fastpath import (
     fill_transition_rates,
     lattice_structure,
 )
-from .metrics import GCSEvaluation, evaluate, evaluate_batch, evaluate_batch_outcomes
+from .metrics import (
+    GCSEvaluation,
+    evaluate,
+    evaluate_batch,
+    evaluate_batch_outcomes,
+    evaluate_survivability,
+    evaluate_survivability_batch,
+    evaluate_survivability_batch_outcomes,
+)
 from .model import build_gcs_spn
 from .optimizer import (
     OptimizationResult,
@@ -32,7 +40,7 @@ from .optimizer import (
     tradeoff_curve,
 )
 from .rates import GCSRates
-from .results import GCSResult
+from .results import GCSResult, SurvivabilityResult
 from .scenario import Scenario
 
 __all__ = [
@@ -49,7 +57,11 @@ __all__ = [
     "evaluate",
     "evaluate_batch",
     "evaluate_batch_outcomes",
+    "evaluate_survivability",
+    "evaluate_survivability_batch",
+    "evaluate_survivability_batch_outcomes",
     "GCSResult",
+    "SurvivabilityResult",
     "OptimizationResult",
     "TradeoffPoint",
     "optimize_tids",

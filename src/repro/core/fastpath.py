@@ -90,11 +90,9 @@ class LatticeChain:
 
     def absorbing_classes(self) -> dict[str, list[int]]:
         """Failure classes keyed as the metrics pipeline expects."""
-        return {
-            "c1_data_leak": [self.c1_state],
-            "c2_byzantine": self.c2_states.tolist(),
-            "depletion": self.depletion_states.tolist(),
-        }
+        return _absorbing_class_map(
+            self.c1_state, self.c2_states, self.depletion_states
+        )
 
 
 @dataclass(frozen=True)
@@ -145,6 +143,28 @@ class LatticeStructure:
     @property
     def nnz(self) -> int:
         return self.indices.size
+
+    def absorbing_classes(self) -> dict[str, list[int]]:
+        """Failure classes keyed as the metrics pipeline expects."""
+        return _absorbing_class_map(
+            self.c1_state, self.c2_states, self.depletion_states
+        )
+
+
+def _absorbing_class_map(
+    c1_state: int, c2_states: np.ndarray, depletion_states: np.ndarray
+) -> dict[str, list[int]]:
+    """The one definition of the failure-class → state mapping.
+
+    Shared by :class:`LatticeChain` and :class:`LatticeStructure` so
+    the per-point and batched pipelines can never disagree on class
+    names or membership.
+    """
+    return {
+        "c1_data_leak": [c1_state],
+        "c2_byzantine": c2_states.tolist(),
+        "depletion": depletion_states.tolist(),
+    }
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,14 @@ per group size and runs a single multi-point level-scheduled backward
 sweep (:func:`repro.ctmc.acyclic.solve_dag_batch`) over stacked
 ``(P, nnz)`` rate arrays — bit-identical per-point results, one shared
 pass instead of ``P`` rebuilds.
+
+:func:`evaluate_survivability` / :func:`evaluate_survivability_batch`
+are the *transient* counterparts: instead of steady-state absorption
+quantities they compute the time-bounded survivability curve
+``S(t) = P(no security failure by t)`` over a mission-time grid, per
+failure class, with expected cost rates and trapezoidal time-bounded
+costs — batched by the same structure-sharing recipe
+(:func:`repro.ctmc.transient.transient_distribution_batch`).
 """
 
 from __future__ import annotations
@@ -33,21 +41,30 @@ from ..costs.sizes import MessageSizes
 from ..ctmc.absorbing import analyze_absorbing
 from ..ctmc.acyclic import solve_dag_batch
 from ..ctmc.birth_death import BirthDeathProcess
+from ..ctmc.transient import (
+    csr_row_sums,
+    transient_distribution,
+    transient_distribution_batch,
+)
 from ..errors import ParameterError
 from ..manet.network import NetworkModel
 from ..params import GCSParameters
 from ..spn.analysis import analyze_spn
+from ..validation import require_sorted_unique
 from .failure import FailureClass
 from .fastpath import build_lattice_chain, fill_transition_rates, lattice_structure
 from .model import build_gcs_spn
 from .rates import GCSRates
-from .results import GCSResult
+from .results import GCSResult, SurvivabilityResult
 
 __all__ = [
     "GCSEvaluation",
     "evaluate",
     "evaluate_batch",
     "evaluate_batch_outcomes",
+    "evaluate_survivability",
+    "evaluate_survivability_batch",
+    "evaluate_survivability_batch_outcomes",
     "resolve_network",
 ]
 
@@ -657,6 +674,280 @@ def evaluate_batch_outcomes(
                     outcomes[point.index] = (None, exc)
 
     return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Time-bounded survivability (transient analysis)
+# ---------------------------------------------------------------------------
+
+def _validate_mission_times(times: Sequence[float]) -> tuple[float, ...]:
+    times = require_sorted_unique("times", times)
+    if times[0] < 0.0:
+        raise ParameterError(f"times must be non-negative, got {times[0]!r}")
+    return times
+
+
+def _survivability_curves(
+    dist: np.ndarray,
+    times: tuple[float, ...],
+    cost_padded: np.ndarray,
+    initial_state: int,
+    class_members: dict[str, list[int]],
+    absorbing_mask: np.ndarray,
+) -> tuple[np.ndarray, dict[str, np.ndarray], np.ndarray, np.ndarray]:
+    """Survival / CDF / cost curves from one point's ``(T, n)`` distributions.
+
+    The quadrature for the time-bounded cost is a trapezoid over the
+    mission grid anchored at ``t = 0`` with the initial marking's exact
+    cost rate (``π(0)`` is a point mass, so ``c(0) = cost[initial]``).
+    """
+    ts = np.asarray(times)
+    cdf: dict[str, np.ndarray] = {
+        "any": (dist * absorbing_mask[None, :]).sum(axis=1)
+    }
+    for name, members in class_members.items():
+        idx = np.asarray(members, dtype=int)
+        cdf[name] = (
+            dist[:, idx].sum(axis=1) if idx.size else np.zeros(ts.size)
+        )
+    survival = 1.0 - cdf["any"]
+    cost_rate = dist @ cost_padded
+    if ts[0] == 0.0:
+        full_t, full_c = ts, cost_rate
+    else:
+        full_t = np.concatenate([[0.0], ts])
+        full_c = np.concatenate([[cost_padded[initial_state]], cost_rate])
+    segments = 0.5 * (full_c[1:] + full_c[:-1]) * np.diff(full_t)
+    cumulative = np.concatenate([[0.0], np.cumsum(segments)])
+    bounded = cumulative[-ts.size:]
+    return survival, cdf, cost_rate, bounded
+
+
+def evaluate_survivability(
+    params: GCSParameters,
+    network: Optional[NetworkModel] = None,
+    *,
+    times: Sequence[float],
+    sizes: Optional[MessageSizes] = None,
+    eps: float = 1e-12,
+) -> SurvivabilityResult:
+    """Survivability curve ``S(t)`` of one scenario over mission ``times``.
+
+    The per-point reference path: builds the fast-lattice chain and runs
+    uniformization (:func:`repro.ctmc.transient.transient_distribution`)
+    over the strictly increasing, non-negative mission-time grid. The
+    batched counterpart is :func:`evaluate_survivability_batch`.
+    """
+    times = _validate_mission_times(times)
+    t0 = time.perf_counter()
+    net = resolve_network(params, network)
+    bd = BirthDeathProcess.for_group_count(
+        net.partition_rate_hz, net.merge_rate_hz, params.groups.max_groups
+    )
+    lattice = build_lattice_chain(
+        params, net, expected_groups=bd.mean_level()
+    )
+    cost_model = GCSCostModel(
+        params, net, sizes=sizes, ng_distribution=bd.level_distribution()
+    )
+    costs = cost_model.cost_vector(lattice.t, lattice.u, lattice.d)
+    cost_padded = np.append(costs, 0.0)  # C1 state accrues nothing
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    dist = np.atleast_2d(
+        transient_distribution(
+            lattice.chain, times, lattice.initial_state, eps=eps
+        )
+    )
+    survival, cdf, cost_rate, bounded = _survivability_curves(
+        dist,
+        times,
+        cost_padded,
+        lattice.initial_state,
+        lattice.absorbing_classes(),
+        lattice.chain.absorbing_mask,
+    )
+    solve_s = time.perf_counter() - t1
+
+    return SurvivabilityResult(
+        params=params,
+        times_s=times,
+        survival=tuple(float(s) for s in survival),
+        failure_cdf={k: tuple(float(x) for x in v) for k, v in cdf.items()},
+        expected_cost_rate=tuple(float(c) for c in cost_rate),
+        time_bounded_cost=tuple(float(c) for c in bounded),
+        num_states=lattice.num_states,
+        solver="uniformization",
+        build_seconds=build_s,
+        solve_seconds=solve_s,
+    )
+
+
+def _survivability_chunk_size(
+    structure, n_times: int, max_batch_bytes: int
+) -> int:
+    """Points per chunk under the working-set byte budget.
+
+    Per point the batched uniformization holds the rate fill, the
+    column-sorted gather copy and the per-step contribution (~nnz
+    each) plus the accumulator, power vector and out-rate/diagonal
+    rows (~n each); 8 bytes per float.
+    """
+    n = structure.num_states
+    per_point = 8 * (3 * structure.nnz + n * (n_times + 4))
+    return max(1, max_batch_bytes // max(per_point, 1))
+
+
+def evaluate_survivability_batch_outcomes(
+    scenarios: Sequence[BatchScenario],
+    *,
+    times: Sequence[float],
+    sizes: Optional[MessageSizes] = None,
+    eps: float = 1e-12,
+    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+) -> list[tuple[Optional[SurvivabilityResult], Optional[BaseException]]]:
+    """Batched survivability with per-point error capture.
+
+    Mirrors :func:`evaluate_batch_outcomes`: one ``(result, error)``
+    pair per scenario in input order, grouped by lattice size so every
+    group shares one cached :class:`~repro.core.fastpath.LatticeStructure`
+    and one multi-point uniformization sweep
+    (:func:`repro.ctmc.transient.transient_distribution_batch`).
+    """
+    outcomes: list[
+        tuple[Optional[SurvivabilityResult], Optional[BaseException]]
+    ] = [(None, None)] * len(scenarios)
+    try:
+        times = _validate_mission_times(times)
+    except Exception as exc:  # noqa: BLE001 — shared-argument failure
+        # A bad shared time grid fails every point identically, exactly
+        # as a per-point loop would — keeps backend semantics equal.
+        return [(None, exc)] * len(scenarios)
+    pairs: list[Optional[tuple[GCSParameters, Optional[NetworkModel]]]] = []
+    for i, scenario in enumerate(scenarios):
+        try:
+            pairs.append(_as_pair(scenario))
+        except Exception as exc:  # noqa: BLE001 — per-point capture
+            pairs.append(None)
+            outcomes[i] = (None, exc)
+
+    by_nodes: dict[int, list[int]] = {}
+    for i, pair in enumerate(pairs):
+        if pair is not None:
+            by_nodes.setdefault(pair[0].num_nodes, []).append(i)
+
+    for num_nodes, group in by_nodes.items():
+        structure = lattice_structure(num_nodes)
+        class_members = structure.absorbing_classes()
+        chunk = _survivability_chunk_size(structure, len(times), max_batch_bytes)
+        for start in range(0, len(group), chunk):
+            prepared: list[_PreparedPoint] = []
+            for i in group[start : start + chunk]:
+                params, network = pairs[i]
+                try:
+                    prepared.append(
+                        _prepare_point(
+                            structure,
+                            i,
+                            params,
+                            network,
+                            include_breakdown=False,
+                            sizes=sizes,
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 — per-point capture
+                    outcomes[i] = (None, exc)
+            if not prepared:
+                continue
+            t0 = time.perf_counter()
+            values = np.stack([point.values for point in prepared])
+            try:
+                dist = transient_distribution_batch(
+                    structure.indptr,
+                    structure.indices,
+                    values,
+                    np.asarray(times),
+                    structure.initial_state,
+                    eps=eps,
+                )
+            except Exception as exc:  # noqa: BLE001 — chunk-level capture
+                # A shared-sweep failure (e.g. invalid eps) fails every
+                # chunk member, matching per-point loop semantics.
+                for point in prepared:
+                    outcomes[point.index] = (None, exc)
+                continue
+            share = (time.perf_counter() - t0) / len(prepared)
+            q = csr_row_sums(structure.indptr, values)
+            for j, point in enumerate(prepared):
+                try:
+                    survival, cdf, cost_rate, bounded = _survivability_curves(
+                        dist[j],
+                        times,
+                        point.reward_columns[0],
+                        structure.initial_state,
+                        class_members,
+                        q[j] == 0.0,
+                    )
+                    outcomes[point.index] = (
+                        SurvivabilityResult(
+                            params=point.params,
+                            times_s=times,
+                            survival=tuple(float(s) for s in survival),
+                            failure_cdf={
+                                k: tuple(float(x) for x in v)
+                                for k, v in cdf.items()
+                            },
+                            expected_cost_rate=tuple(
+                                float(c) for c in cost_rate
+                            ),
+                            time_bounded_cost=tuple(float(c) for c in bounded),
+                            num_states=structure.num_states,
+                            solver="uniformization-batch",
+                            build_seconds=point.build_seconds,
+                            solve_seconds=share,
+                        ),
+                        None,
+                    )
+                except Exception as exc:  # noqa: BLE001 — per-point capture
+                    outcomes[point.index] = (None, exc)
+
+    return outcomes
+
+
+def evaluate_survivability_batch(
+    scenarios: Sequence[BatchScenario],
+    *,
+    times: Sequence[float],
+    sizes: Optional[MessageSizes] = None,
+    eps: float = 1e-12,
+    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+) -> list[SurvivabilityResult]:
+    """Evaluate survivability curves for many scenarios in one sweep.
+
+    The batched counterpart of :func:`evaluate_survivability`: points
+    are grouped by ``num_nodes``, rate fills stacked, and one
+    multi-point uniformization pass computes every point's transient
+    distributions over the whole mission grid — numerically equivalent
+    to the per-point path within
+    :data:`repro.ctmc.transient.BATCH_EQUIVALENCE_RTOL` (asserted by
+    the differential test layer). Raises the first per-point failure;
+    use :func:`evaluate_survivability_batch_outcomes` for capture.
+    """
+    outcomes = evaluate_survivability_batch_outcomes(
+        scenarios,
+        times=times,
+        sizes=sizes,
+        eps=eps,
+        max_batch_bytes=max_batch_bytes,
+    )
+    results: list[SurvivabilityResult] = []
+    for result, error in outcomes:
+        if error is not None:
+            raise error
+        assert result is not None
+        results.append(result)
+    return results
 
 
 def evaluate_batch(

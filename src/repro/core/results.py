@@ -7,7 +7,7 @@ from typing import Mapping, Optional
 
 from ..params import GCSParameters
 
-__all__ = ["GCSResult"]
+__all__ = ["GCSResult", "SurvivabilityResult"]
 
 
 @dataclass(frozen=True)
@@ -120,3 +120,88 @@ class GCSResult:
         if self.mttsf_std_s is not None:
             out["mttsf_std_s"] = self.mttsf_std_s
         return out
+
+
+@dataclass(frozen=True)
+class SurvivabilityResult:
+    """Time-bounded survivability of one parameter point.
+
+    Where :class:`GCSResult` carries the steady-state absorption
+    quantities (MTTSF, Ĉtotal), this carries the *transient* story over
+    a mission-time grid: ``survival[i]`` is ``S(t_i) = P(no security
+    failure by times_s[i])``, ``failure_cdf`` splits the absorbed mass
+    per failure class (defective CDFs plus ``"any"``),
+    ``expected_cost_rate[i]`` is the instantaneous expected
+    communication cost rate at ``t_i``, and ``time_bounded_cost[i]``
+    the trapezoidal estimate of the cost accumulated over ``[0, t_i]``
+    (anchored at ``t = 0`` with the initial marking's cost rate).
+    """
+
+    params: GCSParameters
+    times_s: tuple[float, ...]
+    survival: tuple[float, ...]
+    failure_cdf: Mapping[str, tuple[float, ...]]
+    expected_cost_rate: tuple[float, ...]
+    time_bounded_cost: tuple[float, ...]
+    num_states: int
+    solver: str
+    build_seconds: float
+    solve_seconds: float
+
+    def survival_at(self, mission_time_s: float) -> float:
+        """``S(t)`` linearly interpolated on the evaluated grid.
+
+        Clamped to the grid: ``t`` below ``times_s[0]`` returns the
+        first value (1.0 when the grid starts at 0), beyond the last
+        grid point the last value.
+        """
+        import numpy as np
+
+        if mission_time_s < 0:
+            raise ValueError("mission_time_s must be >= 0")
+        return float(np.interp(mission_time_s, self.times_s, self.survival))
+
+    def meets_mission_reliability(
+        self, mission_time_s: float, reliability: float
+    ) -> bool:
+        """Does ``S(mission_time_s)`` meet the required reliability?"""
+        return self.survival_at(mission_time_s) >= reliability
+
+    @property
+    def dominant_failure_mode(self) -> str:
+        """The failure class with the most mass at the last grid point."""
+        named = {k: v for k, v in self.failure_cdf.items() if k != "any"}
+        return max(named, key=lambda k: named[k][-1])
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        head = self.times_s[0]
+        tail = self.times_s[-1]
+        lines = [
+            f"{self.params.describe()}",
+            f"  grid      : {len(self.times_s)} mission times in "
+            f"[{head:g}, {tail:g}] s",
+            f"  S(t)      : {self.survival[0]:.6f} @ {head:g}s -> "
+            f"{self.survival[-1]:.6f} @ {tail:g}s",
+            f"  cost[0,T] = {self.time_bounded_cost[-1]:.4g} hop-bits "
+            f"(rate {self.expected_cost_rate[-1]:.4g} at {tail:g}s)",
+            f"  solved    : {self.num_states} states via {self.solver} "
+            f"(build {self.build_seconds:.2f}s, solve {self.solve_seconds:.2f}s)",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (cache + analysis artifacts)."""
+        return {
+            "kind": "survivability",
+            "times_s": list(self.times_s),
+            "survival": list(self.survival),
+            "failure_cdf": {k: list(v) for k, v in self.failure_cdf.items()},
+            "expected_cost_rate": list(self.expected_cost_rate),
+            "time_bounded_cost": list(self.time_bounded_cost),
+            "num_states": self.num_states,
+            "solver": self.solver,
+            "build_seconds": self.build_seconds,
+            "solve_seconds": self.solve_seconds,
+            "params": self.params.to_dict(),
+        }

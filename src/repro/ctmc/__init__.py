@@ -32,7 +32,13 @@ from .chain import CTMC
 from .linear import solve_linear_system
 from .poisson import poisson_weights
 from .stationary import stationary_distribution
-from .transient import absorption_cdf, transient_distribution
+from .transient import (
+    BATCH_EQUIVALENCE_RTOL,
+    absorption_cdf,
+    absorption_cdf_batch,
+    transient_distribution,
+    transient_distribution_batch,
+)
 
 __all__ = [
     "CTMC",
@@ -48,6 +54,9 @@ __all__ = [
     "poisson_weights",
     "transient_distribution",
     "absorption_cdf",
+    "transient_distribution_batch",
+    "absorption_cdf_batch",
+    "BATCH_EQUIVALENCE_RTOL",
     "stationary_distribution",
     "BirthDeathProcess",
 ]

@@ -38,11 +38,19 @@ from .batch import (
     BatchRunner,
     EvalRequest,
     PointError,
+    SurvivabilityRequest,
     evaluate_request,
+    evaluate_survivability_request,
     make_runner,
     run_tids_sweep,
 )
-from .cache import CacheStats, ResultCache, result_from_dict
+from .cache import (
+    CacheableResult,
+    CacheStats,
+    ResultCache,
+    result_from_dict,
+    survivability_result_from_dict,
+)
 from .executor import (
     ExecutionBackend,
     PointOutcome,
@@ -53,7 +61,15 @@ from .executor import (
     available_cpus,
     make_backend,
 )
-from .jobs import Campaign, JobOutcome, SweepJob, load_campaign, paper_campaign
+from .jobs import (
+    Campaign,
+    JobOutcome,
+    SurvivabilityOutcome,
+    SurvivabilitySweep,
+    SweepJob,
+    load_campaign,
+    paper_campaign,
+)
 from .keys import SCHEMA_VERSION, params_from_dict, scenario_fingerprint
 from .locks import FileLock
 
@@ -74,16 +90,22 @@ __all__ = [
     "available_cpus",
     "make_backend",
     "EvalRequest",
+    "SurvivabilityRequest",
     "PointError",
     "BatchReport",
     "BatchResult",
     "BatchRunner",
     "make_runner",
     "evaluate_request",
+    "evaluate_survivability_request",
     "run_tids_sweep",
     "Campaign",
     "SweepJob",
     "JobOutcome",
+    "SurvivabilitySweep",
+    "SurvivabilityOutcome",
     "load_campaign",
     "paper_campaign",
+    "CacheableResult",
+    "survivability_result_from_dict",
 ]

@@ -20,19 +20,24 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from ..core.metrics import GCSEvaluation, resolve_network
+from ..core.metrics import (
+    GCSEvaluation,
+    evaluate_survivability,
+    resolve_network,
+)
 from ..core.optimizer import TradeoffPoint
-from ..core.results import GCSResult
+from ..core.results import GCSResult, SurvivabilityResult
 from ..errors import ExperimentError, ParameterError
 from ..manet.network import NetworkModel
 from ..params import GCSParameters
 from ..validation import require_sorted_unique
-from .cache import ResultCache
+from .cache import CacheableResult, ResultCache
 from .executor import ExecutionBackend, SerialBackend, make_backend
 from .keys import scenario_fingerprint
 
 __all__ = [
     "EvalRequest",
+    "SurvivabilityRequest",
     "PointError",
     "BatchReport",
     "BatchResult",
@@ -82,11 +87,56 @@ def evaluate_request(request: EvalRequest) -> GCSResult:
 
 
 @dataclass(frozen=True)
+class SurvivabilityRequest:
+    """One scenario point's survivability curve over a mission-time grid.
+
+    The engine's second first-class request type: evaluated by
+    :func:`evaluate_survivability_request` (per-point uniformization)
+    or — when a whole batch of them reaches the
+    :class:`~repro.engine.executor.VectorBackend` — by one
+    structure-sharing
+    :func:`~repro.core.metrics.evaluate_survivability_batch_outcomes`
+    sweep. The fingerprint extends the scenario key with the time grid
+    and the truncation ``eps``, so curves over different grids never
+    collide in the shared result cache while identical sweep requests
+    dedup exactly like model evaluations.
+    """
+
+    params: GCSParameters
+    times_s: tuple[float, ...]
+    network: Optional[NetworkModel] = None
+    eps: float = 1e-12
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "times_s", tuple(float(t) for t in self.times_s))
+
+    def fingerprint(self) -> str:
+        return scenario_fingerprint(
+            self.params,
+            network=self.network,
+            method="survivability",
+            options={"times_s": list(self.times_s), "eps": self.eps},
+        )
+
+
+def evaluate_survivability_request(
+    request: SurvivabilityRequest,
+) -> SurvivabilityResult:
+    """Evaluate one survivability request (module level: picklable)."""
+    return evaluate_survivability(
+        request.params,
+        request.network,
+        times=request.times_s,
+        eps=request.eps,
+    )
+
+
+@dataclass(frozen=True)
 class PointError:
     """A captured per-point evaluation failure."""
 
     index: int
-    request: EvalRequest
+    request: "EvalRequest | SurvivabilityRequest"
     error: str
     error_type: str
 
@@ -145,7 +195,7 @@ class BatchReport:
 class BatchResult:
     """Results in input order (``None`` where the point errored)."""
 
-    results: tuple[Optional[GCSResult], ...]
+    results: tuple[Optional[CacheableResult], ...]
     report: BatchReport
 
     def __iter__(self):
@@ -175,10 +225,20 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def run(
         self,
-        requests: Sequence[EvalRequest],
+        requests: "Sequence[EvalRequest | SurvivabilityRequest]",
         *,
+        evaluate: Callable[[Any], Any] = evaluate_request,
         progress: Optional[ProgressFn] = None,
     ) -> BatchResult:
+        """Dedup → cache → evaluate → store one batch of requests.
+
+        ``evaluate`` is the per-point evaluation function handed to the
+        backend (module-level so process pools can pickle it); the
+        default handles :class:`EvalRequest`, survivability sweeps pass
+        :func:`evaluate_survivability_request`. Mixing request types in
+        one call works (fingerprints never collide) as long as
+        ``evaluate`` accepts both.
+        """
         t0 = time.perf_counter()
         report = BatchReport(
             n_requested=len(requests), backend=self.backend.describe()
@@ -192,7 +252,7 @@ class BatchRunner:
             representative.setdefault(key, i)
         report.n_unique = len(representative)
 
-        by_key: dict[str, GCSResult] = {}
+        by_key: dict[str, CacheableResult] = {}
         misses: list[tuple[str, int]] = []
         for key, i in representative.items():
             cached = self.cache.get(key)
@@ -205,7 +265,7 @@ class BatchRunner:
         fresh: set[str] = set()
         if misses:
             outcomes = self.backend.run(
-                evaluate_request, [requests[i] for _, i in misses]
+                evaluate, [requests[i] for _, i in misses]
             )
             for (key, i), outcome in zip(misses, outcomes):
                 if outcome.ok:
@@ -223,7 +283,7 @@ class BatchRunner:
                         )
                     )
 
-        results: list[Optional[GCSResult]] = []
+        results: list[Optional[CacheableResult]] = []
         for i, key in enumerate(keys):
             result = by_key.get(key)
             results.append(result)

@@ -42,18 +42,62 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
-from ..core.results import GCSResult
+from ..core.results import GCSResult, SurvivabilityResult
 from ..errors import ParameterError
 from .keys import SCHEMA_VERSION, params_from_dict
 from .locks import FileLock
 
-__all__ = ["CacheStats", "ResultCache", "result_from_dict"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "result_from_dict",
+    "survivability_result_from_dict",
+    "CacheableResult",
+]
+
+#: Either result type the cache can hold; records are dispatched on
+#: their ``"kind"`` field (absent = the historical :class:`GCSResult`
+#: form, so every pre-existing on-disk record still deserialises).
+CacheableResult = Union[GCSResult, SurvivabilityResult]
 
 
-def result_from_dict(data: Mapping[str, Any]) -> GCSResult:
-    """Rebuild a :class:`GCSResult` from its :meth:`~GCSResult.to_dict`."""
+def survivability_result_from_dict(data: Mapping[str, Any]) -> SurvivabilityResult:
+    """Rebuild a :class:`SurvivabilityResult` from its ``to_dict()``."""
+    try:
+        return SurvivabilityResult(
+            params=params_from_dict(data["params"]),
+            times_s=tuple(float(t) for t in data["times_s"]),
+            survival=tuple(float(s) for s in data["survival"]),
+            failure_cdf={
+                str(k): tuple(float(x) for x in v)
+                for k, v in data["failure_cdf"].items()
+            },
+            expected_cost_rate=tuple(float(c) for c in data["expected_cost_rate"]),
+            time_bounded_cost=tuple(float(c) for c in data["time_bounded_cost"]),
+            num_states=int(data["num_states"]),
+            solver=str(data["solver"]),
+            build_seconds=float(data["build_seconds"]),
+            solve_seconds=float(data["solve_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ParameterError(f"malformed cached result: {exc}") from exc
+
+
+def result_from_dict(data: Mapping[str, Any]) -> CacheableResult:
+    """Rebuild a cached result from its ``to_dict()`` form.
+
+    Dispatches on the record's ``"kind"`` field: ``"survivability"``
+    records rebuild a :class:`SurvivabilityResult`; records without a
+    kind (every record written before survivability sweeps existed)
+    rebuild the historical :class:`GCSResult`.
+    """
+    kind = data.get("kind")
+    if kind == "survivability":
+        return survivability_result_from_dict(data)
+    if kind is not None:
+        raise ParameterError(f"unknown cached result kind {kind!r}")
     try:
         return GCSResult(
             params=params_from_dict(data["params"]),
@@ -152,7 +196,7 @@ class ResultCache:
             )
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
-        self._memory: OrderedDict[str, GCSResult] = OrderedDict()
+        self._memory: OrderedDict[str, CacheableResult] = OrderedDict()
         self._lock: Optional[FileLock] = (
             FileLock(self._version_dir() / ".lock")
             if self.cache_dir is not None
@@ -169,7 +213,7 @@ class ResultCache:
     def _record_path(self, key: str) -> Path:
         return self._version_dir() / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[GCSResult]:
+    def get(self, key: str) -> Optional[CacheableResult]:
         """Look ``key`` up; ``None`` on miss. Promotes disk hits to the
         memory layer, refreshes their LRU recency (mtime), and treats
         torn / corrupt / concurrently-evicted records as misses."""
@@ -199,7 +243,7 @@ class ResultCache:
         self.stats.misses += 1
         return None
 
-    def put(self, key: str, result: GCSResult) -> None:
+    def put(self, key: str, result: CacheableResult) -> None:
         """Store under ``key`` in both layers.
 
         The disk write is write-to-tmp + atomic rename, which is safe
@@ -221,7 +265,7 @@ class ResultCache:
             self._write_record(key, result)
             self._enforce_disk_cap(protect=key)
 
-    def _write_record(self, key: str, result: GCSResult) -> None:
+    def _write_record(self, key: str, result: CacheableResult) -> None:
         path = self._record_path(key)
         record = {"key": key, "version": self.version, "result": result.to_dict()}
         # Write-then-rename so a crashed writer never leaves a torn
@@ -312,7 +356,7 @@ class ResultCache:
         return sum(1 for _ in root.glob("*/*.json")) if root.exists() else 0
 
     # ------------------------------------------------------------------
-    def _remember(self, key: str, result: GCSResult) -> None:
+    def _remember(self, key: str, result: CacheableResult) -> None:
         if self.memory_capacity == 0:
             return
         self._memory[key] = result

@@ -10,12 +10,15 @@ Four backends behind one ``run(fn, items)`` contract:
   workloads that release the GIL (the scipy sparse solves at the heart
   of an evaluation spend their time in native code); zero pickling, so
   it also accepts unpicklable callables and items.
-* :class:`VectorBackend` — no concurrency at all: model-evaluation
-  batches are recognised and solved *simultaneously* by the
-  structure-sharing batched lattice solver
-  (:func:`repro.core.metrics.evaluate_batch_outcomes`); anything else
-  falls back to an inner backend (serial by default). The speedup is
-  algorithmic, so it stacks with single-core machines.
+* :class:`VectorBackend` — model-evaluation and survivability batches
+  are recognised and solved *simultaneously* by the structure-sharing
+  batched solvers (:func:`repro.core.metrics.evaluate_batch_outcomes`
+  / :func:`repro.core.metrics.evaluate_survivability_batch_outcomes`);
+  anything else falls back to an inner backend (serial by default).
+  The speedup is algorithmic, so it stacks with single-core machines —
+  and with ``chunk_workers`` set (``--jobs vector:N``) independent
+  chunks additionally fan out over a process pool (the vector+procs
+  hybrid), stacking multi-core scaling on top.
 
 All return :class:`PointOutcome` records in **input order** regardless
 of completion order, and all capture per-point exceptions into the
@@ -26,7 +29,7 @@ same ordering (asserted by the test suite; the vector backend is
 additionally *bit-identical* to the others on model batches).
 
 :func:`make_backend` maps the CLI's ``--jobs`` grammar (``N``,
-``auto``, ``thread``, ``thread:N``, ``vector``) onto a backend;
+``auto``, ``thread[:N]``, ``vector[:N]``) onto a backend;
 :func:`available_cpus` is the ``auto`` worker count (cgroup/affinity
 aware where the platform exposes it).
 """
@@ -210,20 +213,102 @@ class ThreadPoolBackend:
         return f"thread-pool(workers={self.max_workers})"
 
 
+def _carry(exc: BaseException) -> Optional[BaseException]:
+    """The exception object iff it survives a pickle round-trip."""
+    try:
+        return pickle.loads(pickle.dumps(exc))
+    except Exception:  # noqa: BLE001 — unpicklable exception
+        return None
+
+
+def _outcomes_from_batch(
+    batch: "list[tuple[Any, Optional[BaseException]]]",
+    *,
+    sanitize: bool,
+) -> list[PointOutcome]:
+    """Wrap ``(result, error)`` pairs as chunk-local :class:`PointOutcome`.
+
+    ``sanitize`` replaces the carried exception by its pickle
+    round-trip (or ``None``) — required when the outcome list itself
+    must cross a process boundary.
+    """
+    outcomes: list[PointOutcome] = []
+    for i, (result, error) in enumerate(batch):
+        if error is None:
+            outcomes.append(PointOutcome(index=i, value=result))
+        else:
+            outcomes.append(
+                PointOutcome(
+                    index=i,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    exception=_carry(error) if sanitize else error,
+                )
+            )
+    return outcomes
+
+
+def _solve_model_chunk(
+    requests: Sequence[Any], max_bytes: int, *, sanitize: bool = True
+) -> list[PointOutcome]:
+    """Solve one homogeneous chunk of ``EvalRequest`` items (picklable:
+    this is what the vector+procs hybrid ships to pool workers)."""
+    from ..core.metrics import evaluate_batch_outcomes
+
+    first = requests[0]
+    batch = evaluate_batch_outcomes(
+        [(r.params, r.network) for r in requests],
+        method=first.method,
+        include_breakdown=first.include_breakdown,
+        include_variance=first.include_variance,
+        max_batch_bytes=max_bytes,
+    )
+    return _outcomes_from_batch(batch, sanitize=sanitize)
+
+
+def _solve_survivability_chunk(
+    requests: Sequence[Any], max_bytes: int, *, sanitize: bool = True
+) -> list[PointOutcome]:
+    """Survivability counterpart of :func:`_solve_model_chunk`."""
+    from ..core.metrics import evaluate_survivability_batch_outcomes
+
+    first = requests[0]
+    batch = evaluate_survivability_batch_outcomes(
+        [(r.params, r.network) for r in requests],
+        times=first.times_s,
+        eps=first.eps,
+        max_batch_bytes=max_bytes,
+    )
+    return _outcomes_from_batch(batch, sanitize=sanitize)
+
+
 class VectorBackend:
     """Structure-sharing batched evaluation behind the backend contract.
 
-    When ``run`` receives the engine's canonical model-evaluation task
-    (``fn`` is :func:`repro.engine.batch.evaluate_request` over
-    :class:`~repro.engine.batch.EvalRequest` items), the whole batch is
-    handed to :func:`repro.core.metrics.evaluate_batch_outcomes`:
+    When ``run`` receives one of the engine's canonical batch tasks —
+    :func:`repro.engine.batch.evaluate_request` over
+    :class:`~repro.engine.batch.EvalRequest` items, or
+    :func:`repro.engine.batch.evaluate_survivability_request` over
+    :class:`~repro.engine.batch.SurvivabilityRequest` items — the whole
+    batch is handed to the matching structure-sharing solver
+    (:func:`repro.core.metrics.evaluate_batch_outcomes` /
+    :func:`repro.core.metrics.evaluate_survivability_batch_outcomes`):
     requests are grouped by solver options, each group shares one
-    cached lattice structure per ``N``, and a single multi-point
-    backward sweep solves every grid point at once — bit-identical
-    results, no processes, no pickling. ``spn``/``spn-coupled``
-    requests and arbitrary callables fall back to ``fallback``
-    (serial by default), so the backend is safe to use anywhere a
-    backend is accepted.
+    cached lattice structure per ``N``, and a single multi-point sweep
+    solves every grid point at once — bit-identical results, no
+    processes, no pickling. ``spn``/``spn-coupled`` requests and
+    arbitrary callables fall back to ``fallback`` (serial by default),
+    so the backend is safe to use anywhere a backend is accepted.
+
+    ``chunk_workers`` is the **vector+procs hybrid** (``--jobs
+    vector:N``): each homogeneous group is split into independent
+    chunks that are fanned out over a process pool, every worker
+    running the batched solver on its chunk. Per-point arithmetic in
+    the batched solvers never mixes points, so chunked results are
+    byte-identical to the single-process vector path — the hybrid
+    simply stacks multi-core scaling on top of the algorithmic win.
+    Groups too small to fill two chunks solve in-process (pool spin-up
+    is never worth it).
 
     Composes with the result cache exactly like every other backend:
     the :class:`~repro.engine.batch.BatchRunner` fingerprints and
@@ -236,66 +321,126 @@ class VectorBackend:
         *,
         fallback: Optional["ExecutionBackend"] = None,
         max_batch_bytes: Optional[int] = None,
+        chunk_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
+        if chunk_workers is not None and chunk_workers < 1:
+            raise ParameterError(f"chunk_workers must be >= 1, got {chunk_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.fallback = fallback if fallback is not None else SerialBackend()
         self.max_batch_bytes = max_batch_bytes
+        self.chunk_workers = chunk_workers
+        self.chunk_size = chunk_size
 
-    def _vectorisable(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
-        from .batch import EvalRequest, evaluate_request
-
-        return fn is evaluate_request and all(
-            isinstance(item, EvalRequest) for item in items
+    def _batch_kind(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Optional[str]:
+        from .batch import (
+            EvalRequest,
+            SurvivabilityRequest,
+            evaluate_request,
+            evaluate_survivability_request,
         )
+
+        if fn is evaluate_request and all(
+            isinstance(item, EvalRequest) for item in items
+        ):
+            return "model"
+        if fn is evaluate_survivability_request and all(
+            isinstance(item, SurvivabilityRequest) for item in items
+        ):
+            return "survivability"
+        return None
+
+    def _group_key(self, kind: str, request: Any) -> tuple:
+        if kind == "model":
+            return (
+                request.method,
+                request.include_breakdown,
+                request.include_variance,
+            )
+        return (request.times_s, request.eps)
+
+    def _chunks(self, indices: list[int]) -> list[list[int]]:
+        """Deterministic input-order chunking for the process fan-out."""
+        assert self.chunk_workers is not None
+        size = self.chunk_size
+        if size is None:
+            # ~2 chunks per worker: enough slack to balance uneven
+            # chunk costs without shredding the batches the solver
+            # amortises over.
+            size = max(1, math.ceil(len(indices) / (self.chunk_workers * 2)))
+        return [indices[i : i + size] for i in range(0, len(indices), size)]
 
     def run(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[PointOutcome]:
         if not items:
             return []
-        if not self._vectorisable(fn, items):
+        kind = self._batch_kind(fn, items)
+        if kind is None:
             return self.fallback.run(fn, items)
 
-        from ..core.metrics import DEFAULT_BATCH_BYTES, evaluate_batch_outcomes
+        from ..core.metrics import DEFAULT_BATCH_BYTES
 
+        solve = _solve_model_chunk if kind == "model" else _solve_survivability_chunk
         max_bytes = (
             self.max_batch_bytes
             if self.max_batch_bytes is not None
             else DEFAULT_BATCH_BYTES
         )
-        # One evaluate_batch call per distinct option bundle; scatter
-        # the outcomes back into input order.
+        # One batched solve per distinct option bundle; scatter the
+        # outcomes back into input order.
         outcomes: list[Optional[PointOutcome]] = [None] * len(items)
         groups: dict[tuple, list[int]] = {}
         for i, request in enumerate(items):
-            key = (
-                request.method,
-                request.include_breakdown,
-                request.include_variance,
+            groups.setdefault(self._group_key(kind, request), []).append(i)
+
+        inline: list[list[int]] = []
+        fanned: list[list[int]] = []
+        for indices in groups.values():
+            chunks = self._chunks(indices) if self.chunk_workers else [indices]
+            if len(chunks) > 1:
+                fanned.extend(chunks)
+            else:
+                inline.append(indices)
+
+        def scatter(chunk: list[int], chunk_outcomes: list[PointOutcome]) -> None:
+            for local, i in zip(chunk_outcomes, chunk):
+                outcomes[i] = PointOutcome(
+                    index=i,
+                    value=local.value,
+                    error=local.error,
+                    error_type=local.error_type,
+                    exception=local.exception,
+                )
+
+        for indices in inline:
+            scatter(
+                indices,
+                solve([items[i] for i in indices], max_bytes, sanitize=False),
             )
-            groups.setdefault(key, []).append(i)
-        for (method, breakdown, variance), indices in groups.items():
-            pairs = [(items[i].params, items[i].network) for i in indices]
-            batch = evaluate_batch_outcomes(
-                pairs,
-                method=method,
-                include_breakdown=breakdown,
-                include_variance=variance,
-                max_batch_bytes=max_bytes,
-            )
-            for i, (result, error) in zip(indices, batch):
-                if error is None:
-                    outcomes[i] = PointOutcome(index=i, value=result)
-                else:
-                    outcomes[i] = PointOutcome(
-                        index=i,
-                        error=str(error),
-                        error_type=type(error).__name__,
-                        exception=error,
-                    )
+        if fanned:
+            assert self.chunk_workers is not None
+            with ProcessPoolExecutor(
+                max_workers=min(self.chunk_workers, len(fanned))
+            ) as pool:
+                futures = [
+                    pool.submit(solve, [items[i] for i in chunk], max_bytes)
+                    for chunk in fanned
+                ]
+                # A future-level error means the worker died (OOM kill,
+                # unpicklable payload) and should propagate, exactly
+                # like ProcessPoolBackend.
+                for chunk, future in zip(fanned, futures):
+                    scatter(chunk, future.result())
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
     def describe(self) -> str:
+        if self.chunk_workers:
+            return f"vector+procs(workers={self.chunk_workers})"
         return "vector"
 
 
@@ -319,14 +464,30 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
       :func:`available_cpus`;
     * ``"thread:N"`` — thread pool with ``N`` workers;
     * ``"vector"`` — :class:`VectorBackend` (structure-sharing batched
-      solver; no worker processes needed).
+      solver; no worker processes needed);
+    * ``"vector:N"`` / ``"vector:auto"`` — the vector+procs hybrid:
+      batched solving *and* ``N`` (or one-per-CPU) pool workers, each
+      solving independent chunks of the batch.
     """
     if isinstance(jobs, str):
         spec = jobs.strip().lower()
         if spec == "serial":
             return SerialBackend()
-        if spec == "vector":
-            return VectorBackend()
+        if spec == "vector" or spec.startswith("vector:"):
+            _, colon, count = spec.partition(":")
+            if not colon:
+                return VectorBackend()
+            if count == "auto":
+                n = available_cpus()
+                return VectorBackend(chunk_workers=n if n > 1 else None)
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ParameterError(
+                    "vector worker count must be an integer or 'auto', "
+                    f"got {jobs!r}"
+                ) from None
+            return VectorBackend(chunk_workers=workers)
         if spec == "auto":
             n = available_cpus()
             return SerialBackend() if n <= 1 else ProcessPoolBackend(max_workers=n)
@@ -346,7 +507,7 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
             jobs = int(spec)
         except ValueError:
             raise ParameterError(
-                "jobs must be N, 'auto', 'serial', 'vector' or "
+                "jobs must be N, 'auto', 'serial', 'vector[:N]' or "
                 f"'thread[:N]', got {jobs!r}"
             ) from None
     if jobs is not None and jobs < 0:

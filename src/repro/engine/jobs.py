@@ -24,10 +24,17 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from .. import constants as C
-from ..core.results import GCSResult
+from ..core.results import GCSResult, SurvivabilityResult
 from ..errors import ParameterError
 from ..params import GCSParameters
-from .batch import BatchRunner, EvalRequest, PointError
+from ..validation import require_sorted_unique
+from .batch import (
+    BatchRunner,
+    EvalRequest,
+    PointError,
+    SurvivabilityRequest,
+    evaluate_survivability_request,
+)
 from .executor import SerialBackend
 
 __all__ = [
@@ -35,6 +42,8 @@ __all__ = [
     "JobOutcome",
     "Campaign",
     "CampaignOutcome",
+    "SurvivabilitySweep",
+    "SurvivabilityOutcome",
     "load_campaign",
     "paper_campaign",
 ]
@@ -212,6 +221,134 @@ class CampaignOutcome:
         raise ParameterError(
             f"unknown job {job_name!r}; have {[o.job.name for o in self.outcomes]}"
         )
+
+
+@dataclass(frozen=True)
+class SurvivabilitySweep:
+    """A survivability campaign: a parameter grid × one mission-time grid.
+
+    The transient counterpart of :class:`SweepJob`: every grid point
+    becomes a :class:`~repro.engine.batch.SurvivabilityRequest` whose
+    curve is evaluated over the shared, strictly increasing
+    ``times_s`` grid. Unlike :class:`SweepJob`, ``axes`` may be empty —
+    a single-point sweep (one curve for the base scenario) is a useful
+    degenerate case. Round-trips through JSON like every other job
+    spec.
+    """
+
+    name: str
+    times_s: tuple[float, ...]
+    axes: Mapping[str, tuple[Any, ...]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    eps: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("sweep name must be non-empty")
+        times = require_sorted_unique("times_s", self.times_s)
+        if times[0] < 0.0:
+            raise ParameterError(f"times_s must be non-negative, got {times[0]!r}")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(
+            self, "axes", {k: tuple(v) for k, v in self.axes.items()}
+        )
+        object.__setattr__(self, "base", dict(self.base))
+        for axis, values in self.axes.items():
+            if len(values) == 0:
+                raise ParameterError(f"sweep {self.name!r} axis {axis!r} is empty")
+
+    # ------------------------------------------------------------------
+    def assignments(self) -> list[dict[str, Any]]:
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def requests(self) -> list[tuple[dict[str, Any], SurvivabilityRequest]]:
+        base_params = GCSParameters.paper_defaults(**self.base)
+        return [
+            (
+                assignment,
+                SurvivabilityRequest(
+                    params=base_params.replacing(**assignment),
+                    times_s=self.times_s,
+                    eps=self.eps,
+                ),
+            )
+            for assignment in self.assignments()
+        ]
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    # ------------------------------------------------------------------
+    def run(self, runner: Optional[BatchRunner] = None) -> "SurvivabilityOutcome":
+        """Submit every grid point as one deduplicated batch."""
+        runner = runner or BatchRunner(backend=SerialBackend())
+        expanded = self.requests()
+        batch = runner.run(
+            [req for _, req in expanded],
+            evaluate=evaluate_survivability_request,
+        )
+        points = tuple(
+            (assignment, batch.results[i])
+            for i, (assignment, _) in enumerate(expanded)
+        )
+        return SurvivabilityOutcome(
+            sweep=self,
+            points=points,
+            report=batch.report,
+            errors=tuple(batch.report.errors),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "survivability",
+            "name": self.name,
+            "times_s": list(self.times_s),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "base": dict(self.base),
+            "eps": self.eps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SurvivabilitySweep":
+        try:
+            return cls(
+                name=data["name"],
+                times_s=tuple(data["times_s"]),
+                axes={k: tuple(v) for k, v in data.get("axes", {}).items()},
+                base=dict(data.get("base", {})),
+                eps=float(data.get("eps", 1e-12)),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ParameterError(f"malformed survivability spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SurvivabilityOutcome:
+    """One survivability sweep's curves plus the shared batch report."""
+
+    sweep: SurvivabilitySweep
+    points: tuple[tuple[Mapping[str, Any], Optional[SurvivabilityResult]], ...]
+    report: Any
+    errors: tuple[PointError, ...]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for _, result in self.points if result is None)
+
+    def curves(self) -> list[Optional[tuple[float, ...]]]:
+        """The ``S(t)`` curve per grid point (``None`` where failed)."""
+        return [
+            result.survival if result is not None else None
+            for _, result in self.points
+        ]
 
 
 def load_campaign(path: "str | Path") -> Campaign:

@@ -1,0 +1,18 @@
+"""Shared test configuration: hypothesis seed profiles.
+
+``HYPOTHESIS_PROFILE=ci`` (set by the CI coverage job) derandomises
+every hypothesis test — examples are generated from a fixed seed, so a
+red CI run is reproducible locally by exporting the same profile. The
+default profile keeps hypothesis's usual randomised exploration for
+local development.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover — hypothesis is a test extra
+    pass
+else:
+    settings.register_profile("ci", derandomize=True, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
