@@ -1,29 +1,39 @@
-"""Batched lattice solver benchmark: per-point vs structure-sharing.
+"""Batched lattice solver benchmark: per-point vs batched vs fused.
 
-Runs the full fig2–fig5 paper campaign (quick N = 40 grids, 112 points,
-54 unique after dedup) twice through the engine:
+Runs the fig2–fig5 paper campaign (quick ``N = 40`` grids by default,
+``--full`` for the paper-scale ``N = 100`` campaign; 112 points, 54
+unique after dedup) through the engine in up to three configurations:
 
 * **per-point serial** — the seed path: every unique point rebuilds and
-  solves its own chain (`BatchRunner()` with the serial backend);
-* **batched vector** — `--jobs vector`: one cached lattice structure,
-  rate fills stacked, a single multi-point level-scheduled backward
-  sweep for all points (`VectorBackend`).
+  solves its own chain (`BatchRunner()` with the serial backend;
+  skipped in ``--full`` mode unless ``--serial`` is passed — the
+  batched win over it is already gated on the quick campaign);
+* **batched, fused gather off** (``REPRO_FUSED_GATHER=0``) — the PR 4
+  baseline: one cached lattice structure, stacked rate fills, the
+  pre-fusion level-loop kernel;
+* **batched, fused gather on** — the fused kernel: sentinel-slot value
+  gather, level-ordered contiguous views, fast zero-pattern grouping.
 
 and asserts
 
-* the two campaigns are **bit-identical** (every MTTSF and Ĉtotal value
-  compared with ``==``, not a tolerance);
+* all configurations are **bit-identical** across the whole campaign
+  (every MTTSF and Ĉtotal compared with ``==``, not a tolerance);
 * with ``REPRO_BENCH_REQUIRE_SPEEDUP=<X>`` set (the CI multi-core job
-  sets 3), the batched run is at least ``X``× faster than serial —
-  the batched win is algorithmic, so it must hold even on one core.
+  sets 3), batched-fused is at least ``X``× faster than per-point
+  serial — the batched win is algorithmic, so it must hold even on one
+  core;
+* with ``REPRO_BENCH_REQUIRE_FUSED_SPEEDUP=<X>`` set (the CI bench job
+  sets 1.5 on the ``--full`` campaign), fused-on is at least ``X``×
+  faster than the fused-off baseline.
 
 The report is also emitted as machine-readable JSON (``--json PATH`` or
-``REPRO_BENCH_JSON=PATH``) with points/s and speedup, which CI uploads
-as an artifact so the speedup trend is diffable across commits.
+``REPRO_BENCH_JSON=PATH``) with points/s and both speedups, which CI
+uploads as an artifact and folds into the ``BENCH_<sha>.json``
+trajectory (``benchmarks/bench_report.py``).
 
 Runs under pytest-benchmark like the other ``bench_*`` files and as a
 standalone script
-(``PYTHONPATH=src python benchmarks/bench_batch_solver.py``).
+(``PYTHONPATH=src python benchmarks/bench_batch_solver.py [--full]``).
 """
 
 from __future__ import annotations
@@ -43,7 +53,7 @@ from repro.voting.majority import clear_table_cache
 def _cold_caches() -> None:
     """Drop every process-wide memo a prior run could have warmed.
 
-    Both timed runs must start equally cold — the structure cache *and*
+    All timed runs must start equally cold — the structure cache *and*
     the voting-table memo — or whichever pipeline runs second inherits
     the first one's tables and the comparison measures cache warming
     instead of the solver.
@@ -63,55 +73,99 @@ def _campaign_values(outcome):
     ]
 
 
-def _run_all():
-    campaign = paper_campaign(quick=True)
-
-    # Cold per-point serial: drop every memo so the serial run pays the
-    # seed path's full cost exactly once, like a fresh process.
+def _timed_vector_run(campaign, *, fused: bool):
+    """One cold vector-backend campaign run under the given kernel."""
     _cold_caches()
-    serial = BatchRunner()
-    t0 = time.perf_counter()
-    outcome_serial = campaign.run(serial)
-    serial_s = time.perf_counter() - t0
+    previous = os.environ.get("REPRO_FUSED_GATHER")
+    os.environ["REPRO_FUSED_GATHER"] = "1" if fused else "0"
+    try:
+        runner = BatchRunner(backend=make_backend("vector"))
+        t0 = time.perf_counter()
+        outcome = campaign.run(runner)
+        return outcome, time.perf_counter() - t0
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FUSED_GATHER", None)
+        else:
+            os.environ["REPRO_FUSED_GATHER"] = previous
 
-    _cold_caches()
-    vector = BatchRunner(backend=make_backend("vector"))
-    t1 = time.perf_counter()
-    outcome_vector = campaign.run(vector)
-    vector_s = time.perf_counter() - t1
+
+def _run_all(*, full: bool = False, include_serial: bool | None = None):
+    campaign = paper_campaign(quick=not full)
+    if include_serial is None:
+        include_serial = not full  # N=100 per-point serial takes minutes
+
+    serial_s = None
+    outcome_serial = None
+    if include_serial:
+        # Cold per-point serial: drop every memo so the serial run pays
+        # the seed path's full cost exactly once, like a fresh process.
+        _cold_caches()
+        serial = BatchRunner()
+        t0 = time.perf_counter()
+        outcome_serial = campaign.run(serial)
+        serial_s = time.perf_counter() - t0
+
+    outcome_unfused, unfused_s = _timed_vector_run(campaign, fused=False)
+    outcome_vector, vector_s = _timed_vector_run(campaign, fused=True)
 
     n_unique = outcome_vector.report.n_unique
     return {
         "campaign": campaign.name,
+        "mode": "full" if full else "quick",
         "n_points": len(campaign),
         "n_unique": n_unique,
         "serial_s": serial_s,
+        "unfused_s": unfused_s,
         "vector_s": vector_s,
-        "speedup": serial_s / vector_s,
-        "points_per_s_serial": n_unique / serial_s,
+        "speedup": serial_s / vector_s if serial_s is not None else None,
+        "fused_speedup": unfused_s / vector_s,
+        "points_per_s_serial": (
+            n_unique / serial_s if serial_s is not None else None
+        ),
+        "points_per_s_unfused": n_unique / unfused_s,
         "points_per_s_vector": n_unique / vector_s,
         "cpus": available_cpus(),
         "outcome_serial": outcome_serial,
+        "outcome_unfused": outcome_unfused,
         "outcome_vector": outcome_vector,
     }
 
 
 def _assert_claims(r) -> None:
-    assert r["outcome_serial"].report.n_errors == 0
+    assert r["outcome_unfused"].report.n_errors == 0
     assert r["outcome_vector"].report.n_errors == 0
 
     # Bit-identical across the whole campaign — the solver contract.
-    serial_vals = _campaign_values(r["outcome_serial"])
     vector_vals = _campaign_values(r["outcome_vector"])
-    assert serial_vals == vector_vals, "batched campaign diverged from per-point"
+    unfused_vals = _campaign_values(r["outcome_unfused"])
+    assert unfused_vals == vector_vals, "fused kernel diverged from baseline"
+    if r["outcome_serial"] is not None:
+        assert r["outcome_serial"].report.n_errors == 0
+        serial_vals = _campaign_values(r["outcome_serial"])
+        assert serial_vals == vector_vals, "batched campaign diverged from per-point"
 
     required = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP")
     if required:
+        assert r["speedup"] is not None, (
+            "REPRO_BENCH_REQUIRE_SPEEDUP is set but the per-point serial "
+            "baseline was skipped (--full without --serial); pass --serial "
+            "or unset the gate"
+        )
         floor = float(required)
         assert r["speedup"] >= floor, (
             f"batched solver {r['speedup']:.2f}x not >= required {floor:g}x "
             f"(serial {r['serial_s']:.2f}s, vector {r['vector_s']:.2f}s, "
             f"{r['cpus']} cpus)"
+        )
+
+    required_fused = os.environ.get("REPRO_BENCH_REQUIRE_FUSED_SPEEDUP")
+    if required_fused:
+        floor = float(required_fused)
+        assert r["fused_speedup"] >= floor, (
+            f"fused gather {r['fused_speedup']:.2f}x not >= required "
+            f"{floor:g}x (fused-off {r['unfused_s']:.2f}s, fused-on "
+            f"{r['vector_s']:.2f}s, {r['cpus']} cpus)"
         )
 
 
@@ -120,12 +174,16 @@ def _json_report(r) -> dict:
         key: r[key]
         for key in (
             "campaign",
+            "mode",
             "n_points",
             "n_unique",
             "serial_s",
+            "unfused_s",
             "vector_s",
             "speedup",
+            "fused_speedup",
             "points_per_s_serial",
+            "points_per_s_unfused",
             "points_per_s_vector",
             "cpus",
         )
@@ -155,19 +213,33 @@ def main(argv=None) -> None:
         help="write the machine-readable report here "
         "(default: $REPRO_BENCH_JSON if set)",
     )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale N=100 campaign (per-point serial baseline "
+        "skipped unless --serial is also passed)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true",
+        help="force the per-point serial baseline even with --full",
+    )
     args = parser.parse_args(argv)
 
-    r = _run_all()
+    r = _run_all(full=args.full, include_serial=True if args.serial else None)
     _assert_claims(r)
     report = r["outcome_vector"].report
     print(
-        f"campaign: {r['campaign']} ({r['n_points']} points, "
+        f"campaign: {r['campaign']} [{r['mode']}] ({r['n_points']} points, "
         f"{r['n_unique']} unique after dedup; {r['cpus']} cpus)"
     )
-    print(f"{'per-point serial':18s} {r['serial_s']:8.2f}s  "
-          f"{r['points_per_s_serial']:7.1f} pts/s   1.00x")
-    print(f"{'batched (vector)':18s} {r['vector_s']:8.2f}s  "
-          f"{r['points_per_s_vector']:7.1f} pts/s  {r['speedup']:5.2f}x")
+    if r["serial_s"] is not None:
+        print(f"{'per-point serial':20s} {r['serial_s']:8.2f}s  "
+              f"{r['points_per_s_serial']:7.1f} pts/s   1.00x")
+    print(f"{'batched, fused off':20s} {r['unfused_s']:8.2f}s  "
+          f"{r['points_per_s_unfused']:7.1f} pts/s")
+    speedup = f"{r['speedup']:5.2f}x vs serial" if r["speedup"] else ""
+    print(f"{'batched, fused on':20s} {r['vector_s']:8.2f}s  "
+          f"{r['points_per_s_vector']:7.1f} pts/s  "
+          f"{r['fused_speedup']:5.2f}x vs fused-off  {speedup}")
     print(f"batch report: {report.describe()}")
     print("bit-identical: yes (asserted)")
     _write_json(r, args.json)

@@ -1,0 +1,186 @@
+"""Normalize benchmark JSON reports into one ``BENCH_<sha>.json``.
+
+The CI ``bench`` job runs the solver benchmarks (each of which writes
+its own machine-readable report), then calls this script to
+
+* merge them into one normalized trajectory record
+  ``BENCH_<sha>.json`` — ``{"sha", "benches": {name: metrics}}`` with
+  only scalar metrics kept (outcome objects and None values dropped);
+* compare it against the previous record restored from the
+  ``actions/cache`` baseline directory and emit a **warn-only**
+  markdown delta table (appended to the job summary). Regressions here
+  never fail the job — the hard gates are the
+  ``REPRO_BENCH_REQUIRE_*`` assertions inside the benchmarks
+  themselves.
+
+Usage::
+
+    python benchmarks/bench_report.py --sha $GITHUB_SHA \\
+        --input batch_solver=bench-artifacts/batch_solver.json \\
+        --input transient_batch=bench-artifacts/transient_batch.json \\
+        --out bench-artifacts \\
+        --baseline-dir bench-baseline \\
+        --summary-file "$GITHUB_STEP_SUMMARY"
+
+Exit status is always 0 unless the inputs themselves are unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metrics where *larger* is better; everything else numeric is assumed
+#: smaller-is-better (seconds). Used only for the delta arrow.
+_HIGHER_IS_BETTER = ("points_per_s", "speedup")
+
+
+def _is_improvement(metric: str, delta_pct: float) -> bool:
+    higher = any(tag in metric for tag in _HIGHER_IS_BETTER)
+    return delta_pct >= 0 if higher else delta_pct <= 0
+
+
+def _scalar_metrics(payload: dict) -> dict:
+    return {
+        key: value
+        for key, value in payload.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def merge(sha: str, inputs: dict[str, Path]) -> dict:
+    benches = {}
+    for name, path in inputs.items():
+        payload = json.loads(Path(path).read_text())
+        benches[name] = _scalar_metrics(payload)
+    return {"sha": sha, "benches": benches}
+
+
+def find_baseline(baseline_dir: Path) -> "Path | None":
+    if not baseline_dir.is_dir():
+        return None
+    candidates = sorted(
+        baseline_dir.glob("BENCH_*.json"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return candidates[0] if candidates else None
+
+
+def delta_report(current: dict, baseline: dict) -> str:
+    lines = [
+        "## Bench trajectory",
+        "",
+        f"`{baseline.get('sha', '?')[:12]}` → `{current.get('sha', '?')[:12]}`"
+        " (warn-only; hard gates are the REPRO_BENCH_REQUIRE_* assertions)",
+        "",
+        "| bench | metric | previous | current | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for bench, metrics in sorted(current.get("benches", {}).items()):
+        previous_metrics = baseline.get("benches", {}).get(bench, {})
+        for metric, value in sorted(metrics.items()):
+            previous = previous_metrics.get(metric)
+            if previous is None:
+                lines.append(f"| {bench} | {metric} | — | {value:.4g} | new |")
+                continue
+            if previous == 0:
+                delta = "n/a"
+            else:
+                pct = 100.0 * (value - previous) / abs(previous)
+                arrow = "✅" if _is_improvement(metric, pct) else "⚠️"
+                delta = f"{pct:+.1f}% {arrow}"
+            lines.append(
+                f"| {bench} | {metric} | {previous:.4g} | {value:.4g} | {delta} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def fresh_report(current: dict) -> str:
+    lines = [
+        "## Bench trajectory",
+        "",
+        f"`{current.get('sha', '?')[:12]}` — no previous baseline "
+        "(first run or cache miss)",
+        "",
+        "| bench | metric | value |",
+        "|---|---|---:|",
+    ]
+    for bench, metrics in sorted(current.get("benches", {}).items()):
+        for metric, value in sorted(metrics.items()):
+            lines.append(f"| {bench} | {metric} | {value:.4g} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sha", required=True, help="commit being measured")
+    parser.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="benchmark JSON report to fold in (repeatable)",
+    )
+    parser.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for BENCH_<sha>.json",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=None, metavar="DIR",
+        help="directory holding the previous BENCH_*.json (actions/cache)",
+    )
+    parser.add_argument(
+        "--summary-file", default=None, metavar="PATH",
+        help="append the markdown report here (e.g. $GITHUB_STEP_SUMMARY); "
+        "stdout otherwise",
+    )
+    args = parser.parse_args(argv)
+
+    inputs = {}
+    for spec in args.input:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            parser.error(f"--input must look like NAME=PATH, got {spec!r}")
+        inputs[name] = Path(path)
+
+    current = merge(args.sha, inputs)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{args.sha}.json"
+    out_path.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    baseline_path = (
+        find_baseline(Path(args.baseline_dir)) if args.baseline_dir else None
+    )
+    if baseline_path is not None:
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    else:
+        baseline = None
+
+    if baseline is not None and baseline.get("sha") == current.get("sha"):
+        # Workflow re-run for the same commit: the rolled-forward
+        # baseline is this very record, and "current vs itself" would
+        # masquerade as a flat trajectory. Report fresh values instead.
+        baseline = None
+    report = (
+        delta_report(current, baseline)
+        if baseline is not None
+        else fresh_report(current)
+    )
+    if args.summary_file:
+        with open(args.summary_file, "a", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Cross-worker structure-cache benchmark: cold-start with/without sharing.
+
+Measures what the shared ``LatticeStructure`` layer (ISSUE 5 tentpole,
+second half) buys a *cold* multi-process run: the wall time of an
+``N = 100`` sweep under ``--jobs vector:4`` in a fresh interpreter,
+with ``REPRO_STRUCTURE_SHARE=1`` (parent builds once, workers attach
+shared-memory views) versus ``=0`` (the PR 4 baseline: every worker
+re-enumerates the O(N³) lattice). A second probe times the on-disk
+``.npz`` layer: loading a cached structure versus building it from
+scratch, again in fresh interpreters.
+
+Each configuration runs in its own subprocess so no process-wide memo
+(structure cache, voting tables) can leak between the timed runs; the
+best of ``--repeats`` runs is reported to damp scheduler noise.
+
+With ``REPRO_BENCH_REQUIRE_SHARE_SPEEDUP=<X>`` set the benchmark fails
+unless sharing is at least ``X``× faster cold; the CI bench job records
+the numbers warn-only (cold-start gains are machine-dependent — on a
+box with many cores and a large ``N`` the rebuild tax is proportionally
+larger).
+
+Standalone:
+``PYTHONPATH=src python benchmarks/bench_structure_share.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import available_cpus
+
+_SWEEP_SNIPPET = """
+import time
+t0 = time.perf_counter()
+from repro.engine import BatchRunner, EvalRequest, make_backend
+from repro.params import GCSParameters
+
+requests = [
+    EvalRequest(
+        params=GCSParameters.paper_defaults(
+            num_nodes={num_nodes}, detection_interval_s=t
+        )
+    )
+    for t in (15.0, 30.0, 60.0, 120.0, 240.0, 960.0)
+]
+batch = BatchRunner(backend=make_backend("vector:{workers}")).run(requests)
+batch.report.raise_on_error()
+print(time.perf_counter() - t0)
+"""
+
+_NPZ_SNIPPET = """
+import time
+from repro.core.structshare import cached_structure
+t0 = time.perf_counter()
+cached_structure({num_nodes}, {cache_dir!r})
+print(time.perf_counter() - t0)
+"""
+
+_BUILD_SNIPPET = """
+import time
+from repro.core.fastpath import lattice_structure
+t0 = time.perf_counter()
+lattice_structure({num_nodes})
+print(time.perf_counter() - t0)
+"""
+
+
+def _run_cold(snippet: str, env_overrides: dict) -> float:
+    """Run a timing snippet in a fresh interpreter; returns its seconds."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(env_overrides)
+    out = subprocess.run(
+        [sys.executable, "-c", snippet],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def _best(snippet: str, env_overrides: dict, repeats: int) -> float:
+    return min(_run_cold(snippet, env_overrides) for _ in range(repeats))
+
+
+def _run_all(*, num_nodes: int = 100, workers: int = 4, repeats: int = 2):
+    sweep = _SWEEP_SNIPPET.format(num_nodes=num_nodes, workers=workers)
+    share_on_s = _best(sweep, {"REPRO_STRUCTURE_SHARE": "1"}, repeats)
+    share_off_s = _best(sweep, {"REPRO_STRUCTURE_SHARE": "0"}, repeats)
+
+    build_s = _best(
+        _BUILD_SNIPPET.format(num_nodes=num_nodes), {}, repeats
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # First call writes the .npz; the timed fresh processes load it.
+        _run_cold(
+            _NPZ_SNIPPET.format(num_nodes=num_nodes, cache_dir=cache_dir), {}
+        )
+        npz_load_s = _best(
+            _NPZ_SNIPPET.format(num_nodes=num_nodes, cache_dir=cache_dir),
+            {},
+            repeats,
+        )
+
+    return {
+        "num_nodes": num_nodes,
+        "workers": workers,
+        "repeats": repeats,
+        "share_on_s": share_on_s,
+        "share_off_s": share_off_s,
+        "cold_start_speedup": share_off_s / share_on_s,
+        "structure_build_s": build_s,
+        "structure_npz_load_s": npz_load_s,
+        "cpus": available_cpus(),
+    }
+
+
+def _assert_claims(r) -> None:
+    required = os.environ.get("REPRO_BENCH_REQUIRE_SHARE_SPEEDUP")
+    if required:
+        floor = float(required)
+        assert r["cold_start_speedup"] >= floor, (
+            f"shared-structure cold start {r['cold_start_speedup']:.2f}x "
+            f"not >= required {floor:g}x (on {r['share_on_s']:.2f}s, "
+            f"off {r['share_off_s']:.2f}s, {r['cpus']} cpus)"
+        )
+
+
+def _write_json(r, path: "str | Path | None") -> None:
+    path = path or os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(r, indent=2) + "\n")
+    print(f"json report: {path}")
+
+
+def bench_structure_share(once):
+    r = once(_run_all)
+    _assert_claims(r)
+    _write_json(r, None)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH")
+    parser.add_argument("--n", type=int, default=100, help="lattice size")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    r = _run_all(num_nodes=args.n, workers=args.workers, repeats=args.repeats)
+    _assert_claims(r)
+    print(
+        f"N={r['num_nodes']} vector:{r['workers']} cold start "
+        f"({r['cpus']} cpus, best of {r['repeats']}):"
+    )
+    print(f"{'structure share on':22s} {r['share_on_s']:8.2f}s")
+    print(
+        f"{'structure share off':22s} {r['share_off_s']:8.2f}s   "
+        f"-> {r['cold_start_speedup']:.2f}x"
+    )
+    print(
+        f"structure build {r['structure_build_s']:.3f}s vs .npz load "
+        f"{r['structure_npz_load_s']:.3f}s (fresh process)"
+    )
+    print(f"(benchmark wall time {time.perf_counter() - t0:.1f}s)")
+    _write_json(r, args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,8 +22,10 @@ serial; ``vector`` = the structure-sharing batched solver;
 ``vector:N`` = the vector+procs hybrid fanning batch chunks over ``N``
 pool workers), ``--cache-dir DIR`` (persistent content-addressed
 result cache, safe to share between concurrent processes),
-``--cache-cap-mb MB`` (LRU disk eviction cap) and ``--verbose``
-(cache hit/miss/eviction statistics).
+``--cache-cap-mb MB`` (LRU disk eviction cap), ``--structure-cache
+DIR|off`` (cross-worker lattice-structure sharing: shared memory by
+default, an on-disk ``.npz`` cache under DIR, or ``off`` to rebuild
+per worker) and ``--verbose`` (cache hit/miss/eviction statistics).
 """
 
 from __future__ import annotations
@@ -87,6 +89,18 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--structure-cache",
+        default=None,
+        metavar="DIR|off",
+        help=(
+            "share the lattice structure with worker processes: a "
+            "directory adds an on-disk .npz structure cache there, "
+            "'off' disables sharing (rebuild per worker); default is "
+            "shared memory, plus <cache-dir>/structures when "
+            "--cache-dir is set"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print cache hit/miss/eviction statistics",
@@ -100,9 +114,19 @@ def _build_runner(args: argparse.Namespace) -> Optional[BatchRunner]:
     "requires --cache-dir" validation fires instead of the flag being
     silently dropped.
     """
-    if args.jobs is None and args.cache_dir is None and args.cache_cap_mb is None:
+    if (
+        args.jobs is None
+        and args.cache_dir is None
+        and args.cache_cap_mb is None
+        and args.structure_cache is None
+    ):
         return None
-    return make_runner(args.jobs, args.cache_dir, cache_cap_mb=args.cache_cap_mb)
+    return make_runner(
+        args.jobs,
+        args.cache_dir,
+        cache_cap_mb=args.cache_cap_mb,
+        structure_cache=args.structure_cache,
+    )
 
 
 def _print_cache_stats(runner: Optional[BatchRunner], verbose: bool) -> None:

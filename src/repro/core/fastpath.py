@@ -52,6 +52,8 @@ __all__ = [
     "LatticeStructure",
     "TransitionRateFill",
     "lattice_structure",
+    "peek_structure_cache",
+    "seed_structure_cache",
     "clear_structure_cache",
     "fill_transition_rates",
     "build_lattice_chain",
@@ -264,6 +266,10 @@ def _build_structure(n: int) -> LatticeStructure:
         dag.ell_cols,
         dag.ell_slots,
         dag.ell_pad,
+        dag.lvl_rows,
+        dag.lvl_row_bounds,
+        dag.lvl_ell_slots,
+        dag.lvl_ell_cols,
         dag.structure.levels,
         *dag.structure.level_states,
     ):
@@ -313,6 +319,35 @@ def lattice_structure(num_nodes: int) -> LatticeStructure:
         while len(_STRUCTURE_CACHE) > _STRUCTURE_CACHE_CAP:
             _STRUCTURE_CACHE.popitem(last=False)
     return structure
+
+
+def peek_structure_cache(num_nodes: int) -> Optional[LatticeStructure]:
+    """The cached structure for ``num_nodes``, or ``None`` (no build)."""
+    with _STRUCTURE_LOCK:
+        cached = _STRUCTURE_CACHE.get(int(num_nodes))
+        if cached is not None:
+            _STRUCTURE_CACHE.move_to_end(int(num_nodes))
+        return cached
+
+
+def seed_structure_cache(structure: LatticeStructure) -> None:
+    """Insert a pre-built structure into the process-wide cache.
+
+    Used by :mod:`repro.core.structshare` to hand pool workers a
+    structure attached from shared memory (or loaded from the on-disk
+    cache) instead of re-enumerating the lattice per process. A
+    structure already cached for the same ``N`` is left in place — the
+    arrays are immutable and equal, and the incumbent may already be
+    referenced by in-flight fills.
+    """
+    with _STRUCTURE_LOCK:
+        if structure.num_nodes in _STRUCTURE_CACHE:
+            _STRUCTURE_CACHE.move_to_end(structure.num_nodes)
+            return
+        _STRUCTURE_CACHE[structure.num_nodes] = structure
+        _STRUCTURE_CACHE.move_to_end(structure.num_nodes)
+        while len(_STRUCTURE_CACHE) > _STRUCTURE_CACHE_CAP:
+            _STRUCTURE_CACHE.popitem(last=False)
 
 
 def clear_structure_cache() -> None:

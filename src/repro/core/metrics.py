@@ -217,9 +217,15 @@ class GCSEvaluation:
             solution.mtta,
             solution.expected_reward("cost"),
             {
-                str(FailureClass.C1_DATA_LEAK): solution.absorption_probability("c1_data_leak"),
-                str(FailureClass.C2_BYZANTINE): solution.absorption_probability("c2_byzantine"),
-                str(FailureClass.DEPLETION): solution.absorption_probability("depletion"),
+                str(FailureClass.C1_DATA_LEAK): solution.absorption_probability(
+                    "c1_data_leak"
+                ),
+                str(FailureClass.C2_BYZANTINE): solution.absorption_probability(
+                    "c2_byzantine"
+                ),
+                str(FailureClass.DEPLETION): solution.absorption_probability(
+                    "depletion"
+                ),
             },
             cost_model,
             n_states,
@@ -307,9 +313,15 @@ class GCSEvaluation:
             analysis.mtta,
             analysis.expected_reward("cost"),
             {
-                str(FailureClass.C1_DATA_LEAK): analysis.absorption_probability("c1_data_leak"),
-                str(FailureClass.C2_BYZANTINE): analysis.absorption_probability("c2_byzantine"),
-                str(FailureClass.DEPLETION): analysis.absorption_probability("depletion"),
+                str(FailureClass.C1_DATA_LEAK): analysis.absorption_probability(
+                    "c1_data_leak"
+                ),
+                str(FailureClass.C2_BYZANTINE): analysis.absorption_probability(
+                    "c2_byzantine"
+                ),
+                str(FailureClass.DEPLETION): analysis.absorption_probability(
+                    "depletion"
+                ),
             },
             cost_model,
             analysis.chain.num_states,

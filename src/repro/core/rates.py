@@ -112,7 +112,9 @@ class GCSRates:
         if u <= 0 or t + u <= 0:
             return 0.0
         d_rate = self.detection.rate(self.params.num_nodes, t + u)
-        tg, ug = self._per_group(t, group_scale), max(self._per_group(u, group_scale), 1)
+        tg, ug = self._per_group(t, group_scale), max(
+            self._per_group(u, group_scale), 1
+        )
         pfn = self.voting.false_negative_probability(tg, ug)
         return u * d_rate * (1.0 - pfn)
 
@@ -123,7 +125,9 @@ class GCSRates:
         if t <= 0:
             return 0.0
         d_rate = self.detection.rate(self.params.num_nodes, t + u)
-        tg, ug = max(self._per_group(t, group_scale), 1), self._per_group(u, group_scale)
+        tg, ug = max(self._per_group(t, group_scale), 1), self._per_group(
+            u, group_scale
+        )
         pfp = self.voting.false_positive_probability(tg, ug)
         return t * d_rate * pfp
 

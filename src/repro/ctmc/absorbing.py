@@ -82,14 +82,19 @@ class AbsorbingSolution:
         """Expected accumulated reward ``name`` from the initial
         distribution."""
         if name not in self.accumulated:
-            raise ParameterError(f"unknown reward {name!r}; have {sorted(self.accumulated)}")
+            raise ParameterError(
+                f"unknown reward {name!r}; have {sorted(self.accumulated)}"
+            )
         return float(np.nansum(self.initial_distribution * self.accumulated[name]))
 
     def absorption_probability(self, name: str) -> float:
         """Probability of absorbing into class ``name`` from the initial
         distribution."""
         if name not in self.absorption:
-            raise ParameterError(f"unknown absorption class {name!r}; have {sorted(self.absorption)}")
+            raise ParameterError(
+                f"unknown absorption class {name!r}; "
+                f"have {sorted(self.absorption)}"
+            )
         return float(np.nansum(self.initial_distribution * self.absorption[name]))
 
     def lifetime_average(self, name: str) -> float:
@@ -171,7 +176,9 @@ def analyze_absorbing(
     # --- restrict to the reachable set; verify almost-sure absorption ---
     reach = chain.reachable_from(np.flatnonzero(init > 0.0))
     sub, idx_map = chain.subchain(reach)
-    can_absorb = sub.can_reach(sub.absorbing_states) if sub.absorbing_states.size else None
+    can_absorb = (
+        sub.can_reach(sub.absorbing_states) if sub.absorbing_states.size else None
+    )
     if can_absorb is None or not np.all(can_absorb):
         raise NotAbsorbingError(
             "absorption is not almost-sure from the initial distribution"

@@ -22,6 +22,7 @@ indicator probabilities), and for transient states
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -37,7 +38,22 @@ __all__ = [
     "BatchDagStructure",
     "batch_dag_structure",
     "solve_dag_batch",
+    "fused_gather_enabled",
 ]
+
+
+def fused_gather_enabled() -> bool:
+    """Whether the fused-gather batch kernel is enabled (default: yes).
+
+    ``REPRO_FUSED_GATHER=0`` selects the pre-fusion (PR 4) code path —
+    same results bit-for-bit, kept for A/B benchmarking and as a
+    fallback; anything else (or unset) selects the fused kernel.
+    """
+    return os.environ.get("REPRO_FUSED_GATHER", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+    )
 
 
 @dataclass(frozen=True)
@@ -194,6 +210,17 @@ class BatchDagStructure:
     ell_slots: np.ndarray
     ell_pad: np.ndarray
     width: int
+    #: Fused-gather plan: the ELL rows permuted into level order so the
+    #: backward sweep slices *contiguous* per-level views instead of
+    #: fancy-gathering rows per level. ``lvl_rows`` is the state order
+    #: (``concatenate(level_states)``), ``lvl_row_bounds`` the level
+    #: boundaries into it, and ``lvl_ell_slots`` points pad entries at
+    #: the sentinel slot ``nnz`` so one gather from the zero-extended
+    #: value array replaces the gather + ``np.where`` pad pass.
+    lvl_rows: np.ndarray
+    lvl_row_bounds: np.ndarray
+    lvl_ell_slots: np.ndarray
+    lvl_ell_cols: np.ndarray
 
     @property
     def num_states(self) -> int:
@@ -271,6 +298,13 @@ def batch_dag_structure(
     boundaries = np.searchsorted(sorted_levels, np.arange(depth + 1))
     level_states = [order_l[boundaries[L] : boundaries[L + 1]] for L in range(depth)]
 
+    # Fused-gather plan: ELL rows in level order, pads pointing at the
+    # sentinel slot ``nnz`` (one gather from a zero-extended value
+    # array yields exact ``0.0`` pads with no masking pass).
+    lvl_ell_slots = ell_slots[order_l].copy()
+    lvl_ell_slots[ell_pad[order_l]] = nnz
+    lvl_ell_cols = ell_cols[order_l]
+
     return BatchDagStructure(
         indptr=indptr,
         indices=indices,
@@ -280,10 +314,44 @@ def batch_dag_structure(
         ell_slots=ell_slots,
         ell_pad=ell_pad,
         width=width,
+        lvl_rows=order_l,
+        lvl_row_bounds=boundaries,
+        lvl_ell_slots=lvl_ell_slots,
+        lvl_ell_cols=lvl_ell_cols,
     )
 
 
-def _row_sums(shared: BatchDagStructure, values: np.ndarray) -> np.ndarray:
+def _group_zero_patterns(
+    masks: np.ndarray, *, fast: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group boolean rows by identical pattern: ``(patterns, inverse)``.
+
+    ``fast`` hashes each row's raw bytes into a dict — O(P · nnz) with
+    tiny constants. The legacy path is ``np.unique(axis=0)``, which
+    builds a structured dtype with one *field per slot* and is
+    catastrophically slow at lattice sizes (seconds at ``nnz ≈ 3·10⁵``);
+    it is kept only so ``REPRO_FUSED_GATHER=0`` reproduces the
+    pre-fusion baseline. Both return the same groups (grouping is a
+    vectorisation detail; the per-group arithmetic is identical), only
+    the pattern *order* may differ.
+    """
+    if not fast:
+        return np.unique(masks, axis=0, return_inverse=True)
+    groups: dict[bytes, int] = {}
+    inverse = np.empty(masks.shape[0], dtype=np.int64)
+    representatives: list[int] = []
+    for i, row in enumerate(np.ascontiguousarray(masks)):
+        key = row.tobytes()
+        g = groups.setdefault(key, len(representatives))
+        if g == len(representatives):
+            representatives.append(i)
+        inverse[i] = g
+    return masks[representatives], inverse
+
+
+def _row_sums(
+    shared: BatchDagStructure, values: np.ndarray, *, fast_grouping: bool = False
+) -> np.ndarray:
     """Per-point out-rates, bit-identical to scipy's on the pruned chain.
 
     scipy's CSR ``sum(axis=1)`` reduces each row's data with
@@ -314,7 +382,7 @@ def _row_sums(shared: BatchDagStructure, values: np.ndarray) -> np.ndarray:
     # pattern keeps the correction vectorised across points instead of
     # degrading to a per-point Python loop.
     masks = values[zero_points] != 0.0
-    patterns, inverse = np.unique(masks, axis=0, return_inverse=True)
+    patterns, inverse = _group_zero_patterns(masks, fast=fast_grouping)
     for g in range(patterns.shape[0]):
         keep = patterns[g]
         points = zero_points[inverse == g]
@@ -334,6 +402,8 @@ def solve_dag_batch(
     values: np.ndarray,
     numerators: np.ndarray,
     boundary: np.ndarray,
+    *,
+    fused: Optional[bool] = None,
 ) -> np.ndarray:
     """Solve the boundary-value recurrence for ``P`` rate fills at once.
 
@@ -351,6 +421,14 @@ def solve_dag_batch(
     boundary:
         ``(n, k)`` (shared) or ``(P, n, k)`` prescribed values at
         absorbing states; ignored at transient states.
+    fused:
+        ``True``/``False`` selects the fused-gather or the legacy
+        (pre-fusion) kernel explicitly; ``None`` (default) follows
+        :func:`fused_gather_enabled` (``REPRO_FUSED_GATHER``). The two
+        kernels compute the *same* IEEE operation sequence per element
+        — equal results (the fused kernel folds the pad-masking pass
+        into a sentinel-slot gather and skips no-op absorbing masks; it
+        never reorders a single addition).
 
     Returns
     -------
@@ -380,6 +458,21 @@ def solve_dag_batch(
             f"boundary must have shape ({n}, {k}) or ({P}, {n}, {k}), "
             f"got {boundary.shape}"
         )
+    if fused is None:
+        fused = fused_gather_enabled()
+    if fused:
+        return _solve_dag_batch_fused(shared, values, numerators, boundary)
+    return _solve_dag_batch_legacy(shared, values, numerators, boundary)
+
+
+def _solve_dag_batch_legacy(
+    shared: BatchDagStructure,
+    values: np.ndarray,
+    numerators: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """The pre-fusion (PR 4) kernel: per-``j`` row gathers + masked pads."""
+    P, n, k = numerators.shape
 
     # Gather the CSR values into the padded ELL layout (pads -> 0.0).
     if shared.nnz == 0:
@@ -400,5 +493,74 @@ def solve_dag_batch(
             contrib += ell_vals[:, rows, j, None] * x[:, cols[:, j], :]
         solved = (numerators[:, rows, :] + contrib) / safe_q[:, rows, None]
         x[:, rows, :] = np.where(absorbing[:, rows, None], x[:, rows, :], solved)
+
+    return x
+
+
+def _solve_dag_batch_fused(
+    shared: BatchDagStructure,
+    values: np.ndarray,
+    numerators: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Fused-gather kernel: one sentinel-slot gather, level-sliced views.
+
+    Three fusions over the legacy kernel, none of which changes a
+    single IEEE operation on the solved values:
+
+    * the ``(P, n, width)`` ELL value gather and its pad-masking
+      ``np.where`` pass collapse into *one* gather from the
+      zero-extended value array (pad slots point at a sentinel ``0.0``
+      column — exactly the value the mask produced);
+    * the gathered ELL rows are pre-permuted into level order
+      (``lvl_ell_slots``/``lvl_ell_cols``), so the per-level inner loop
+      slices contiguous views instead of fancy-gathering rows ``width``
+      times per level;
+    * when every point's absorbing set is exactly the structural one
+      (no explicit all-zero rows — the common case for real rate
+      fills), the boundary scatter happens once on the absorbing index
+      set and the per-level absorbing re-masking (a no-op there, since
+      levels ≥ 1 are structurally non-absorbing) is skipped entirely.
+
+    ``contrib`` accumulates strictly in CSR slot order starting from
+    the first term — the same sequential order as the legacy kernel's
+    ``0.0 + t₀ + t₁ + …`` (IEEE-identical: ``0.0 + t₀ == t₀`` for the
+    non-negative products of a rate fill) and as scipy's sequential
+    CSR matvec in per-point :func:`solve_dag`.
+    """
+    P, n, k = numerators.shape
+
+    q = _row_sums(shared, values, fast_grouping=True)
+    absorbing = q == 0.0
+    struct_abs = shared.structure.levels == 0
+    uniform = bool(np.array_equal(absorbing, np.broadcast_to(struct_abs, (P, n))))
+    if uniform:
+        x = np.zeros((P, n, k))
+        idx = np.flatnonzero(struct_abs)
+        x[:, idx, :] = boundary[:, idx, :]
+        safe_q = q  # levels >= 1 are non-absorbing for every point
+    else:
+        x = np.where(absorbing[:, :, None], boundary, 0.0)
+        safe_q = np.where(absorbing, 1.0, q)
+
+    # One gather with a sentinel zero column replaces gather + mask.
+    vals_ext = np.concatenate([values, np.zeros((P, 1))], axis=1)
+    ell_vals = vals_ext[:, shared.lvl_ell_slots]  # (P, n, width), level order
+
+    bounds = shared.lvl_row_bounds
+    for L, rows in enumerate(shared.structure.level_states[1:], start=1):
+        a, b = bounds[L], bounds[L + 1]
+        ev = ell_vals[:, a:b, :]
+        cols = shared.lvl_ell_cols[a:b]
+        contrib = ev[:, :, 0, None] * x[:, cols[:, 0], :]
+        for j in range(1, shared.width):
+            contrib += ev[:, :, j, None] * x[:, cols[:, j], :]
+        solved = (numerators[:, rows, :] + contrib) / safe_q[:, rows, None]
+        if uniform:
+            x[:, rows, :] = solved
+        else:
+            x[:, rows, :] = np.where(
+                absorbing[:, rows, None], x[:, rows, :], solved
+            )
 
     return x

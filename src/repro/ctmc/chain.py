@@ -100,9 +100,13 @@ class CTMC:
                 )
             rate = float(rate)
             if not np.isfinite(rate):
-                raise ModelError(f"non-finite rate {rate} on transition ({src} -> {dst})")
+                raise ModelError(
+                    f"non-finite rate {rate} on transition ({src} -> {dst})"
+                )
             if rate < 0.0:
-                raise ModelError(f"negative rate {rate} on transition ({src} -> {dst})")
+                raise ModelError(
+                    f"negative rate {rate} on transition ({src} -> {dst})"
+                )
             if rate > 0.0 and src != dst:
                 rows.append(src)
                 cols.append(dst)
@@ -254,7 +258,9 @@ class CTMC:
                 f"initial distribution has shape {dist.shape}, expected ({self.num_states},)"
             )
         if np.any(dist < -1e-12) or not np.isclose(dist.sum(), 1.0, atol=1e-9):
-            raise ParameterError("initial distribution must be non-negative and sum to 1")
+            raise ParameterError(
+                "initial distribution must be non-negative and sum to 1"
+            )
         return np.clip(dist, 0.0, None) / dist.sum()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -31,6 +31,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ParameterError, SolverError
+from .acyclic import fused_gather_enabled
 from .chain import CTMC
 from .poisson import poisson_weights
 
@@ -118,8 +119,12 @@ def absorption_cdf(
         for name, members in classes.items():
             idx = np.asarray(list(members), dtype=int)
             if idx.size and (idx.min() < 0 or idx.max() >= chain.num_states):
-                raise ParameterError(f"absorbing class {name!r} has out-of-range states")
-            result[name] = dist[:, idx].sum(axis=1) if idx.size else np.zeros(dist.shape[0])
+                raise ParameterError(
+                    f"absorbing class {name!r} has out-of-range states"
+                )
+            result[name] = (
+                dist[:, idx].sum(axis=1) if idx.size else np.zeros(dist.shape[0])
+            )
     return result
 
 
@@ -181,6 +186,66 @@ def _stacked_jump_matrix(
     return sp.csr_matrix((data, (rows, cols)), shape=(size, size))
 
 
+def _stacked_jump_matrix_fused(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    q: np.ndarray,
+    lam: np.ndarray,
+):
+    """The same matrix as :func:`_stacked_jump_matrix`, assembled fused.
+
+    The canonical CSR layout of one ``n × n`` block is a pure function
+    of the shared pattern, so it is computed once — a lexsort of
+    ``nnz + n`` entries instead of the COO conversion's sort over the
+    ``P``-times-larger stacked coordinate list — and every point's data
+    row is one permuted gather. The result is the identical canonical
+    matrix (same values in the same slots), so the power sequence it
+    advances is bit-for-bit the legacy one.
+    """
+    import scipy.sparse as sp
+
+    num_points, n = q.shape
+    deg = np.diff(indptr)
+    slot_rows = np.repeat(np.arange(n, dtype=np.int64), deg)
+    if indices.size and np.any(indices == slot_rows):
+        raise SolverError(
+            "pattern must not contain diagonal entries (self-loops have "
+            "no meaning in a CTMC; the per-point path drops them)"
+        )
+    diag = np.arange(n, dtype=np.int64)
+    # Transposed block: off-diagonal entry (col j, row i) per slot.
+    rows_all = np.concatenate([indices, diag])
+    cols_all = np.concatenate([slot_rows, diag])
+    perm = np.lexsort((cols_all, rows_all))
+    block_indices = cols_all[perm]
+    block_nnz = perm.size
+    block_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows_all, minlength=n), out=block_indptr[1:])
+
+    data = np.concatenate(
+        [values / lam[:, None], 1.0 - q / lam[:, None]], axis=1
+    )[:, perm].ravel()
+    size = num_points * n
+    total_nnz = num_points * block_nnz
+    idx_dtype = (
+        np.int32
+        if max(size, total_nnz) <= np.iinfo(np.int32).max
+        else np.int64
+    )
+    row_off = (np.arange(num_points, dtype=np.int64) * block_nnz)[:, None]
+    stacked_indptr = np.empty(size + 1, dtype=idx_dtype)
+    stacked_indptr[:-1] = (block_indptr[:-1][None, :] + row_off).ravel()
+    stacked_indptr[-1] = total_nnz
+    col_off = (np.arange(num_points, dtype=np.int64) * n)[:, None]
+    stacked_indices = (block_indices[None, :] + col_off).ravel().astype(
+        idx_dtype, copy=False
+    )
+    return sp.csr_matrix(
+        (data, stacked_indices, stacked_indptr), shape=(size, size)
+    )
+
+
 def csr_row_sums(indptr: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Per-point row sums of stacked CSR value arrays.
 
@@ -235,6 +300,7 @@ def transient_distribution_batch(
     initial: Union[int, np.ndarray] = 0,
     *,
     eps: float = 1e-12,
+    fused: Optional[bool] = None,
 ) -> np.ndarray:
     """State probability vectors for ``P`` rate fills of one pattern.
 
@@ -262,6 +328,15 @@ def transient_distribution_batch(
     uniformization rate ``Λ_p = max_i q_i^p`` and its own truncated
     Poisson weights; see :data:`BATCH_EQUIVALENCE_RTOL`). One shared
     power sequence serves every requested time point.
+
+    ``fused`` selects the fused-gather variant (``None`` follows
+    ``REPRO_FUSED_GATHER``): the stacked jump matrix is assembled from
+    a once-per-call pattern permutation instead of a ``P``-times-larger
+    COO sort, and the Poisson-window accumulation runs over a
+    time-major layout whose per-time slices are contiguous. Both
+    produce the identical matrix and the identical addition sequence,
+    so fused on/off results are equal bit-for-bit (and both stay within
+    :data:`BATCH_EQUIVALENCE_RTOL` of the per-point path).
     """
     indptr, indices, n = _validate_pattern(indptr, indices)
     values = np.asarray(values, dtype=float)
@@ -316,18 +391,41 @@ def transient_distribution_batch(
     # Shared power sequence: v_k = π(0) P_pᵏ per point. All points
     # advance with one stacked CSR matvec per step (block-diagonal
     # transposed jump matrices — see :func:`_stacked_jump_matrix`).
-    jump_t = _stacked_jump_matrix(indptr, indices, values, q, lam)
+    if fused is None:
+        fused = fused_gather_enabled()
+    build = _stacked_jump_matrix_fused if fused else _stacked_jump_matrix
+    jump_t = build(indptr, indices, values, q, lam)
 
-    out = np.zeros((num_points, num_times, n))
     flat = pi0.ravel().copy()
-    for k in range(k_max + 1):
-        v = flat.reshape(num_points, n)
-        for ti, (lo, hi, block) in enumerate(windows):
-            if lo <= k <= hi:
-                out[:, ti, :] += block[:, k - lo, None] * v
-        if k == k_max:
-            break
-        flat = jump_t @ flat
+    if fused:
+        # Time-major accumulator: out_t[ti] is a contiguous (P, n)
+        # block, so the per-step weight accumulation writes unit-stride
+        # memory instead of the (P, T, n) layout's strided slices. Same
+        # additions in the same order — transposed back at the end.
+        los = np.array([lo for lo, _, _ in windows], dtype=np.int64)
+        his = np.array([hi for _, hi, _ in windows], dtype=np.int64)
+        blocks_t = [np.ascontiguousarray(block.T) for _, _, block in windows]
+        out_t = np.zeros((num_times, num_points, n))
+        for k in range(k_max + 1):
+            active = np.flatnonzero((los <= k) & (k <= his))
+            if active.size:
+                v = flat.reshape(num_points, n)
+                for ti in active:
+                    out_t[ti] += blocks_t[ti][k - los[ti]][:, None] * v
+            if k == k_max:
+                break
+            flat = jump_t @ flat
+        out = np.ascontiguousarray(out_t.transpose(1, 0, 2))
+    else:
+        out = np.zeros((num_points, num_times, n))
+        for k in range(k_max + 1):
+            v = flat.reshape(num_points, n)
+            for ti, (lo, hi, block) in enumerate(windows):
+                if lo <= k <= hi:
+                    out[:, ti, :] += block[:, k - lo, None] * v
+            if k == k_max:
+                break
+            flat = jump_t @ flat
 
     # Guard against tiny negative round-off and renormalise (mirror of
     # the per-point epilogue).

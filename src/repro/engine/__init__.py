@@ -56,6 +56,7 @@ from .executor import (
     PointOutcome,
     ProcessPoolBackend,
     SerialBackend,
+    StructureShareConfig,
     ThreadPoolBackend,
     VectorBackend,
     available_cpus,
@@ -87,6 +88,7 @@ __all__ = [
     "ProcessPoolBackend",
     "ThreadPoolBackend",
     "VectorBackend",
+    "StructureShareConfig",
     "available_cpus",
     "make_backend",
     "EvalRequest",

@@ -52,9 +52,114 @@ __all__ = [
     "ProcessPoolBackend",
     "ThreadPoolBackend",
     "VectorBackend",
+    "StructureShareConfig",
     "available_cpus",
     "make_backend",
 ]
+
+
+@dataclass(frozen=True)
+class StructureShareConfig:
+    """How process-based backends share ``LatticeStructure`` with workers.
+
+    ``use_shm`` packs the structures a batch needs into one
+    :mod:`multiprocessing.shared_memory` segment that pool workers
+    attach read-only views of (see :mod:`repro.core.structshare`);
+    ``npz_dir`` additionally persists them as ``.npz`` files — the
+    fork-unsafe/Windows fallback and a cold-start cache across runs.
+    The default (shm on, no disk dir) matches ``--jobs N`` /
+    ``--jobs vector:N`` with no ``--structure-cache`` flag;
+    :meth:`disabled` restores the rebuild-per-worker baseline.
+    """
+
+    use_shm: bool = True
+    npz_dir: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.use_shm or self.npz_dir is not None
+
+    @classmethod
+    def disabled(cls) -> "StructureShareConfig":
+        return cls(use_shm=False, npz_dir=None)
+
+
+def _shareable_sizes(items: Sequence[Any]) -> tuple[int, ...]:
+    """Distinct lattice sizes of a homogeneous engine-request batch.
+
+    Returns ``()`` for anything else (generic callables, SPN methods
+    mixed in) — sharing is only wired for workloads known to consume a
+    :class:`~repro.core.fastpath.LatticeStructure`.
+    """
+    from .batch import EvalRequest, SurvivabilityRequest
+
+    sizes: set[int] = set()
+    for item in items:
+        if isinstance(item, EvalRequest):
+            if item.method == "fast":
+                sizes.add(item.params.num_nodes)
+        elif isinstance(item, SurvivabilityRequest):
+            sizes.add(item.params.num_nodes)
+        else:
+            return ()
+    return tuple(sorted(sizes))
+
+
+def _export_shared_structures(
+    config: Optional[StructureShareConfig], items: Sequence[Any]
+):
+    """Parent-side export for a worker pool; ``None`` when not applicable.
+
+    Sharing is strictly an optimisation: any failure here (no shared
+    memory in the sandbox, unwritable cache dir, …) degrades to the
+    rebuild-per-worker baseline instead of failing the batch.
+    """
+    if config is None or not config.enabled:
+        return None
+    sizes = _shareable_sizes(items)
+    if not sizes:
+        return None
+    from ..core.structshare import export_structures
+
+    try:
+        return export_structures(
+            sizes, npz_dir=config.npz_dir, use_shm=config.use_shm
+        )
+    except Exception:  # noqa: BLE001 — sharing must never break evaluation
+        return None
+
+
+def _share_init_kwargs(share) -> dict:
+    """ProcessPoolExecutor initializer kwargs for an exported share."""
+    if share is None:
+        return {}
+    from ..core.structshare import pool_initializer
+
+    return {"initializer": pool_initializer, "initargs": (share.spec,)}
+
+
+def _warm_structures_from_disk(
+    config: Optional[StructureShareConfig], items: Sequence[Any]
+) -> None:
+    """Seed this process's structure cache from the ``.npz`` layer.
+
+    In-process backends (serial, thread, the vector backend's inline
+    groups) have no pool to export to, but a configured
+    ``--structure-cache`` directory still serves them: a cold process
+    loads the lattice skeleton instead of enumerating it, and a first
+    build is persisted for the next run. Best-effort, like all sharing.
+    """
+    if config is None or config.npz_dir is None:
+        return
+    from ..core.structshare import cached_structure, structure_share_enabled
+
+    if not structure_share_enabled():
+        return
+    for n in _shareable_sizes(items):
+        try:
+            cached_structure(n, config.npz_dir)
+        except Exception:  # noqa: BLE001 — cache warming only
+            pass
 
 
 @dataclass(frozen=True)
@@ -115,11 +220,24 @@ class ExecutionBackend(Protocol):
 
 
 class SerialBackend:
-    """In-process reference backend."""
+    """In-process reference backend.
+
+    ``structure_share`` only uses the disk layer here (there are no
+    workers to export shared memory to): with an ``npz_dir`` configured
+    the process loads cached lattice skeletons instead of enumerating.
+    """
+
+    def __init__(
+        self, *, structure_share: Optional[StructureShareConfig] = None
+    ) -> None:
+        self.structure_share = (
+            structure_share if structure_share is not None else StructureShareConfig()
+        )
 
     def run(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[PointOutcome]:
+        _warm_structures_from_disk(self.structure_share, items)
         return [_evaluate_one(fn, i, item) for i, item in enumerate(items)]
 
     def describe(self) -> str:
@@ -133,15 +251,30 @@ class ProcessPoolBackend:
     enough to balance load across uneven point costs, large enough that
     pickling overhead stays negligible. ``fn`` and the items must be
     picklable (the engine's evaluation requests are).
+
+    When a batch consists of engine evaluation requests, the lattice
+    structures it needs are built once in the parent and exported to
+    every worker via shared memory / the ``.npz`` cache
+    (``structure_share``; :mod:`repro.core.structshare`) instead of
+    being re-enumerated per process.
     """
 
-    def __init__(self, max_workers: int, *, chunksize: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        chunksize: Optional[int] = None,
+        structure_share: Optional[StructureShareConfig] = None,
+    ) -> None:
         if max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
         if chunksize is not None and chunksize < 1:
             raise ParameterError(f"chunksize must be >= 1, got {chunksize}")
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.structure_share = (
+            structure_share if structure_share is not None else StructureShareConfig()
+        )
 
     def _chunksize_for(self, n_items: int) -> int:
         if self.chunksize is not None:
@@ -159,16 +292,22 @@ class ProcessPoolBackend:
         size = self._chunksize_for(len(indexed))
         chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
         outcomes: list[Optional[PointOutcome]] = [None] * len(indexed)
-        with ProcessPoolExecutor(
-            max_workers=min(self.max_workers, len(chunks))
-        ) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            for future in futures:
-                # Point-level errors are already captured inside the
-                # chunk; a future-level error means the worker died
-                # (unpicklable fn, OOM kill) and should propagate.
-                for outcome in future.result():
-                    outcomes[outcome.index] = outcome
+        share = _export_shared_structures(self.structure_share, items)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(chunks)),
+                **_share_init_kwargs(share),
+            ) as pool:
+                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+                for future in futures:
+                    # Point-level errors are already captured inside the
+                    # chunk; a future-level error means the worker died
+                    # (unpicklable fn, OOM kill) and should propagate.
+                    for outcome in future.result():
+                        outcomes[outcome.index] = outcome
+        finally:
+            if share is not None:
+                share.close()
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
@@ -187,10 +326,18 @@ class ThreadPoolBackend:
     unpicklable work dominates.
     """
 
-    def __init__(self, max_workers: int) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        structure_share: Optional[StructureShareConfig] = None,
+    ) -> None:
         if max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.structure_share = (
+            structure_share if structure_share is not None else StructureShareConfig()
+        )
 
     def run(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -198,6 +345,9 @@ class ThreadPoolBackend:
         indexed = list(enumerate(items))
         if not indexed:
             return []
+        # Threads share this process's structure cache; the disk layer
+        # still saves the cold-start enumeration.
+        _warm_structures_from_disk(self.structure_share, items)
         if len(indexed) == 1:  # pool spin-up is never worth one point
             return SerialBackend().run(fn, items)
         with ThreadPoolExecutor(
@@ -323,6 +473,7 @@ class VectorBackend:
         max_batch_bytes: Optional[int] = None,
         chunk_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        structure_share: Optional[StructureShareConfig] = None,
     ) -> None:
         if chunk_workers is not None and chunk_workers < 1:
             raise ParameterError(f"chunk_workers must be >= 1, got {chunk_workers}")
@@ -332,6 +483,9 @@ class VectorBackend:
         self.max_batch_bytes = max_batch_bytes
         self.chunk_workers = chunk_workers
         self.chunk_size = chunk_size
+        self.structure_share = (
+            structure_share if structure_share is not None else StructureShareConfig()
+        )
 
     def _batch_kind(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -416,6 +570,11 @@ class VectorBackend:
                     exception=local.exception,
                 )
 
+        # Warm this process from the on-disk structure cache (when one
+        # is configured) before any solve — a cold `--jobs vector` CLI
+        # run then loads the lattice skeleton instead of enumerating it.
+        _warm_structures_from_disk(self.structure_share, items)
+
         for indices in inline:
             scatter(
                 indices,
@@ -423,18 +582,24 @@ class VectorBackend:
             )
         if fanned:
             assert self.chunk_workers is not None
-            with ProcessPoolExecutor(
-                max_workers=min(self.chunk_workers, len(fanned))
-            ) as pool:
-                futures = [
-                    pool.submit(solve, [items[i] for i in chunk], max_bytes)
-                    for chunk in fanned
-                ]
-                # A future-level error means the worker died (OOM kill,
-                # unpicklable payload) and should propagate, exactly
-                # like ProcessPoolBackend.
-                for chunk, future in zip(fanned, futures):
-                    scatter(chunk, future.result())
+            share = _export_shared_structures(self.structure_share, items)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.chunk_workers, len(fanned)),
+                    **_share_init_kwargs(share),
+                ) as pool:
+                    futures = [
+                        pool.submit(solve, [items[i] for i in chunk], max_bytes)
+                        for chunk in fanned
+                    ]
+                    # A future-level error means the worker died (OOM kill,
+                    # unpicklable payload) and should propagate, exactly
+                    # like ProcessPoolBackend.
+                    for chunk, future in zip(fanned, futures):
+                        scatter(chunk, future.result())
+            finally:
+                if share is not None:
+                    share.close()
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
@@ -452,7 +617,11 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
+def make_backend(
+    jobs: Union[int, str, None],
+    *,
+    structure_share: Optional[StructureShareConfig] = None,
+) -> ExecutionBackend:
     """Map the shared ``--jobs`` grammar onto a backend.
 
     * ``None`` / ``0`` / ``1`` / ``"serial"`` — :class:`SerialBackend`;
@@ -468,18 +637,29 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
     * ``"vector:N"`` / ``"vector:auto"`` — the vector+procs hybrid:
       batched solving *and* ``N`` (or one-per-CPU) pool workers, each
       solving independent chunks of the batch.
+
+    ``structure_share`` configures how backends hand
+    :class:`~repro.core.fastpath.LatticeStructure` to their workers
+    (``None`` = the default shared-memory export; see
+    :class:`StructureShareConfig`). Serial and thread backends evaluate
+    in-process, where the ordinary structure cache already shares —
+    for them only the on-disk ``npz_dir`` layer applies (cold-start
+    loads instead of enumeration).
     """
     if isinstance(jobs, str):
         spec = jobs.strip().lower()
         if spec == "serial":
-            return SerialBackend()
+            return SerialBackend(structure_share=structure_share)
         if spec == "vector" or spec.startswith("vector:"):
             _, colon, count = spec.partition(":")
             if not colon:
-                return VectorBackend()
+                return VectorBackend(structure_share=structure_share)
             if count == "auto":
                 n = available_cpus()
-                return VectorBackend(chunk_workers=n if n > 1 else None)
+                return VectorBackend(
+                    chunk_workers=n if n > 1 else None,
+                    structure_share=structure_share,
+                )
             try:
                 workers = int(count)
             except ValueError:
@@ -487,14 +667,23 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
                     "vector worker count must be an integer or 'auto', "
                     f"got {jobs!r}"
                 ) from None
-            return VectorBackend(chunk_workers=workers)
+            return VectorBackend(
+                chunk_workers=workers, structure_share=structure_share
+            )
         if spec == "auto":
             n = available_cpus()
-            return SerialBackend() if n <= 1 else ProcessPoolBackend(max_workers=n)
+            if n <= 1:
+                return SerialBackend(structure_share=structure_share)
+            return ProcessPoolBackend(
+                max_workers=n, structure_share=structure_share
+            )
         if spec == "thread" or spec.startswith("thread:"):
             _, colon, count = spec.partition(":")
             if count == "auto" or not colon:
-                return ThreadPoolBackend(max_workers=available_cpus())
+                return ThreadPoolBackend(
+                    max_workers=available_cpus(),
+                    structure_share=structure_share,
+                )
             try:
                 workers = int(count)
             except ValueError:
@@ -502,7 +691,9 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
                     "thread worker count must be an integer or 'auto', "
                     f"got {jobs!r}"
                 ) from None
-            return ThreadPoolBackend(max_workers=workers)
+            return ThreadPoolBackend(
+                max_workers=workers, structure_share=structure_share
+            )
         try:
             jobs = int(spec)
         except ValueError:
@@ -513,5 +704,5 @@ def make_backend(jobs: Union[int, str, None]) -> ExecutionBackend:
     if jobs is not None and jobs < 0:
         raise ParameterError(f"jobs must be >= 0, got {jobs}")
     if jobs is None or jobs <= 1:
-        return SerialBackend()
-    return ProcessPoolBackend(max_workers=jobs)
+        return SerialBackend(structure_share=structure_share)
+    return ProcessPoolBackend(max_workers=jobs, structure_share=structure_share)

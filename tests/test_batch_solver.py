@@ -32,6 +32,7 @@ from repro.core.optimizer import optimize_tids, tradeoff_curve
 from repro.core.rates import GCSRates
 from repro.ctmc.acyclic import (
     batch_dag_structure,
+    fused_gather_enabled,
     solve_dag,
     solve_dag_batch,
     topological_levels,
@@ -166,6 +167,92 @@ class TestSolveDagBatch:
             solve_dag_batch(shared, good_vals, np.ones((1, 9, 1)), np.zeros((10, 1)))
         with pytest.raises(SolverError, match="boundary"):
             solve_dag_batch(shared, good_vals, np.ones((1, 10, 1)), np.zeros((9, 1)))
+
+
+# ---------------------------------------------------------------------------
+# Fused-gather kernel: differential tests against the legacy kernel
+# ---------------------------------------------------------------------------
+
+class TestFusedGatherKernel:
+    """``REPRO_FUSED_GATHER`` on/off must be indistinguishable bit-for-bit."""
+
+    def _lattice_fills(self, scenarios):
+        from repro.core.rates import GCSRates
+
+        structure = lattice_structure(scenarios[0].num_nodes)
+        values = np.stack(
+            [
+                fill_transition_rates(
+                    structure,
+                    GCSRates.from_scenario(p, resolve_network(p, None)),
+                ).values
+                for p in scenarios
+            ]
+        )
+        return structure, values
+
+    @pytest.mark.parametrize("grid", ["fig2", "fig4"])
+    def test_fused_bit_identical_on_paper_grids(self, grid):
+        scenarios = _fig2_scenarios() if grid == "fig2" else _fig4_scenarios()
+        structure, values = self._lattice_fills(scenarios)
+        n = structure.num_states
+        numer = np.ones((len(scenarios), n, 1))
+        boundary = np.zeros((n, 1))
+        boundary[structure.c1_state, 0] = 1.0
+        x_legacy = solve_dag_batch(
+            structure.dag, values, numer, boundary, fused=False
+        )
+        x_fused = solve_dag_batch(
+            structure.dag, values, numer, boundary, fused=True
+        )
+        assert np.array_equal(x_legacy, x_fused)
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_both_kernels_match_per_point_solve_dag(self, fused):
+        rng = np.random.default_rng(23)
+        chain = _random_dag_chain(rng, n=35, density=0.25)
+        R = chain.rates
+        shared = batch_dag_structure(R.indptr, R.indices)
+        n, k, P = chain.num_states, 2, 4
+        values = np.stack([R.data * s for s in rng.uniform(0.5, 2.0, size=P)])
+        values[0, rng.random(values.shape[1]) < 0.2] = 0.0  # zero-pruned point
+        numer = rng.uniform(0.0, 1.0, size=(P, n, k))
+        boundary = np.zeros((n, k))
+        boundary[chain.absorbing_states, 0] = 1.0
+
+        x = solve_dag_batch(shared, values, numer, boundary, fused=fused)
+        import scipy.sparse as sp
+
+        for p in range(P):
+            chain_p = CTMC(
+                sp.csr_matrix(
+                    (values[p], R.indices.copy(), R.indptr.copy()),
+                    shape=R.shape,
+                )
+            )
+            x_p = solve_dag(
+                chain_p, topological_levels(chain_p), numer[p], boundary
+            )
+            assert np.array_equal(x[p], x_p), f"point {p} (fused={fused})"
+
+    def test_env_toggle_and_explicit_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "0")
+        assert not fused_gather_enabled()
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "off")
+        assert not fused_gather_enabled()
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "1")
+        assert fused_gather_enabled()
+        monkeypatch.delenv("REPRO_FUSED_GATHER")
+        assert fused_gather_enabled()
+
+    def test_evaluate_batch_identical_under_both_kernels(self, monkeypatch):
+        scenarios = _fig2_scenarios()[:6]
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "0")
+        legacy = evaluate_batch(scenarios, include_variance=True)
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "1")
+        fused = evaluate_batch(scenarios, include_variance=True)
+        for a, b in zip(legacy, fused):
+            _assert_identical(b, a, variance=True)
 
 
 # ---------------------------------------------------------------------------

@@ -630,3 +630,99 @@ class TestSurvivabilityCli:
     def test_missing_grid_errors(self, capsys):
         assert cli_main(["survivability", "--n", "8"]) == 2
         assert "--times" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Fused-gather variant of the batched uniformization
+# ---------------------------------------------------------------------------
+
+class TestFusedTransientKernel:
+    """Fused on/off must produce the identical distributions."""
+
+    def _fills(self):
+        from repro.core.fastpath import fill_transition_rates, lattice_structure
+        from repro.core.metrics import resolve_network
+        from repro.core.rates import GCSRates
+
+        structure = lattice_structure(N_TEST)
+        scenarios = [
+            GCSParameters.paper_defaults(
+                num_nodes=N_TEST, detection_interval_s=t
+            )
+            for t in (15.0, 60.0, 240.0)
+        ]
+        values = np.stack(
+            [
+                fill_transition_rates(
+                    structure,
+                    GCSRates.from_scenario(p, resolve_network(p, None)),
+                ).values
+                for p in scenarios
+            ]
+        )
+        return structure, values
+
+    def test_stacked_matrix_assembly_identical(self):
+        from repro.ctmc.transient import (
+            _stacked_jump_matrix,
+            _stacked_jump_matrix_fused,
+            csr_row_sums,
+        )
+
+        structure, values = self._fills()
+        q = csr_row_sums(structure.indptr, values)
+        lam = q.max(axis=1)
+        lam[lam <= 0.0] = 1.0
+        legacy = _stacked_jump_matrix(structure.indptr, structure.indices, values, q, lam)
+        fused = _stacked_jump_matrix_fused(
+            structure.indptr, structure.indices, values, q, lam
+        )
+        legacy.sort_indices()
+        assert legacy.shape == fused.shape
+        assert np.array_equal(
+            legacy.indptr.astype(np.int64), fused.indptr.astype(np.int64)
+        )
+        assert np.array_equal(
+            legacy.indices.astype(np.int64), fused.indices.astype(np.int64)
+        )
+        assert np.array_equal(legacy.data, fused.data)
+
+    def test_distributions_bit_identical(self):
+        structure, values = self._fills()
+        legacy = transient_distribution_batch(
+            structure.indptr,
+            structure.indices,
+            values,
+            TIMES,
+            structure.initial_state,
+            fused=False,
+        )
+        fused = transient_distribution_batch(
+            structure.indptr,
+            structure.indices,
+            values,
+            TIMES,
+            structure.initial_state,
+            fused=True,
+        )
+        assert np.array_equal(legacy, fused)
+
+    def test_env_toggle_matches_explicit(self, monkeypatch):
+        structure, values = self._fills()
+        monkeypatch.setenv("REPRO_FUSED_GATHER", "0")
+        via_env = transient_distribution_batch(
+            structure.indptr,
+            structure.indices,
+            values,
+            TIMES,
+            structure.initial_state,
+        )
+        explicit = transient_distribution_batch(
+            structure.indptr,
+            structure.indices,
+            values,
+            TIMES,
+            structure.initial_state,
+            fused=False,
+        )
+        assert np.array_equal(via_env, explicit)
