@@ -1,0 +1,197 @@
+"""Observability benchmark: the obs layer must be ~free when disabled.
+
+Three measurements:
+
+* **disabled span ns/call** — microbenchmark of ``with span(...)`` with
+  tracing off (the hot-path cost every instrumented call site pays); it
+  must stay in no-op territory, asserted with a generous hard bound;
+* **disabled vs traced campaign** — the quick paper-figure campaign
+  run twice through fresh runners, once with tracing off and once with
+  tracing on, reporting the traced wall-time delta and the span count;
+* **estimated disabled overhead** — span count × disabled ns/call as a
+  percentage of the campaign wall time.  This is the "<1% when off"
+  claim, computed from deterministic quantities instead of differencing
+  two noisy wall-clock runs.
+
+Setting ``REPRO_BENCH_MAX_OBS_OVERHEAD_PCT=<X>`` (the CI bench job
+sets 1) turns the estimated-overhead report into a hard failure gate.
+
+Runs under pytest-benchmark like the other ``bench_*`` files, and as a
+standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \\
+        --json bench-artifacts/obs_overhead.json \\
+        --trace-out bench-artifacts/obs_trace.json \\
+        --metrics-out bench-artifacts/obs_metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import BatchRunner
+from repro.engine.jobs import paper_campaign
+from repro.obs import (
+    NULL_SPAN,
+    disable_tracing,
+    enable_tracing,
+    metrics,
+    reset_observability,
+    span,
+    tracer,
+    write_chrome_trace,
+)
+
+_MICROBENCH_ITERATIONS = 200_000
+
+
+def _disabled_span_ns() -> float:
+    """Per-call cost of an instrumented site while tracing is off."""
+    disable_tracing()
+    assert span("bench.noop") is NULL_SPAN
+    t0 = time.perf_counter()
+    for _ in range(_MICROBENCH_ITERATIONS):
+        with span("bench.noop", i=0):
+            pass
+    elapsed = time.perf_counter() - t0
+    return elapsed / _MICROBENCH_ITERATIONS * 1e9
+
+
+def _run_all():
+    campaign = paper_campaign(quick=True)
+
+    reset_observability()
+    disable_tracing()
+    t0 = time.perf_counter()
+    outcome_off = campaign.run(BatchRunner())
+    disabled_s = time.perf_counter() - t0
+
+    reset_observability()
+    enable_tracing()
+    try:
+        t1 = time.perf_counter()
+        outcome_on = campaign.run(BatchRunner())
+        traced_s = time.perf_counter() - t1
+        span_count = len(tracer().records())
+        metrics_snapshot = metrics().snapshot()
+    finally:
+        disable_tracing()
+
+    span_ns = _disabled_span_ns()
+    overhead_pct = span_count * span_ns / 1e9 / disabled_s * 100.0
+    phases = dict(outcome_on.report.phase_seconds)
+    return {
+        "disabled_span_ns": span_ns,
+        "span_count": span_count,
+        "disabled_s": disabled_s,
+        "traced_s": traced_s,
+        "overhead_pct": overhead_pct,
+        "traced_overhead_pct": (traced_s - disabled_s) / disabled_s * 100.0,
+        "phases": phases,
+        "outcome_off": outcome_off,
+        "outcome_on": outcome_on,
+        "metrics_snapshot": metrics_snapshot,
+    }
+
+
+def _assert_claims(r) -> None:
+    # A disabled call site is one attribute check + a shared no-op
+    # context manager; thousands of ns would mean tracing snuck into
+    # the hot path.  Bound is generous for slow CI machines.
+    assert r["disabled_span_ns"] < 5_000, (
+        f"disabled span costs {r['disabled_span_ns']:.0f}ns/call — "
+        "the disabled path is no longer a no-op"
+    )
+    # Both runs must produce identical numbers: observability is
+    # read-only with respect to results.
+    vals_off = [
+        (jo.job.name, tuple(jo.values("mttsf_s")))
+        for jo in r["outcome_off"].outcomes
+    ]
+    vals_on = [
+        (jo.job.name, tuple(jo.values("mttsf_s")))
+        for jo in r["outcome_on"].outcomes
+    ]
+    assert vals_off == vals_on, "tracing changed campaign results"
+
+    gate = os.environ.get("REPRO_BENCH_MAX_OBS_OVERHEAD_PCT")
+    if gate:
+        assert r["overhead_pct"] < float(gate), (
+            f"estimated disabled-obs overhead {r['overhead_pct']:.3f}% "
+            f"exceeds the {gate}% gate ({r['span_count']} span sites × "
+            f"{r['disabled_span_ns']:.0f}ns over {r['disabled_s']:.2f}s)"
+        )
+
+
+def _json_report(r) -> dict:
+    return {
+        "disabled_span_ns": r["disabled_span_ns"],
+        "span_count": r["span_count"],
+        "disabled_s": r["disabled_s"],
+        "traced_s": r["traced_s"],
+        "overhead_pct": r["overhead_pct"],
+        "traced_overhead_pct": r["traced_overhead_pct"],
+        "phases": r["phases"],
+    }
+
+
+def bench_obs_overhead(once):
+    r = once(_run_all)
+    _assert_claims(r)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable report here "
+        "(default: $REPRO_BENCH_JSON if set)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the traced campaign's Chrome trace here",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the traced campaign's metrics snapshot here",
+    )
+    args = parser.parse_args(argv)
+
+    r = _run_all()
+    _assert_claims(r)
+
+    print(f"disabled span : {r['disabled_span_ns']:8.0f} ns/call "
+          f"({_MICROBENCH_ITERATIONS} iterations)")
+    print(f"campaign off  : {r['disabled_s']:8.2f} s")
+    print(f"campaign on   : {r['traced_s']:8.2f} s "
+          f"({r['traced_overhead_pct']:+.1f}% traced, "
+          f"{r['span_count']} spans)")
+    print(f"disabled cost : {r['overhead_pct']:8.3f} % of wall time "
+          "(estimated: span sites x ns/call)")
+
+    if args.trace_out:
+        path = Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The traced campaign's spans are still buffered (tracing was
+        # disabled afterwards, not cleared).
+        write_chrome_trace(path)
+        print(f"trace: {path}")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(r["metrics_snapshot"], indent=2) + "\n")
+        print(f"metrics: {path}")
+    json_path = args.json or os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        path = Path(json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_json_report(r), indent=2) + "\n")
+        print(f"json report: {path}")
+
+
+if __name__ == "__main__":
+    main()

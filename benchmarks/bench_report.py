@@ -42,12 +42,25 @@ def _is_improvement(metric: str, delta_pct: float) -> bool:
     return delta_pct >= 0 if higher else delta_pct <= 0
 
 
+def _is_scalar(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def _scalar_metrics(payload: dict) -> dict:
-    return {
-        key: value
-        for key, value in payload.items()
-        if isinstance(value, (int, float)) and not isinstance(value, bool)
-    }
+    """Scalar metrics, flattening one level of nested dicts.
+
+    ``{"phases": {"evaluate": 1.2}}`` becomes ``{"phases.evaluate": 1.2}``
+    so per-phase breakdowns ride along in the trajectory table.
+    """
+    metrics = {}
+    for key, value in payload.items():
+        if _is_scalar(value):
+            metrics[key] = value
+        elif isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                if _is_scalar(sub_value):
+                    metrics[f"{key}.{sub_key}"] = sub_value
+    return metrics
 
 
 def merge(sha: str, inputs: dict[str, Path]) -> dict:

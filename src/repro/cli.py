@@ -25,7 +25,17 @@ result cache, safe to share between concurrent processes),
 ``--cache-cap-mb MB`` (LRU disk eviction cap), ``--structure-cache
 DIR|off`` (cross-worker lattice-structure sharing: shared memory by
 default, an on-disk ``.npz`` cache under DIR, or ``off`` to rebuild
-per worker) and ``--verbose`` (cache hit/miss/eviction statistics).
+per worker) and ``--verbose`` (cache hit/miss/eviction statistics plus
+per-phase batch timings).
+
+They also share the observability flags (:mod:`repro.obs`):
+``--trace FILE`` (span trace; Chrome/Perfetto JSON, or JSONL when FILE
+ends in ``.jsonl``), ``--metrics-out FILE`` (merged counters /
+histograms, worker deltas included), ``--manifest FILE`` (run manifest;
+written automatically next to ``--out`` artifacts when tracing or
+metrics are on), ``--log-level LEVEL`` (stdlib logging on the
+``repro`` logger only) and ``--progress`` (single updating
+``done/total`` line on stderr for sweep/survivability grids).
 """
 
 from __future__ import annotations
@@ -42,6 +52,17 @@ from .core.metrics import evaluate as evaluate_model
 from .engine import BatchRunner, make_runner
 from .engine.jobs import Campaign, SweepJob, load_campaign
 from .errors import ParameterError, ReproError
+from .obs import (
+    RunManifest,
+    batch_reports,
+    configure_logging,
+    enable_tracing,
+    metrics,
+    params_digest,
+    reset_observability,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .params import GCSParameters
 
 __all__ = ["main", "build_parser"]
@@ -103,7 +124,53 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--verbose",
         action="store_true",
-        help="print cache hit/miss/eviction statistics",
+        help="print cache hit/miss/eviction statistics and per-phase timings",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a span trace of the run; written as Chrome trace JSON "
+            "(load in Perfetto / chrome://tracing), or JSONL when FILE "
+            "ends in .jsonl"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the merged metrics registry (counters, gauges, "
+            "histograms; worker deltas included) as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a run manifest (params digest, git sha, backend, kernel "
+            "flags, phase timings, cache stats, errors); with --trace or "
+            "--metrics-out one is also written next to --out automatically"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help=(
+            "enable stdlib logging on the 'repro' logger at LEVEL "
+            "(DEBUG, INFO, WARNING, ...); the root logger is never touched"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print a single updating done/total (hits/evaluated/errors) "
+            "line on stderr (sweep and survivability grids)"
+        ),
     )
 
 
@@ -129,7 +196,9 @@ def _build_runner(args: argparse.Namespace) -> Optional[BatchRunner]:
     )
 
 
-def _print_cache_stats(runner: Optional[BatchRunner], verbose: bool) -> None:
+def _print_cache_stats(
+    runner: Optional[BatchRunner], verbose: bool, report: Any = None
+) -> None:
     if runner is None or not verbose:
         return
     print(runner.cache.describe())
@@ -141,6 +210,123 @@ def _print_cache_stats(runner: Optional[BatchRunner], verbose: bool) -> None:
             for key, value in stats.items()
         )
     )
+    if report is not None:
+        print(report.describe_phases())
+    else:
+        line = _ledger_phases_line()
+        if line:
+            print(line)
+
+
+def _ledger_phases_line() -> Optional[str]:
+    """Aggregate phase timings across every batch this command ran.
+
+    ``run``/``paper`` drive several batches through the experiment layer
+    (one per figure series), so the per-batch reports are pulled from
+    the observability ledger and summed.
+    """
+    reports = batch_reports()
+    if not reports:
+        return None
+    phases: dict[str, float] = {}
+    for report in reports:
+        for name, seconds in report.get("phase_seconds", {}).items():
+            phases[name] = phases.get(name, 0.0) + seconds
+    if not phases:
+        return None
+    timings = " ".join(f"{name}={seconds:.3f}s" for name, seconds in phases.items())
+    return f"phases ({len(reports)} batches): {timings}"
+
+
+def _configure_obs(args: argparse.Namespace) -> None:
+    """Per-invocation observability setup for engine-backed commands."""
+    reset_observability()
+    if args.log_level:
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            raise ParameterError(str(exc)) from None
+    if args.trace:
+        enable_tracing()
+
+
+def _make_progress(total: int):
+    """A ``ProgressFn`` updating one stderr line, plus its finisher."""
+    state = {"done": 0, "cache": 0, "evaluated": 0, "error": 0}
+
+    def update(index: int, key: str, source: str) -> None:
+        state["done"] += 1
+        state[source] += 1
+        sys.stderr.write(
+            f"\r{state['done']}/{total} points "
+            f"(hits={state['cache']} evaluated={state['evaluated']} "
+            f"errors={state['error']})"
+        )
+        sys.stderr.flush()
+
+    def finish() -> None:
+        if state["done"]:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+    return update, finish
+
+
+def _manifest_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.manifest:
+        return Path(args.manifest)
+    if not (args.trace or args.metrics_out):
+        return None
+    out = getattr(args, "out", None)
+    if not out:
+        return None
+    out_path = Path(out)
+    if args.command in ("run", "paper"):  # --out is an artifact directory
+        return out_path / "manifest.json"
+    return out_path.with_name(out_path.stem + ".manifest.json")
+
+
+def _finish_obs(
+    args: argparse.Namespace,
+    runner: Optional[BatchRunner],
+    *,
+    fingerprints: Optional[Sequence[str]] = None,
+    errors: Sequence[Any] = (),
+) -> None:
+    """Export trace / metrics / manifest after an engine-backed command."""
+    if args.trace:
+        path = Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".jsonl":
+            write_jsonl(path)
+        else:
+            write_chrome_trace(path)
+        print(f"trace: {path}")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(metrics().snapshot(), indent=2) + "\n")
+        print(f"metrics: {path}")
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None:
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest(
+            command=" ".join(
+                ["repro-experiments", args.command]
+                + ([args.experiment] if hasattr(args, "experiment") else [])
+            ),
+            backend=runner.backend.describe() if runner is not None else None,
+            params_digest=(
+                params_digest(fingerprints) if fingerprints is not None else None
+            ),
+            reports=batch_reports(),
+            cache_stats=(
+                runner.cache.stats.as_dict() if runner is not None else None
+            ),
+            errors=[error.as_dict() for error in errors],
+        )
+        manifest.write(manifest_path)
+        print(f"manifest: {manifest_path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,7 +559,13 @@ def _sweep_campaign(args: argparse.Namespace) -> Campaign:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     campaign = _sweep_campaign(args)
     runner = _build_runner(args) or BatchRunner()
-    outcome = campaign.run(runner)
+    progress, progress_done = (
+        _make_progress(len(campaign)) if args.progress else (None, lambda: None)
+    )
+    try:
+        outcome = campaign.run(runner, progress=progress)
+    finally:
+        progress_done()
     for job_outcome in outcome.outcomes:
         job = job_outcome.job
         axis_names = list(job.axes)
@@ -396,7 +588,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(outcome.report.describe())
     if not args.verbose:
         print(runner.cache.describe())
-    _print_cache_stats(runner, args.verbose)
+    _print_cache_stats(runner, args.verbose, report=outcome.report)
     for error in outcome.errors:
         print(f"error: {error}", file=sys.stderr)
     if args.out:
@@ -427,6 +619,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(artifact, indent=2))
         print(f"artifact: {path}")
+    _finish_obs(
+        args,
+        runner,
+        fingerprints=[
+            req.fingerprint()
+            for job in campaign.jobs
+            for _, req in job.requests()
+        ],
+        errors=outcome.errors,
+    )
     if outcome.errors:
         # Partial series were reported (and marked FAILED) above; the
         # exit code must still flag them so CI never ships them silently.
@@ -469,7 +671,13 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
         eps=args.eps,
     )
     runner = _build_runner(args) or BatchRunner()
-    outcome = sweep.run(runner)
+    progress, progress_done = (
+        _make_progress(len(sweep)) if args.progress else (None, lambda: None)
+    )
+    try:
+        outcome = sweep.run(runner, progress=progress)
+    finally:
+        progress_done()
 
     times = sweep.times_s
     shown = (
@@ -494,7 +702,7 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
     print(outcome.report.describe())
     if not args.verbose:
         print(runner.cache.describe())
-    _print_cache_stats(runner, args.verbose)
+    _print_cache_stats(runner, args.verbose, report=outcome.report)
     for error in outcome.errors:
         print(f"error: {error}", file=sys.stderr)
     if args.out:
@@ -519,6 +727,12 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(artifact, indent=2))
         print(f"artifact: {path}")
+    _finish_obs(
+        args,
+        runner,
+        fingerprints=[req.fingerprint() for _, req in sweep.requests()],
+        errors=outcome.errors,
+    )
     if outcome.errors:
         print(
             f"error: {len(outcome.errors)} of {outcome.report.n_requested} "
@@ -546,26 +760,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if hasattr(args, "trace"):  # engine-backed command: fresh obs state
+            _configure_obs(args)
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(
+            runner = _build_runner(args)
+            code = _cmd_run(
                 args.experiment,
                 args.full,
                 args.seed,
                 args.out,
                 plot=args.plot,
-                runner=_build_runner(args),
+                runner=runner,
                 verbose=args.verbose,
             )
+            _finish_obs(args, runner)
+            return code
         if args.command == "paper":
-            return _cmd_paper(
+            runner = _build_runner(args)
+            code = _cmd_paper(
                 args.full,
                 args.seed,
                 args.out,
-                runner=_build_runner(args),
+                runner=runner,
                 verbose=args.verbose,
             )
+            _finish_obs(args, runner)
+            return code
         if args.command == "evaluate":
             return _cmd_evaluate(args)
         if args.command == "sweep":

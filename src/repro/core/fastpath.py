@@ -32,7 +32,9 @@ skeleton is cached), while the batched sweep path in
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -44,8 +46,11 @@ from ..ctmc.chain import CTMC
 from ..detection.functions import vector_shape_factor
 from ..errors import ModelError, ParameterError
 from ..manet.network import NetworkModel
+from ..obs import metrics, span
 from ..params import GCSParameters
 from .rates import GCSRates
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "LatticeChain",
@@ -311,8 +316,21 @@ def lattice_structure(num_nodes: int) -> LatticeStructure:
         cached = _STRUCTURE_CACHE.get(n)
         if cached is not None:
             _STRUCTURE_CACHE.move_to_end(n)
+            metrics().counter("fastpath.structure_cache_hits").add()
             return cached
-    structure = _build_structure(n)
+    t_build = time.perf_counter()
+    with span("fastpath.build_structure", n=n):
+        structure = _build_structure(n)
+    metrics().counter("fastpath.structure_builds").add()
+    metrics().histogram("fastpath.structure_build_s").observe(
+        time.perf_counter() - t_build
+    )
+    log.debug(
+        "built lattice structure n=%d (%d states) in %.3fs",
+        n,
+        structure.num_states,
+        time.perf_counter() - t_build,
+    )
     with _STRUCTURE_LOCK:
         _STRUCTURE_CACHE[n] = structure
         _STRUCTURE_CACHE.move_to_end(n)
@@ -365,6 +383,7 @@ def fill_transition_rates(
     verbatim (bit-identical values; the per-point/batched equality tests
     depend on that), only evaluated against cached state arrays.
     """
+    t_fill = time.perf_counter()
     n = structure.num_nodes
     t_all, u_all, d_all = structure.t, structure.u, structure.d
     scale = rates.group_scale
@@ -422,6 +441,10 @@ def fill_transition_rates(
         raise ModelError("transition rates must be finite")
     if values.size and float(values.min()) < 0.0:
         raise ModelError("transition rates must be non-negative")
+    metrics().counter("fastpath.rate_fills").add()
+    metrics().histogram("fastpath.rate_fill_s").observe(
+        time.perf_counter() - t_fill
+    )
     return TransitionRateFill(structure=structure, values=values)
 
 

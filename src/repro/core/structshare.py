@@ -33,6 +33,7 @@ a run fail — every failure path degrades to PR 4 behaviour.
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -43,6 +44,7 @@ import numpy as np
 
 from ..ctmc.acyclic import BatchDagStructure, DagStructure
 from ..errors import ParameterError
+from ..obs import metrics, span
 from .fastpath import (
     _KINDS,
     LatticeStructure,
@@ -50,6 +52,8 @@ from .fastpath import (
     peek_structure_cache,
     seed_structure_cache,
 )
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "STRUCT_SCHEMA_VERSION",
@@ -232,9 +236,12 @@ def save_structure(path: "str | Path", structure: LatticeStructure) -> Path:
 
 def load_structure(path: "str | Path") -> LatticeStructure:
     """Load a structure saved by :func:`save_structure`."""
-    with np.load(path) as payload:
-        arrays = {name: payload[name] for name in payload.files}
-    return structure_from_arrays(arrays)
+    with span("structshare.npz_load", path=str(path)):
+        with np.load(path) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        structure = structure_from_arrays(arrays)
+    metrics().counter("structshare.npz_loads").add()
+    return structure
 
 
 def cached_structure(
@@ -396,22 +403,25 @@ def export_structures(
     sizes = tuple(sorted({int(n) for n in num_nodes}))
     if not sizes or not structure_share_enabled():
         return None
-    structures = [cached_structure(n, npz_dir) for n in sizes]
-    shm = None
-    manifest: tuple = ()
-    if use_shm:
-        try:
-            shm, manifest = _pack_into_shm(structures)
-        except Exception:  # noqa: BLE001 — no shm on this platform/sandbox
-            shm, manifest = None, ()
-    if shm is None and npz_dir is None:
-        return None
-    spec = StructureShareSpec(
-        num_nodes=sizes,
-        shm_name=shm.name if shm is not None else None,
-        manifest=manifest,
-        npz_dir=str(npz_dir) if npz_dir is not None else None,
-    )
+    with span("structshare.export", sizes=list(sizes), shm=use_shm):
+        structures = [cached_structure(n, npz_dir) for n in sizes]
+        shm = None
+        manifest: tuple = ()
+        if use_shm:
+            try:
+                shm, manifest = _pack_into_shm(structures)
+            except Exception:  # noqa: BLE001 — no shm on this platform/sandbox
+                shm, manifest = None, ()
+                log.debug("shared-memory export unavailable; npz layer only")
+        if shm is None and npz_dir is None:
+            return None
+        spec = StructureShareSpec(
+            num_nodes=sizes,
+            shm_name=shm.name if shm is not None else None,
+            manifest=manifest,
+            npz_dir=str(npz_dir) if npz_dir is not None else None,
+        )
+    metrics().counter("structshare.exports").add()
     return StructureShareHandle(spec, shm)
 
 
@@ -424,37 +434,46 @@ def attach_structures(spec: StructureShareSpec) -> int:
     """
     attached = 0
     views_by_index: dict[int, dict[str, np.ndarray]] = {}
-    if spec.shm_name is not None:
-        try:
-            shm = _attach_shm(spec.shm_name)
-        except Exception:  # noqa: BLE001 — segment gone / platform quirk
-            shm = None
-        if shm is not None:
-            _ATTACHED_SEGMENTS.append(shm)
-            for i, entries in enumerate(spec.manifest):
-                views_by_index[i] = {
-                    name: np.ndarray(
-                        shape, dtype=dtype, buffer=shm.buf, offset=offset
+    with span("structshare.attach", sizes=list(spec.num_nodes)) as sp:
+        if spec.shm_name is not None:
+            try:
+                shm = _attach_shm(spec.shm_name)
+            except Exception:  # noqa: BLE001 — segment gone / platform quirk
+                shm = None
+            if shm is not None:
+                _ATTACHED_SEGMENTS.append(shm)
+                for i, entries in enumerate(spec.manifest):
+                    views_by_index[i] = {
+                        name: np.ndarray(
+                            shape, dtype=dtype, buffer=shm.buf, offset=offset
+                        )
+                        for name, dtype, shape, offset in entries
+                    }
+        for i, n in enumerate(spec.num_nodes):
+            structure = None
+            if i in views_by_index:
+                try:
+                    structure = structure_from_arrays(views_by_index[i])
+                except Exception:  # noqa: BLE001 — foreign/corrupt payload
+                    structure = None
+            if structure is None and spec.npz_dir is not None:
+                try:
+                    structure = load_structure(
+                        structure_cache_path(n, spec.npz_dir)
                     )
-                    for name, dtype, shape, offset in entries
-                }
-    for i, n in enumerate(spec.num_nodes):
-        structure = None
-        if i in views_by_index:
-            try:
-                structure = structure_from_arrays(views_by_index[i])
-            except Exception:  # noqa: BLE001 — foreign/corrupt payload
-                structure = None
-        if structure is None and spec.npz_dir is not None:
-            try:
-                structure = load_structure(
-                    structure_cache_path(n, spec.npz_dir)
-                )
-            except Exception:  # noqa: BLE001 — missing/corrupt cache file
-                structure = None
-        if structure is not None and structure.num_nodes == n:
-            seed_structure_cache(structure)
-            attached += 1
+                except Exception:  # noqa: BLE001 — missing/corrupt cache file
+                    structure = None
+            if structure is not None and structure.num_nodes == n:
+                seed_structure_cache(structure)
+                attached += 1
+        sp.set(attached=attached)
+    metrics().counter("structshare.attaches").add(attached)
+    if attached < len(spec.num_nodes):
+        log.debug(
+            "attached %d of %d shared structures (rest rebuild lazily)",
+            attached,
+            len(spec.num_nodes),
+        )
     return attached
 
 

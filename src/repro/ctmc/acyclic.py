@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import SolverError
+from ..obs import metrics, span
 from .chain import CTMC
 
 __all__ = [
@@ -460,9 +461,20 @@ def solve_dag_batch(
         )
     if fused is None:
         fused = fused_gather_enabled()
-    if fused:
-        return _solve_dag_batch_fused(shared, values, numerators, boundary)
-    return _solve_dag_batch_legacy(shared, values, numerators, boundary)
+    kernel = "fused" if fused else "legacy"
+    levels = len(shared.structure.level_states)
+    with span(
+        "solve_dag_batch", points=P, states=n, levels=levels, kernel=kernel
+    ):
+        if fused:
+            result = _solve_dag_batch_fused(shared, values, numerators, boundary)
+        else:
+            result = _solve_dag_batch_legacy(shared, values, numerators, boundary)
+    registry = metrics()
+    registry.counter("solver.dag_batch_solves").add()
+    registry.counter("solver.dag_points_solved").add(P)
+    registry.counter("solver.dag_level_sweeps").add(levels)
+    return result
 
 
 def _solve_dag_batch_legacy(

@@ -31,6 +31,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ParameterError, SolverError
+from ..obs import metrics, span
 from .acyclic import fused_gather_enabled
 from .chain import CTMC
 from .poisson import poisson_weights
@@ -397,35 +398,49 @@ def transient_distribution_batch(
     jump_t = build(indptr, indices, values, q, lam)
 
     flat = pi0.ravel().copy()
-    if fused:
-        # Time-major accumulator: out_t[ti] is a contiguous (P, n)
-        # block, so the per-step weight accumulation writes unit-stride
-        # memory instead of the (P, T, n) layout's strided slices. Same
-        # additions in the same order — transposed back at the end.
-        los = np.array([lo for lo, _, _ in windows], dtype=np.int64)
-        his = np.array([hi for _, hi, _ in windows], dtype=np.int64)
-        blocks_t = [np.ascontiguousarray(block.T) for _, _, block in windows]
-        out_t = np.zeros((num_times, num_points, n))
-        for k in range(k_max + 1):
-            active = np.flatnonzero((los <= k) & (k <= his))
-            if active.size:
+    with span(
+        "transient_batch",
+        points=num_points,
+        times=num_times,
+        steps=k_max + 1,
+        kernel="fused" if fused else "legacy",
+    ):
+        if fused:
+            # Time-major accumulator: out_t[ti] is a contiguous (P, n)
+            # block, so the per-step weight accumulation writes
+            # unit-stride memory instead of the (P, T, n) layout's
+            # strided slices. Same additions in the same order —
+            # transposed back at the end.
+            los = np.array([lo for lo, _, _ in windows], dtype=np.int64)
+            his = np.array([hi for _, hi, _ in windows], dtype=np.int64)
+            blocks_t = [
+                np.ascontiguousarray(block.T) for _, _, block in windows
+            ]
+            out_t = np.zeros((num_times, num_points, n))
+            for k in range(k_max + 1):
+                active = np.flatnonzero((los <= k) & (k <= his))
+                if active.size:
+                    v = flat.reshape(num_points, n)
+                    for ti in active:
+                        out_t[ti] += blocks_t[ti][k - los[ti]][:, None] * v
+                if k == k_max:
+                    break
+                flat = jump_t @ flat
+            out = np.ascontiguousarray(out_t.transpose(1, 0, 2))
+        else:
+            out = np.zeros((num_points, num_times, n))
+            for k in range(k_max + 1):
                 v = flat.reshape(num_points, n)
-                for ti in active:
-                    out_t[ti] += blocks_t[ti][k - los[ti]][:, None] * v
-            if k == k_max:
-                break
-            flat = jump_t @ flat
-        out = np.ascontiguousarray(out_t.transpose(1, 0, 2))
-    else:
-        out = np.zeros((num_points, num_times, n))
-        for k in range(k_max + 1):
-            v = flat.reshape(num_points, n)
-            for ti, (lo, hi, block) in enumerate(windows):
-                if lo <= k <= hi:
-                    out[:, ti, :] += block[:, k - lo, None] * v
-            if k == k_max:
-                break
-            flat = jump_t @ flat
+                for ti, (lo, hi, block) in enumerate(windows):
+                    if lo <= k <= hi:
+                        out[:, ti, :] += block[:, k - lo, None] * v
+                if k == k_max:
+                    break
+                flat = jump_t @ flat
+    registry = metrics()
+    registry.counter("solver.transient_batch_solves").add()
+    registry.counter("solver.transient_points_solved").add(num_points)
+    registry.counter("solver.uniformization_steps").add(k_max + 1)
 
     # Guard against tiny negative round-off and renormalise (mirror of
     # the per-point epilogue).

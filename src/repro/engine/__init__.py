@@ -26,6 +26,12 @@ Modules:
 ``jobs``           declarative job specs and multi-figure campaigns
 =================  ====================================================
 
+The engine is instrumented end to end by :mod:`repro.obs` — enable
+tracing / read the metrics registry there; each batch records its
+per-phase timings on :class:`BatchReport` (``phase_seconds``) and its
+counts as ``engine.*`` counters, and pool workers ship span/metric
+deltas back to the parent with every chunk.
+
 A cache directory may be shared by many concurrent processes: record
 writes are atomic (tmp + rename), multi-file mutations are serialised
 by an advisory file lock, and ``max_disk_bytes`` bounds the store with
@@ -38,6 +44,7 @@ from .batch import (
     BatchRunner,
     EvalRequest,
     PointError,
+    ProgressFn,
     SurvivabilityRequest,
     evaluate_request,
     evaluate_survivability_request,
@@ -53,6 +60,7 @@ from .cache import (
 )
 from .executor import (
     ExecutionBackend,
+    OutcomeFn,
     PointOutcome,
     ProcessPoolBackend,
     SerialBackend,
@@ -83,6 +91,8 @@ __all__ = [
     "result_from_dict",
     "FileLock",
     "ExecutionBackend",
+    "OutcomeFn",
+    "ProgressFn",
     "PointOutcome",
     "SerialBackend",
     "ProcessPoolBackend",

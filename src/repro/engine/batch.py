@@ -15,6 +15,7 @@ semantics call :meth:`BatchReport.raise_on_error`.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,6 +30,8 @@ from ..core.optimizer import TradeoffPoint
 from ..core.results import GCSResult, SurvivabilityResult
 from ..errors import ExperimentError, ParameterError
 from ..manet.network import NetworkModel
+from ..obs import metrics, span
+from ..obs.runtime import record_batch_report
 from ..params import GCSParameters
 from ..validation import require_sorted_unique
 from .cache import CacheableResult, ResultCache
@@ -39,6 +42,8 @@ from .executor import (
     make_backend,
 )
 from .keys import scenario_fingerprint
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "EvalRequest",
@@ -138,18 +143,33 @@ def evaluate_survivability_request(
 
 @dataclass(frozen=True)
 class PointError:
-    """A captured per-point evaluation failure."""
+    """A captured per-point evaluation failure.
+
+    ``traceback`` carries the formatted traceback from the process that
+    raised (possibly a pool worker) so failures are diagnosable from a
+    run manifest without re-running the point.
+    """
 
     index: int
     request: "EvalRequest | SurvivabilityRequest"
     error: str
     error_type: str
+    traceback: Optional[str] = None
 
     def __str__(self) -> str:
         return (
             f"point {self.index} ({self.request.params.describe()}): "
             f"{self.error_type}: {self.error}"
         )
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "params": self.request.params.describe(),
+            "error_type": self.error_type,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
 
 
 @dataclass
@@ -163,6 +183,9 @@ class BatchReport:
     errors: list[PointError] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     backend: str = "serial"
+    #: Wall time per pipeline phase: ``dedup``, ``cache_lookup``,
+    #: ``evaluate``, ``store`` (seconds; always all four keys).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_errors(self) -> int:
@@ -177,6 +200,15 @@ class BatchReport:
     def cache_hit_rate(self) -> float:
         """Fraction of unique points served from the cache."""
         return self.n_cache_hits / self.n_unique if self.n_unique else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of *requested* points that never hit the backend —
+        served by the cache or by batch-level deduplication."""
+        if not self.n_requested:
+            return 0.0
+        attempted = self.n_evaluated + self.n_errors
+        return 1.0 - attempted / self.n_requested
 
     def raise_on_error(self) -> None:
         if self.errors:
@@ -194,6 +226,28 @@ class BatchReport:
             f"({self.cache_hit_rate:.0%}), {self.n_evaluated} evaluated, "
             f"{self.n_errors} errors in {self.elapsed_seconds:.2f}s"
         )
+
+    def describe_phases(self) -> str:
+        parts = " ".join(
+            f"{name}={self.phase_seconds.get(name, 0.0):.3f}s"
+            for name in ("dedup", "cache_lookup", "evaluate", "store")
+        )
+        return f"phases: {parts} (hit rate {self.hit_rate:.0%})"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (run manifests, the report ledger)."""
+        return {
+            "backend": self.backend,
+            "n_requested": self.n_requested,
+            "n_unique": self.n_unique,
+            "n_cache_hits": self.n_cache_hits,
+            "n_evaluated": self.n_evaluated,
+            "n_errors": self.n_errors,
+            "hit_rate": self.hit_rate,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "errors": [error.as_dict() for error in self.errors],
+        }
 
 
 @dataclass(frozen=True)
@@ -248,60 +302,106 @@ class BatchRunner:
         report = BatchReport(
             n_requested=len(requests), backend=self.backend.describe()
         )
+        phases = report.phase_seconds
+        emitted = [False] * len(requests)
+
+        def emit(i: int, key: str, source: str) -> None:
+            emitted[i] = True
+            progress(i, key, source)  # type: ignore[misc]
 
         # Dedup: map every input index onto the first request with the
         # same fingerprint; only representatives are looked up and run.
-        keys = [request.fingerprint() for request in requests]
-        representative: dict[str, int] = {}
-        for i, key in enumerate(keys):
-            representative.setdefault(key, i)
+        t = time.perf_counter()
+        with span("batch.dedup", requests=len(requests)):
+            keys = [request.fingerprint() for request in requests]
+            representative: dict[str, int] = {}
+            for i, key in enumerate(keys):
+                representative.setdefault(key, i)
         report.n_unique = len(representative)
+        phases["dedup"] = time.perf_counter() - t
 
+        t = time.perf_counter()
         by_key: dict[str, CacheableResult] = {}
         misses: list[tuple[str, int]] = []
-        for key, i in representative.items():
-            cached = self.cache.get(key)
-            if cached is not None:
-                by_key[key] = cached
-                report.n_cache_hits += 1
-            else:
-                misses.append((key, i))
-
-        fresh: set[str] = set()
-        if misses:
-            outcomes = self.backend.run(
-                evaluate, [requests[i] for _, i in misses]
-            )
-            for (key, i), outcome in zip(misses, outcomes):
-                if outcome.ok:
-                    by_key[key] = outcome.value
-                    self.cache.put(key, outcome.value)
-                    report.n_evaluated += 1
-                    fresh.add(key)
+        with span("batch.cache_lookup", unique=len(representative)):
+            for key, i in representative.items():
+                cached = self.cache.get(key)
+                if cached is not None:
+                    by_key[key] = cached
+                    report.n_cache_hits += 1
                 else:
-                    report.errors.append(
-                        PointError(
-                            index=i,
-                            request=requests[i],
-                            error=outcome.error,
-                            error_type=outcome.error_type,
+                    misses.append((key, i))
+        phases["cache_lookup"] = time.perf_counter() - t
+        if progress is not None:
+            # Hits (and duplicates of hits) resolve now; misses stream
+            # from the backend, duplicates of misses settle at scatter.
+            for i, key in enumerate(keys):
+                if key in by_key:
+                    emit(i, key, "cache")
+
+        on_outcome = None
+        if progress is not None:
+
+            def on_outcome(outcome) -> None:
+                key, i = misses[outcome.index]
+                emit(i, key, "evaluated" if outcome.ok else "error")
+
+        phases["evaluate"] = 0.0
+        phases["store"] = 0.0
+        if misses:
+            t = time.perf_counter()
+            with span("batch.evaluate", misses=len(misses)):
+                outcomes = self.backend.run(
+                    evaluate,
+                    [requests[i] for _, i in misses],
+                    on_outcome=on_outcome,
+                )
+            phases["evaluate"] = time.perf_counter() - t
+
+            t = time.perf_counter()
+            with span("batch.store", outcomes=len(outcomes)):
+                for (key, i), outcome in zip(misses, outcomes):
+                    if outcome.ok:
+                        by_key[key] = outcome.value
+                        self.cache.put(key, outcome.value)
+                        report.n_evaluated += 1
+                    else:
+                        report.errors.append(
+                            PointError(
+                                index=i,
+                                request=requests[i],
+                                error=outcome.error,
+                                error_type=outcome.error_type,
+                                traceback=outcome.traceback,
+                            )
                         )
-                    )
+            phases["store"] = time.perf_counter() - t
 
         results: list[Optional[CacheableResult]] = []
         for i, key in enumerate(keys):
             result = by_key.get(key)
             results.append(result)
-            if progress is not None:
-                if result is None:
-                    source = "error"
-                elif representative[key] == i and key in fresh:
-                    source = "evaluated"
-                else:
-                    source = "cache"
-                progress(i, key, source)
+            if progress is not None and not emitted[i]:
+                # Duplicates of misses (and of errored points): settled
+                # only now that the representative's outcome is known.
+                emit(i, key, "error" if result is None else "cache")
 
         report.elapsed_seconds = time.perf_counter() - t0
+
+        registry = metrics()
+        registry.counter("engine.requests").add(report.n_requested)
+        registry.counter("engine.unique").add(report.n_unique)
+        registry.counter("engine.cache_hits").add(report.n_cache_hits)
+        registry.counter("engine.evaluated").add(report.n_evaluated)
+        registry.counter("engine.errors").add(report.n_errors)
+        record_batch_report(report.as_dict())
+        if report.errors:
+            log.warning(
+                "batch finished with %d error(s): %s",
+                report.n_errors,
+                report.errors[0],
+            )
+        log.info("%s", report.describe())
         return BatchResult(results=tuple(results), report=report)
 
     # ------------------------------------------------------------------

@@ -37,8 +37,10 @@ layer plus evictions on both layers so the benchmark and the CLI's
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,8 +48,11 @@ from typing import Any, Mapping, Optional, Union
 
 from ..core.results import GCSResult, SurvivabilityResult
 from ..errors import ParameterError
+from ..obs import metrics, span
 from .keys import SCHEMA_VERSION, params_from_dict
 from .locks import FileLock
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "CacheStats",
@@ -223,6 +228,7 @@ class ResultCache:
             return self._memory[key]
         if self.cache_dir is not None:
             path = self._record_path(key)
+            t_read = time.perf_counter()
             try:
                 record = json.loads(path.read_text())
                 if record.get("version") != self.version:
@@ -230,9 +236,13 @@ class ResultCache:
                 result = result_from_dict(record["result"])
             except FileNotFoundError:
                 pass  # plain miss (never written, or evicted under us)
-            except (OSError, ValueError, KeyError, ParameterError):
+            except (OSError, ValueError, KeyError, ParameterError) as exc:
                 self.stats.corrupt_records += 1
+                log.warning("corrupt cache record %s: %s", path.name, exc)
             else:
+                metrics().histogram("cache.disk_read_s").observe(
+                    time.perf_counter() - t_read
+                )
                 self.stats.disk_hits += 1
                 try:
                     os.utime(path)  # refresh LRU recency for eviction
@@ -261,11 +271,16 @@ class ResultCache:
             self._write_record(key, result)
             return
         assert self._lock is not None
+        t_lock = time.perf_counter()
         with self._lock:
+            metrics().histogram("cache.lock_wait_s").observe(
+                time.perf_counter() - t_lock
+            )
             self._write_record(key, result)
             self._enforce_disk_cap(protect=key)
 
     def _write_record(self, key: str, result: CacheableResult) -> None:
+        t_write = time.perf_counter()
         path = self._record_path(key)
         record = {"key": key, "version": self.version, "result": result.to_dict()}
         # Write-then-rename so a crashed writer never leaves a torn
@@ -285,6 +300,9 @@ class ResultCache:
                 with os.fdopen(fd, "w") as fh:
                     json.dump(record, fh)
                 os.replace(tmp, path)
+                metrics().histogram("cache.disk_write_s").observe(
+                    time.perf_counter() - t_write
+                )
                 return
             except FileNotFoundError:
                 if attempt:
@@ -331,16 +349,26 @@ class ResultCache:
         if total <= self.max_disk_bytes:
             return
         entries.sort()  # oldest mtime first == least recently used
-        for _, size, record in entries:
-            if total <= self.max_disk_bytes:
-                break
-            try:
-                record.unlink()
-            except OSError:
-                continue
-            total -= size
-            self.stats.disk_evictions += 1
-            self.stats.disk_bytes_evicted += size
+        evicted = 0
+        with span("cache.evict", over_bytes=total - self.max_disk_bytes):
+            for _, size, record in entries:
+                if total <= self.max_disk_bytes:
+                    break
+                try:
+                    record.unlink()
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+                self.stats.disk_evictions += 1
+                self.stats.disk_bytes_evicted += size
+        if evicted:
+            metrics().counter("cache.disk_evictions").add(evicted)
+            log.debug(
+                "evicted %d cache record(s) to fit %d-byte cap",
+                evicted,
+                self.max_disk_bytes,
+            )
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:

@@ -36,16 +36,33 @@ aware where the platform exposes it).
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import pickle
+import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence, Union
 
 from ..errors import ParameterError
+from ..obs import metrics, span
+from ..obs.runtime import (
+    absorb_telemetry,
+    init_worker,
+    telemetry_capture,
+    worker_config,
+)
+
+log = logging.getLogger(__name__)
+
+#: Optional streaming callback: invoked once per completed outcome, in
+#: completion order, before the backend returns (``--progress`` uses it).
+OutcomeFn = Callable[["PointOutcome"], None]
 
 __all__ = [
+    "OutcomeFn",
     "PointOutcome",
     "ExecutionBackend",
     "SerialBackend",
@@ -129,13 +146,29 @@ def _export_shared_structures(
         return None
 
 
-def _share_init_kwargs(share) -> dict:
-    """ProcessPoolExecutor initializer kwargs for an exported share."""
-    if share is None:
-        return {}
-    from ..core.structshare import pool_initializer
+def _init_pool_worker(share_spec, obs_config) -> None:
+    """Composed pool initializer: observability handoff + structure attach.
 
-    return {"initializer": pool_initializer, "initargs": (share.spec,)}
+    Runs once per worker process.  Observability first (so the attach
+    itself is traced when tracing is on), then the structure-share
+    attach when the parent exported one.
+    """
+    init_worker(obs_config)
+    with span("worker.init", share=share_spec is not None):
+        metrics().counter("pool.workers_initialized").add()
+        if share_spec is not None:
+            from ..core.structshare import pool_initializer
+
+            pool_initializer(share_spec)
+
+
+def _pool_init_kwargs(share) -> dict:
+    """ProcessPoolExecutor initializer kwargs (obs config + any share)."""
+    share_spec = share.spec if share is not None else None
+    return {
+        "initializer": _init_pool_worker,
+        "initargs": (share_spec, worker_config()),
+    }
 
 
 def _warm_structures_from_disk(
@@ -169,7 +202,9 @@ class PointOutcome:
     ``exception`` carries the original exception object when it
     survives a pickle round-trip (so callers can re-raise with the
     true type); ``error``/``error_type`` are its string form, always
-    present on failure.
+    present on failure.  ``traceback`` is the formatted traceback
+    *from the process that raised* — pool failures stay diagnosable
+    even though the traceback object itself cannot cross the boundary.
     """
 
     index: int
@@ -177,6 +212,7 @@ class PointOutcome:
     error: Optional[str] = None
     error_type: Optional[str] = None
     exception: Optional[BaseException] = None
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -187,6 +223,7 @@ def _evaluate_one(fn: Callable[[Any], Any], index: int, item: Any) -> PointOutco
     try:
         return PointOutcome(index=index, value=fn(item))
     except Exception as exc:  # noqa: BLE001 — per-point capture is the contract
+        log.debug("point %d failed: %s: %s", index, type(exc).__name__, exc)
         try:
             carried = pickle.loads(pickle.dumps(exc))
         except Exception:  # noqa: BLE001 — unpicklable exception
@@ -196,27 +233,65 @@ def _evaluate_one(fn: Callable[[Any], Any], index: int, item: Any) -> PointOutco
             error=str(exc),
             error_type=type(exc).__name__,
             exception=carried,
+            traceback=traceback_module.format_exc(),
         )
 
 
 def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[tuple[int, Any]]
-) -> list[PointOutcome]:
-    """Worker-side loop (module level so the pool can pickle it)."""
-    return [_evaluate_one(fn, index, item) for index, item in chunk]
+    fn: Callable[[Any], Any],
+    chunk: Sequence[tuple[int, Any]],
+    submitted_at: Optional[float] = None,
+) -> tuple[list[PointOutcome], dict]:
+    """Worker-side loop (module level so the pool can pickle it).
+
+    Returns the outcomes plus a telemetry payload — the metrics delta
+    and any spans recorded while the chunk ran — for the parent to
+    absorb (see :mod:`repro.obs.runtime`).
+    """
+    with telemetry_capture(submitted_at) as capture:
+        with span("chunk.evaluate", points=len(chunk)):
+            outcomes = [_evaluate_one(fn, index, item) for index, item in chunk]
+    return outcomes, capture.payload
+
+
+def _run_solve_chunk(
+    solve: Callable[..., list[PointOutcome]],
+    requests: Sequence[Any],
+    max_bytes: int,
+    submitted_at: Optional[float] = None,
+) -> tuple[list[PointOutcome], dict]:
+    """Telemetry-capturing wrapper for the vector+procs chunk fan-out."""
+    with telemetry_capture(submitted_at) as capture:
+        with span("chunk.solve", points=len(requests)):
+            outcomes = solve(requests, max_bytes)
+    return outcomes, capture.payload
 
 
 class ExecutionBackend(Protocol):
     """Anything that can map a callable over tasks with error capture."""
 
     def run(
-        self, fn: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
-        """Evaluate ``fn`` on every item; outcomes in input order."""
+        """Evaluate ``fn`` on every item; outcomes in input order.
+
+        ``on_outcome`` (when given) is invoked once per outcome in
+        *completion* order, before ``run`` returns — the hook behind
+        streaming progress displays.
+        """
         ...  # pragma: no cover
 
     def describe(self) -> str:
         ...  # pragma: no cover
+
+
+def _notify(on_outcome: Optional[OutcomeFn], outcome: PointOutcome) -> None:
+    if on_outcome is not None:
+        on_outcome(outcome)
 
 
 class SerialBackend:
@@ -235,10 +310,19 @@ class SerialBackend:
         )
 
     def run(
-        self, fn: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
         _warm_structures_from_disk(self.structure_share, items)
-        return [_evaluate_one(fn, i, item) for i, item in enumerate(items)]
+        outcomes = []
+        for i, item in enumerate(items):
+            outcome = _evaluate_one(fn, i, item)
+            _notify(on_outcome, outcome)
+            outcomes.append(outcome)
+        return outcomes
 
     def describe(self) -> str:
         return "serial"
@@ -282,29 +366,44 @@ class ProcessPoolBackend:
         return max(1, math.ceil(n_items / (self.max_workers * 4)))
 
     def run(
-        self, fn: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
         indexed = list(enumerate(items))
         if not indexed:
             return []
         if len(indexed) == 1:  # pool spin-up is never worth one point
-            return SerialBackend().run(fn, items)
+            return SerialBackend().run(fn, items, on_outcome=on_outcome)
         size = self._chunksize_for(len(indexed))
         chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
         outcomes: list[Optional[PointOutcome]] = [None] * len(indexed)
         share = _export_shared_structures(self.structure_share, items)
+        workers = min(self.max_workers, len(chunks))
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(chunks)),
-                **_share_init_kwargs(share),
-            ) as pool:
-                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-                for future in futures:
-                    # Point-level errors are already captured inside the
-                    # chunk; a future-level error means the worker died
-                    # (unpicklable fn, OOM kill) and should propagate.
-                    for outcome in future.result():
-                        outcomes[outcome.index] = outcome
+            with span(
+                "pool.run", workers=workers, chunks=len(chunks), points=len(indexed)
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    **_pool_init_kwargs(share),
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_chunk, fn, chunk, time.time())
+                        for chunk in chunks
+                    ]
+                    for future in futures:
+                        # Point-level errors are already captured inside
+                        # the chunk; a future-level error means the worker
+                        # died (unpicklable fn, OOM kill) and should
+                        # propagate.
+                        chunk_outcomes, telemetry = future.result()
+                        absorb_telemetry(telemetry)
+                        for outcome in chunk_outcomes:
+                            outcomes[outcome.index] = outcome
+                            _notify(on_outcome, outcome)
         finally:
             if share is not None:
                 share.close()
@@ -340,7 +439,11 @@ class ThreadPoolBackend:
         )
 
     def run(
-        self, fn: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
         indexed = list(enumerate(items))
         if not indexed:
@@ -349,15 +452,21 @@ class ThreadPoolBackend:
         # still saves the cold-start enumeration.
         _warm_structures_from_disk(self.structure_share, items)
         if len(indexed) == 1:  # pool spin-up is never worth one point
-            return SerialBackend().run(fn, items)
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(indexed))
-        ) as pool:
-            futures = [
-                pool.submit(_evaluate_one, fn, index, item)
-                for index, item in indexed
-            ]
-            return [future.result() for future in futures]
+            return SerialBackend().run(fn, items, on_outcome=on_outcome)
+        with span("pool.run_threads", workers=self.max_workers, points=len(indexed)):
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, len(indexed))
+            ) as pool:
+                futures = [
+                    pool.submit(_evaluate_one, fn, index, item)
+                    for index, item in indexed
+                ]
+                outcomes = []
+                for future in futures:
+                    outcome = future.result()
+                    _notify(on_outcome, outcome)
+                    outcomes.append(outcome)
+                return outcomes
 
     def describe(self) -> str:
         return f"thread-pool(workers={self.max_workers})"
@@ -393,6 +502,11 @@ def _outcomes_from_batch(
                     error=str(error),
                     error_type=type(error).__name__,
                     exception=_carry(error) if sanitize else error,
+                    traceback="".join(
+                        traceback_module.format_exception(
+                            type(error), error, error.__traceback__
+                        )
+                    ),
                 )
             )
     return outcomes
@@ -528,13 +642,17 @@ class VectorBackend:
         return [indices[i : i + size] for i in range(0, len(indices), size)]
 
     def run(
-        self, fn: Callable[[Any], Any], items: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
         if not items:
             return []
         kind = self._batch_kind(fn, items)
         if kind is None:
-            return self.fallback.run(fn, items)
+            return self.fallback.run(fn, items, on_outcome=on_outcome)
 
         from ..core.metrics import DEFAULT_BATCH_BYTES
 
@@ -562,13 +680,16 @@ class VectorBackend:
 
         def scatter(chunk: list[int], chunk_outcomes: list[PointOutcome]) -> None:
             for local, i in zip(chunk_outcomes, chunk):
-                outcomes[i] = PointOutcome(
+                outcome = PointOutcome(
                     index=i,
                     value=local.value,
                     error=local.error,
                     error_type=local.error_type,
                     exception=local.exception,
+                    traceback=local.traceback,
                 )
+                outcomes[i] = outcome
+                _notify(on_outcome, outcome)
 
         # Warm this process from the on-disk structure cache (when one
         # is configured) before any solve — a cold `--jobs vector` CLI
@@ -576,27 +697,43 @@ class VectorBackend:
         _warm_structures_from_disk(self.structure_share, items)
 
         for indices in inline:
-            scatter(
-                indices,
-                solve([items[i] for i in indices], max_bytes, sanitize=False),
-            )
+            with span("vector.solve", kind=kind, points=len(indices)):
+                scatter(
+                    indices,
+                    solve([items[i] for i in indices], max_bytes, sanitize=False),
+                )
         if fanned:
             assert self.chunk_workers is not None
             share = _export_shared_structures(self.structure_share, items)
+            workers = min(self.chunk_workers, len(fanned))
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.chunk_workers, len(fanned)),
-                    **_share_init_kwargs(share),
-                ) as pool:
-                    futures = [
-                        pool.submit(solve, [items[i] for i in chunk], max_bytes)
-                        for chunk in fanned
-                    ]
-                    # A future-level error means the worker died (OOM kill,
-                    # unpicklable payload) and should propagate, exactly
-                    # like ProcessPoolBackend.
-                    for chunk, future in zip(fanned, futures):
-                        scatter(chunk, future.result())
+                with span(
+                    "vector.pool_run",
+                    kind=kind,
+                    workers=workers,
+                    chunks=len(fanned),
+                ):
+                    with ProcessPoolExecutor(
+                        max_workers=workers,
+                        **_pool_init_kwargs(share),
+                    ) as pool:
+                        futures = [
+                            pool.submit(
+                                _run_solve_chunk,
+                                solve,
+                                [items[i] for i in chunk],
+                                max_bytes,
+                                time.time(),
+                            )
+                            for chunk in fanned
+                        ]
+                        # A future-level error means the worker died (OOM
+                        # kill, unpicklable payload) and should propagate,
+                        # exactly like ProcessPoolBackend.
+                        for chunk, future in zip(fanned, futures):
+                            chunk_outcomes, telemetry = future.result()
+                            absorb_telemetry(telemetry)
+                            scatter(chunk, chunk_outcomes)
             finally:
                 if share is not None:
                     share.close()

@@ -32,6 +32,7 @@ from .batch import (
     BatchRunner,
     EvalRequest,
     PointError,
+    ProgressFn,
     SurvivabilityRequest,
     evaluate_survivability_request,
 )
@@ -162,12 +163,17 @@ class Campaign:
         return sum(len(job) for job in self.jobs)
 
     # ------------------------------------------------------------------
-    def run(self, runner: Optional[BatchRunner] = None) -> "CampaignOutcome":
+    def run(
+        self,
+        runner: Optional[BatchRunner] = None,
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> "CampaignOutcome":
         """Expand every job, submit once, scatter results per job."""
         runner = runner or BatchRunner(backend=SerialBackend())
         expanded = [(job, job.requests()) for job in self.jobs]
         flat = [req for _, reqs in expanded for _, req in reqs]
-        batch = runner.run(flat)
+        batch = runner.run(flat, progress=progress)
 
         outcomes: list[JobOutcome] = []
         cursor = 0
@@ -286,13 +292,19 @@ class SurvivabilitySweep:
         return n
 
     # ------------------------------------------------------------------
-    def run(self, runner: Optional[BatchRunner] = None) -> "SurvivabilityOutcome":
+    def run(
+        self,
+        runner: Optional[BatchRunner] = None,
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> "SurvivabilityOutcome":
         """Submit every grid point as one deduplicated batch."""
         runner = runner or BatchRunner(backend=SerialBackend())
         expanded = self.requests()
         batch = runner.run(
             [req for _, req in expanded],
             evaluate=evaluate_survivability_request,
+            progress=progress,
         )
         points = tuple(
             (assignment, batch.results[i])

@@ -1,0 +1,270 @@
+"""Process-local metrics registry with cross-process merge semantics.
+
+Three instrument kinds, all zero-dependency:
+
+``Counter``
+    A monotonically increasing float.  Merging adds.
+``Gauge``
+    A last-write-wins float (e.g. cache size after a run).
+``Histogram``
+    Fixed log-scale bins (1-2-5 per decade) so that histograms recorded
+    in *different processes* share identical bin edges and can be merged
+    by summing bin counts.  Tracks count/sum/min/max alongside the bins.
+
+The registry is deliberately tiny: worker processes snapshot it at chunk
+start, run the chunk, then ship the *delta* back to the parent (a fork
+start method inherits the parent's counts, so shipping totals would
+double-count).  ``MetricsRegistry.diff`` produces that delta and
+``MetricsRegistry.merge`` folds it back in.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_bin_edges",
+    "metrics",
+    "reset_metrics",
+]
+
+
+def default_bin_edges(
+    low_decade: int = -7, high_decade: int = 3
+) -> Tuple[float, ...]:
+    """1-2-5 edges per decade, e.g. ... 0.1, 0.2, 0.5, 1.0, 2.0, 5.0 ...
+
+    The default span (1e-7 .. 1e3) covers everything from a sub-µs
+    kernel step to a multi-minute campaign when values are seconds.
+    """
+    edges: List[float] = []
+    for decade in range(low_decade, high_decade + 1):
+        base = 10.0**decade
+        for mantissa in (1.0, 2.0, 5.0):
+            edges.append(mantissa * base)
+    return tuple(edges)
+
+
+_DEFAULT_EDGES = default_bin_edges()
+
+
+class Counter:
+    """Monotonic counter; ``merge`` adds."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+    def merge_dict(self, payload: Mapping) -> None:
+        self.value += float(payload.get("value", 0.0))
+
+    def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        base = float(before.get("value", 0.0)) if before else 0.0
+        delta = self.value - base
+        if delta == 0.0:
+            return None
+        return {"kind": "counter", "value": delta}
+
+
+class Gauge:
+    """Last-write-wins value; ``merge`` overwrites."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+    def merge_dict(self, payload: Mapping) -> None:
+        self.value = float(payload.get("value", 0.0))
+
+    def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        if before is not None and float(before.get("value", 0.0)) == self.value:
+            return None
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Log-binned histogram with shared, fixed edges.
+
+    ``counts[i]`` counts observations with ``edges[i-1] <= v < edges[i]``
+    (``counts[0]`` is the underflow bin, ``counts[-1]`` the overflow bin,
+    so ``len(counts) == len(edges) + 1``).
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, edges: Optional[Iterable[float]] = None) -> None:
+        self.edges: Tuple[float, ...] = (
+            tuple(edges) if edges is not None else _DEFAULT_EDGES
+        )
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+        }
+
+    def merge_dict(self, payload: Mapping) -> None:
+        counts = payload.get("counts") or []
+        if list(payload.get("edges") or []) != list(self.edges):
+            raise ValueError("histogram merge requires identical bin edges")
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.count += int(payload.get("count", 0))
+        self.total += float(payload.get("sum", 0.0))
+        other_min = payload.get("min")
+        other_max = payload.get("max")
+        if other_min is not None and other_min < self.min:
+            self.min = float(other_min)
+        if other_max is not None and other_max > self.max:
+            self.max = float(other_max)
+
+    def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        if before is None:
+            return self.as_dict() if self.count else None
+        delta_count = self.count - int(before.get("count", 0))
+        if delta_count == 0:
+            return None
+        prior = list(before.get("counts") or [0] * len(self.counts))
+        return {
+            "kind": "histogram",
+            "count": delta_count,
+            "sum": self.total - float(before.get("sum", 0.0)),
+            # min/max of the delta window are unknowable from snapshots;
+            # report the running extrema, which stay correct under merge.
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "edges": list(self.edges),
+            "counts": [c - int(p) for c, p in zip(self.counts, prior)],
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map with snapshot/diff/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(edges)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+            return metric
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+            return metric
+
+    def as_dict(self) -> Dict[str, dict]:
+        with self._lock:
+            return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
+
+    # ``snapshot`` is an alias that reads as intent at call sites.
+    snapshot = as_dict
+
+    def diff(self, before: Mapping[str, Mapping]) -> Dict[str, dict]:
+        """Delta of the registry relative to an earlier ``snapshot()``."""
+        delta: Dict[str, dict] = {}
+        with self._lock:
+            for name, metric in self._metrics.items():
+                d = metric.diff_dict(before.get(name))
+                if d is not None:
+                    delta[name] = d
+        return delta
+
+    def merge(self, payload: Mapping[str, Mapping]) -> None:
+        """Fold a serialized registry (or delta) into this one."""
+        for name, entry in payload.items():
+            kind = entry.get("kind")
+            cls = _KINDS.get(kind)
+            if cls is None:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            if cls is Histogram:
+                metric = self.histogram(name, entry.get("edges"))
+            else:
+                metric = self._get(name, cls)
+            metric.merge_dict(entry)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global registry (workers inherit/merge via deltas)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    _REGISTRY.clear()

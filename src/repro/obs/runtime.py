@@ -1,0 +1,182 @@
+"""Process-global observability runtime.
+
+Glue between the tracer/metrics primitives and the engine:
+
+* ``ObsWorkerConfig`` + ``init_worker`` — a picklable snapshot of the
+  parent's observability state, applied in pool initializers so spawned
+  workers trace/log like the parent (fork would inherit it; spawn needs
+  the explicit handoff).
+* ``telemetry_capture`` — context manager used by worker-side chunk
+  functions: snapshots the metrics registry and the span buffer on
+  entry, and exposes the *delta* as a picklable payload on exit.  The
+  parent folds it back in with ``absorb_telemetry``.
+* A bounded ledger of ``BatchReport`` dicts so a multi-batch command
+  (e.g. ``repro paper`` = four campaigns) can write one manifest
+  covering all of them.
+* ``configure_logging`` — attaches a handler to the ``"repro"`` logger
+  only; library code never touches the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from .metrics import metrics
+from .trace import records_from_dicts, tracer
+
+__all__ = [
+    "ObsWorkerConfig",
+    "absorb_telemetry",
+    "batch_reports",
+    "clear_batch_reports",
+    "configure_logging",
+    "init_worker",
+    "record_batch_report",
+    "reset_observability",
+    "telemetry_capture",
+    "worker_config",
+]
+
+log = logging.getLogger(__name__)
+
+
+# --------------------------------------------------------------------------
+# Worker handoff
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObsWorkerConfig:
+    """Picklable observability state shipped to pool workers."""
+
+    tracing: bool = False
+    log_level: Optional[int] = None
+
+
+def worker_config() -> ObsWorkerConfig:
+    """Snapshot the parent's state for pool initargs."""
+    return ObsWorkerConfig(
+        tracing=tracer().enabled,
+        log_level=_configured_level(),
+    )
+
+
+def init_worker(config: Optional[ObsWorkerConfig]) -> None:
+    """Apply a parent snapshot inside a freshly started pool worker."""
+    if config is None:
+        return
+    tracer().enabled = config.tracing
+    if config.log_level is not None:
+        configure_logging(config.log_level)
+
+
+class telemetry_capture:
+    """Bracket worker-side chunk execution; ``payload`` is the delta.
+
+    ``submitted_at`` (parent wall-clock at submit time) feeds the
+    ``pool.dispatch_latency_s`` histogram — the time a chunk sat in the
+    executor queue before a worker picked it up.
+    """
+
+    def __init__(self, submitted_at: Optional[float] = None) -> None:
+        self._submitted_at = submitted_at
+        self.payload: dict = {}
+
+    def __enter__(self) -> "telemetry_capture":
+        # Snapshot first: the latency observation must land *after* the
+        # baseline or it would be subtracted out of the shipped delta.
+        self._before = metrics().snapshot()
+        self._mark = tracer().mark()
+        if self._submitted_at is not None:
+            latency = time.time() - self._submitted_at
+            if latency >= 0.0:
+                metrics().histogram("pool.dispatch_latency_s").observe(latency)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.payload = {
+            "metrics": metrics().diff(self._before),
+            "spans": [r.as_dict() for r in tracer().since(self._mark)],
+        }
+        return False
+
+
+def absorb_telemetry(payload: Optional[dict]) -> None:
+    """Fold a worker's ``telemetry_capture.payload`` into this process."""
+    if not payload:
+        return
+    delta = payload.get("metrics")
+    if delta:
+        metrics().merge(delta)
+    spans = payload.get("spans")
+    if spans:
+        tracer().add_records(records_from_dicts(spans))
+
+
+# --------------------------------------------------------------------------
+# Batch-report ledger
+# --------------------------------------------------------------------------
+
+_REPORTS: Deque[dict] = deque(maxlen=256)
+
+
+def record_batch_report(report: dict) -> None:
+    _REPORTS.append(report)
+
+
+def batch_reports() -> List[dict]:
+    return list(_REPORTS)
+
+
+def clear_batch_reports() -> None:
+    _REPORTS.clear()
+
+
+# --------------------------------------------------------------------------
+# Logging
+# --------------------------------------------------------------------------
+
+_HANDLER: Optional[logging.Handler] = None
+
+
+def _configured_level() -> Optional[int]:
+    if _HANDLER is None:
+        return None
+    return logging.getLogger("repro").level or None
+
+
+def configure_logging(level) -> None:
+    """Attach/update a stream handler on the ``repro`` logger only.
+
+    Idempotent: repeated calls adjust the level of the one handler this
+    module owns.  The root logger is never touched, so embedding
+    applications keep full control of their own logging tree.
+    """
+    global _HANDLER
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = parsed
+    repro_logger = logging.getLogger("repro")
+    if _HANDLER is None:
+        _HANDLER = logging.StreamHandler()
+        _HANDLER.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s [pid=%(process)d] %(message)s"
+            )
+        )
+        repro_logger.addHandler(_HANDLER)
+    repro_logger.setLevel(level)
+    _HANDLER.setLevel(level)
+
+
+def reset_observability() -> None:
+    """Clear all recorded observability state (tests, fresh CLI runs)."""
+    tracer().clear()
+    metrics().clear()
+    clear_batch_reports()

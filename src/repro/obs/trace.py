@@ -1,0 +1,259 @@
+"""Zero-dependency span tracer with Chrome-trace and JSONL exporters.
+
+Usage::
+
+    from repro.obs import span, enable_tracing, write_chrome_trace
+
+    enable_tracing()
+    with span("solve_dag_batch", n=54, points=6):
+        ...
+    write_chrome_trace("trace.json")
+
+Design constraints, in order of importance:
+
+1. **Disabled cost must be unmeasurable.**  When tracing is off,
+   ``span()`` returns a shared no-op singleton — one attribute check,
+   no allocation besides the kwargs dict, no clock reads.
+2. **Cross-process coherence.**  Timestamps are wall-clock
+   (``time.time()``) so spans recorded in pool workers line up with
+   parent spans on a Perfetto timeline; durations come from
+   ``time.perf_counter()`` so they are monotonic and high-resolution.
+3. **Pool-friendly.**  Workers record into their own buffer and ship
+   only the records created during a chunk (``mark()`` / ``since()``),
+   which keeps fork-inherited parent records out of the payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "records_from_dicts",
+    "span",
+    "to_chrome_trace",
+    "tracer",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (a ``ph: "X"`` Chrome-trace complete event)."""
+
+    name: str
+    start_s: float  # wall clock, epoch seconds
+    duration_s: float  # perf_counter delta
+    pid: int
+    tid: int
+    depth: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        }
+
+
+def records_from_dicts(payload: Iterable[Mapping]) -> List[SpanRecord]:
+    return [
+        SpanRecord(
+            name=str(d["name"]),
+            start_s=float(d["start_s"]),
+            duration_s=float(d["duration_s"]),
+            pid=int(d["pid"]),
+            tid=int(d["tid"]),
+            depth=int(d.get("depth", 0)),
+            attrs=dict(d.get("attrs") or {}),
+        )
+        for d in payload
+    ]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_start_wall", "_start_perf", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        local = self._tracer._local
+        depth = getattr(local, "depth", 0)
+        local.depth = depth + 1
+        self._depth = depth
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start_perf
+        self._tracer._local.depth = self._depth
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._append(
+            SpanRecord(
+                name=self.name,
+                start_s=self._start_wall,
+                duration_s=duration,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=self._depth,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """In-memory span buffer; one per process, workers ship deltas."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def mark(self) -> int:
+        """Current buffer length; pair with :meth:`since`."""
+        with self._lock:
+            return len(self._records)
+
+    def since(self, mark: int) -> List[SpanRecord]:
+        """Records appended after ``mark`` (worker chunk telemetry)."""
+        with self._lock:
+            return list(self._records[mark:])
+
+    def add_records(self, records: Iterable[SpanRecord]) -> None:
+        with self._lock:
+            self._records.extend(records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable_tracing() -> None:
+    _TRACER.enabled = True
+
+
+def disable_tracing() -> None:
+    _TRACER.enabled = False
+
+
+def span(name: str, **attrs):
+    """Start a span on the global tracer (no-op singleton when disabled)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return _Span(_TRACER, name, attrs)
+
+
+# --------------------------------------------------------------------------
+# Exporters
+# --------------------------------------------------------------------------
+
+
+def to_chrome_trace(records: Optional[Iterable[SpanRecord]] = None) -> dict:
+    """Chrome trace event format (load in Perfetto / chrome://tracing).
+
+    Every span becomes a complete event (``ph: "X"``) with microsecond
+    wall-clock timestamps, so events from different processes share one
+    timeline.
+    """
+    if records is None:
+        records = _TRACER.records()
+    events = [
+        {
+            "name": r.name,
+            "ph": "X",
+            "ts": r.start_s * 1e6,
+            "dur": r.duration_s * 1e6,
+            "pid": r.pid,
+            "tid": r.tid,
+            "args": r.attrs,
+        }
+        for r in records
+    ]
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path, records: Optional[Iterable[SpanRecord]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(records), fh)
+        fh.write("\n")
+
+
+def write_jsonl(path, records: Optional[Iterable[SpanRecord]] = None) -> None:
+    """One JSON object per line — easy to grep / stream-process."""
+    if records is None:
+        records = _TRACER.records()
+    with open(path, "w", encoding="utf-8") as fh:
+        for r in records:
+            fh.write(json.dumps(r.as_dict()))
+            fh.write("\n")

@@ -1,5 +1,7 @@
 """CLI smoke tests (in-process, no subprocess overhead)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -167,3 +169,85 @@ class TestSweepCommand:
         assert series_lines(first) == series_lines(second)
         cache_files = list((tmp_path / "cache").glob("v*/*/*.json"))
         assert len(cache_files) == 5  # one per host-IDS quality level
+
+
+class TestObservabilityFlags:
+    SWEEP = ["sweep", "--axis", "detection_interval_s=15,60", "--n", "12"]
+
+    def test_traced_sweep_writes_valid_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics_out = tmp_path / "metrics.json"
+        out = tmp_path / "sweep.json"
+        code = main(self.SWEEP + [
+            "--trace", str(trace),
+            "--metrics-out", str(metrics_out),
+            "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert f"trace: {trace}" in stdout
+        assert f"manifest: {tmp_path / 'sweep.manifest.json'}" in stdout
+
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"batch.dedup", "batch.evaluate"} <= names
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+        merged = json.loads(metrics_out.read_text())
+        assert merged["engine.requests"]["value"] == 2
+        assert merged["engine.evaluated"]["value"] == 2
+
+        manifest = json.loads((tmp_path / "sweep.manifest.json").read_text())
+        assert manifest["schema_version"] == 1
+        assert manifest["backend"] == "serial"
+        assert len(manifest["params_digest"]) == 64
+        # The manifest report mirrors the artifact's own report counts.
+        artifact = json.loads(out.read_text())
+        (report,) = manifest["reports"]
+        assert report["n_requested"] == artifact["report"]["n_requested"]
+        assert report["n_evaluated"] == artifact["report"]["n_evaluated"]
+
+    def test_jsonl_trace_format(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.SWEEP + ["--trace", str(trace)]) == 0
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert lines and all("name" in l and "start_s" in l for l in lines)
+
+    def test_explicit_manifest_path(self, tmp_path):
+        manifest = tmp_path / "deep" / "run.manifest.json"
+        assert main(self.SWEEP + ["--manifest", str(manifest)]) == 0
+        payload = json.loads(manifest.read_text())
+        assert payload["command"] == "repro-experiments sweep"
+        assert payload["errors"] == []
+
+    def test_progress_line_on_stderr(self, capsys):
+        assert main(self.SWEEP + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "2/2 points" in err
+        assert "evaluated=2" in err
+        assert err.endswith("\n")
+
+    def test_verbose_prints_phase_timings(self, capsys, tmp_path):
+        code = main(self.SWEEP + [
+            "--cache-dir", str(tmp_path / "cache"), "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phases: dedup=" in out
+        assert "hit rate" in out
+
+    def test_run_manifest_lands_in_out_dir(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        code = main([
+            "run", "abl-hostids", "--jobs", "0",
+            "--out", str(out),
+            "--metrics-out", str(tmp_path / "metrics.json"),
+        ])
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["command"] == "repro-experiments run abl-hostids"
+        assert manifest["reports"], "batch ledger missing from manifest"
+
+    def test_bad_log_level_is_a_cli_error(self, capsys):
+        assert main(self.SWEEP + ["--log-level", "NOISY"]) == 2
+        assert "unknown log level" in capsys.readouterr().err
