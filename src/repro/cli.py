@@ -14,13 +14,18 @@ Subcommands:
   :mod:`repro.engine` cache and backends;
 * ``survivability --times T1,T2,… [--axis k=v1,v2 …]`` — time-bounded
   survivability curves ``S(t)`` over a parameter grid (batched
-  transient analysis; same engine cache and backends).
+  transient analysis; same engine cache and backends);
+* ``serve [--host H] [--port P] [--manifest-dir DIR]`` — run the sweep
+  service: an HTTP job server (:mod:`repro.service`) other processes
+  submit campaigns to with ``--jobs remote[:URL]`` (see
+  ``docs/service.md``).
 
 ``run``, ``paper``, ``sweep`` and ``survivability`` all accept
-``--jobs N|auto|thread[:N]|vector[:N]`` (evaluation workers; 0/1 =
-serial; ``vector`` = the structure-sharing batched solver;
-``vector:N`` = the vector+procs hybrid fanning batch chunks over ``N``
-pool workers), ``--cache-dir DIR`` (persistent content-addressed
+``--jobs N|auto|thread[:N]|vector[:N]|remote[:URL]`` (evaluation
+workers; 0/1 = serial; ``vector`` = the structure-sharing batched
+solver; ``vector:N`` = the vector+procs hybrid fanning batch chunks
+over ``N`` pool workers; ``remote`` = submit to a sweep service),
+``--cache-dir DIR`` (persistent content-addressed
 result cache, safe to share between concurrent processes),
 ``--cache-cap-mb MB`` (LRU disk eviction cap), ``--structure-cache
 DIR|off`` (cross-worker lattice-structure sharing: shared memory by
@@ -85,9 +90,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "evaluation workers: N (process pool), 'auto' (one per usable "
             "CPU), 'thread[:N]' (thread pool), 'vector' (structure-"
-            "sharing batched solver, solves whole sweeps at once), or "
+            "sharing batched solver, solves whole sweeps at once), "
             "'vector:N' (vector+procs hybrid: batched chunks fanned over "
-            "N pool workers); 0/1 = serial"
+            "N pool workers), or 'remote[:URL]' (submit to a sweep "
+            "service started with 'serve'; URL defaults to "
+            "$REPRO_SERVICE_URL); 0/1 = serial"
         ),
     )
     parser.add_argument(
@@ -440,6 +447,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_surv.add_argument("--out", default=None, help="JSON artifact path")
     _add_engine_flags(p_surv)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the sweep-service HTTP job server"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default 8765; 0 picks a free one)",
+    )
+    p_serve.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write a run manifest per finished campaign under DIR "
+            "(manifest-<job>.json)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=64,
+        metavar="K",
+        help="retain at most K jobs; oldest finished jobs evicted first",
+    )
+    _add_engine_flags(p_serve)
+
     p_eval = sub.add_parser("evaluate", help="evaluate one parameter point")
     p_eval.add_argument("--n", type=int, default=100, help="group size N")
     p_eval.add_argument("--m", type=int, default=5, help="vote participants")
@@ -743,6 +780,35 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep service until interrupted (SIGINT exits cleanly)."""
+    from .service import ServiceServer, SweepService
+
+    jobs = args.jobs
+    if isinstance(jobs, str) and jobs.strip().lower().startswith("remote"):
+        raise ParameterError(
+            "a server cannot evaluate through --jobs remote (that would "
+            "just forward to another server); pick a local backend"
+        )
+    runner = _build_runner(args) or BatchRunner()
+    service = SweepService(
+        runner, manifest_dir=args.manifest_dir, max_jobs=args.max_jobs
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    url = server.start_in_background()
+    print(f"sweep service listening on {url}")
+    print(f"backend: {runner.backend.describe()}")
+    print(runner.cache.describe())
+    try:
+        while not server.join(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     params = GCSParameters.paper_defaults(
         num_nodes=args.n,
@@ -790,6 +856,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return code
         if args.command == "evaluate":
             return _cmd_evaluate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "survivability":

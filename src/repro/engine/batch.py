@@ -41,7 +41,7 @@ from .executor import (
     StructureShareConfig,
     make_backend,
 )
-from .keys import scenario_fingerprint
+from .keys import params_from_dict, scenario_fingerprint
 
 log = logging.getLogger(__name__)
 
@@ -52,6 +52,11 @@ __all__ = [
     "BatchReport",
     "BatchResult",
     "BatchRunner",
+    "evaluate_auto",
+    "network_from_dict",
+    "network_to_dict",
+    "request_from_dict",
+    "request_to_dict",
     "make_runner",
     "run_tids_sweep",
 ]
@@ -74,6 +79,7 @@ class EvalRequest:
     include_variance: bool = False
 
     def fingerprint(self) -> str:
+        """Content-addressed cache key for this request."""
         return scenario_fingerprint(
             self.params,
             network=self.network,
@@ -121,6 +127,7 @@ class SurvivabilityRequest:
         object.__setattr__(self, "times_s", tuple(float(t) for t in self.times_s))
 
     def fingerprint(self) -> str:
+        """Content-addressed cache key (scenario + time grid + ``eps``)."""
         return scenario_fingerprint(
             self.params,
             network=self.network,
@@ -139,6 +146,146 @@ def evaluate_survivability_request(
         times=request.times_s,
         eps=request.eps,
     )
+
+
+def evaluate_auto(
+    request: "EvalRequest | SurvivabilityRequest",
+) -> CacheableResult:
+    """Evaluate either request kind by dispatching on its type.
+
+    The sweep service receives mixed-kind batches over the wire and
+    hands them all to one :meth:`BatchRunner.run` call, which takes a
+    single ``evaluate`` callable — this is that callable. Module-level
+    (and so picklable) like the kind-specific evaluators, and
+    recognised by :class:`~repro.engine.executor.VectorBackend` so
+    homogeneous batches still take the structure-sharing batched
+    solvers.
+    """
+    if isinstance(request, SurvivabilityRequest):
+        return evaluate_survivability_request(request)
+    return evaluate_request(request)
+
+
+# ---------------------------------------------------------------------------
+# Wire-format (de)serialisation — the service protocol's chunk specs
+# ---------------------------------------------------------------------------
+
+def network_to_dict(network: Optional[NetworkModel]) -> Optional[dict]:
+    """JSON-ready form of an explicit network model (``None`` passes through).
+
+    The inverse of :func:`network_from_dict`. Mirrors the fields of
+    :func:`repro.engine.keys.network_signature` — everything that
+    influences evaluation results crosses the wire.
+    """
+    if network is None:
+        return None
+    import dataclasses
+
+    return {
+        "params": dataclasses.asdict(network.params),
+        "avg_hops": network.avg_hops,
+        "partition_rate_hz": network.partition_rate_hz,
+        "merge_rate_hz": network.merge_rate_hz,
+        "measured": network.measured,
+    }
+
+
+def network_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[NetworkModel]:
+    """Rebuild an explicit :class:`NetworkModel` from its wire form."""
+    if data is None:
+        return None
+    from ..params import NetworkParameters
+
+    try:
+        return NetworkModel(
+            params=NetworkParameters(**data["params"]),
+            avg_hops=float(data["avg_hops"]),
+            partition_rate_hz=float(data["partition_rate_hz"]),
+            merge_rate_hz=float(data["merge_rate_hz"]),
+            measured=bool(data.get("measured", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ParameterError(f"malformed network record: {exc}") from exc
+
+
+def _canonical_network(
+    params: GCSParameters, network: Optional[NetworkModel]
+) -> Optional[NetworkModel]:
+    """Collapse an explicit network equal to the params-resolved one.
+
+    Same canonicalisation the fingerprint applies: a
+    :class:`~repro.core.scenario.Scenario`'s shared analytic model *is*
+    what the parameters resolve to, so it serialises as ``None`` and the
+    receiving side re-resolves it — bit-identical, and the wire format
+    stays small.
+    """
+    if network is not None and network == resolve_network(params, None):
+        return None
+    return network
+
+
+def request_to_dict(request: "EvalRequest | SurvivabilityRequest") -> dict:
+    """JSON-ready form of an engine request (the service wire format).
+
+    Dispatches on the request type via a ``"kind"`` field
+    (``"eval"`` / ``"survivability"``), exactly like cached results
+    dispatch in :func:`repro.engine.cache.result_from_dict`. The
+    inverse is :func:`request_from_dict`; the round-trip preserves the
+    fingerprint (asserted by the protocol tests).
+    """
+    if isinstance(request, SurvivabilityRequest):
+        return {
+            "kind": "survivability",
+            "params": request.params.to_dict(),
+            "network": network_to_dict(
+                _canonical_network(request.params, request.network)
+            ),
+            "times_s": list(request.times_s),
+            "eps": request.eps,
+        }
+    return {
+        "kind": "eval",
+        "params": request.params.to_dict(),
+        "network": network_to_dict(
+            _canonical_network(request.params, request.network)
+        ),
+        "method": request.method,
+        "include_breakdown": request.include_breakdown,
+        "include_variance": request.include_variance,
+    }
+
+
+def request_from_dict(
+    data: Mapping[str, Any],
+) -> "EvalRequest | SurvivabilityRequest":
+    """Rebuild an engine request from its :func:`request_to_dict` form.
+
+    Raises :class:`~repro.errors.ParameterError` on any malformed
+    payload — the service maps that onto a 400 response instead of a
+    traceback.
+    """
+    try:
+        kind = data.get("kind", "eval")
+        if kind == "survivability":
+            return SurvivabilityRequest(
+                params=params_from_dict(data["params"]),
+                times_s=tuple(float(t) for t in data["times_s"]),
+                network=network_from_dict(data.get("network")),
+                eps=float(data.get("eps", 1e-12)),
+            )
+        if kind != "eval":
+            raise ParameterError(f"unknown request kind {kind!r}")
+        return EvalRequest(
+            params=params_from_dict(data["params"]),
+            network=network_from_dict(data.get("network")),
+            method=str(data.get("method", "fast")),
+            include_breakdown=bool(data.get("include_breakdown", False)),
+            include_variance=bool(data.get("include_variance", False)),
+        )
+    except ParameterError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ParameterError(f"malformed request record: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -163,6 +310,7 @@ class PointError:
         )
 
     def as_dict(self) -> dict:
+        """JSON-ready record for manifests and service payloads."""
         return {
             "index": self.index,
             "params": self.request.params.describe(),
@@ -189,6 +337,7 @@ class BatchReport:
 
     @property
     def n_errors(self) -> int:
+        """Number of points that failed."""
         return len(self.errors)
 
     @property
@@ -211,6 +360,7 @@ class BatchReport:
         return 1.0 - attempted / self.n_requested
 
     def raise_on_error(self) -> None:
+        """Raise :class:`ExperimentError` summarising failures, if any."""
         if self.errors:
             detail = "; ".join(str(e) for e in self.errors[:3])
             more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
@@ -220,6 +370,7 @@ class BatchReport:
             )
 
     def describe(self) -> str:
+        """One-line human summary of the batch run."""
         return (
             f"batch[{self.backend}]: {self.n_requested} requested, "
             f"{self.n_unique} unique, {self.n_cache_hits} cached "
@@ -228,6 +379,7 @@ class BatchReport:
         )
 
     def describe_phases(self) -> str:
+        """One-line per-phase wall-time breakdown."""
         parts = " ".join(
             f"{name}={self.phase_seconds.get(name, 0.0):.3f}s"
             for name in ("dedup", "cache_lookup", "evaluate", "store")
@@ -414,6 +566,7 @@ class BatchRunner:
         return result
 
     def describe(self) -> str:
+        """One-line summary of the backend and cache configuration."""
         return f"BatchRunner({self.backend.describe()}; {self.cache.describe()})"
 
 

@@ -140,10 +140,12 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Total hits across the memory and disk layers."""
         return self.memory_hits + self.disk_hits
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -152,6 +154,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict[str, int | float]:
+        """JSON-ready counter snapshot (manifests, ``/health``)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -456,6 +459,7 @@ class ResultCache:
         return removed
 
     def describe(self) -> str:
+        """One-line human summary: location, record count, hit rates."""
         where = str(self.cache_dir) if self.cache_dir else "memory-only"
         s = self.stats
         line = (

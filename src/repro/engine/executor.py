@@ -28,8 +28,15 @@ backends are observationally equivalent: same inputs, same outcomes,
 same ordering (asserted by the test suite; the vector backend is
 additionally *bit-identical* to the others on model batches).
 
+A fifth backend lives in :mod:`repro.service`:
+:class:`~repro.service.client.RemoteBackend` (``--jobs remote[:URL]``)
+submits engine batches to a sweep-service job server over HTTP and
+streams the outcomes back — same contract, same ordering, evaluation
+on another process or host.
+
 :func:`make_backend` maps the CLI's ``--jobs`` grammar (``N``,
-``auto``, ``thread[:N]``, ``vector[:N]``) onto a backend;
+``auto``, ``thread[:N]``, ``vector[:N]``, ``remote[:URL]``) onto a
+backend;
 :func:`available_cpus` is the ``auto`` worker count (cgroup/affinity
 aware where the platform exposes it).
 """
@@ -94,10 +101,12 @@ class StructureShareConfig:
 
     @property
     def enabled(self) -> bool:
+        """True when any sharing channel (shm or npz dir) is on."""
         return self.use_shm or self.npz_dir is not None
 
     @classmethod
     def disabled(cls) -> "StructureShareConfig":
+        """Config with every channel off: workers rebuild skeletons."""
         return cls(use_shm=False, npz_dir=None)
 
 
@@ -216,6 +225,7 @@ class PointOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when the point evaluated without error."""
         return self.error is None
 
 
@@ -286,6 +296,7 @@ class ExecutionBackend(Protocol):
         ...  # pragma: no cover
 
     def describe(self) -> str:
+        """Short human-readable backend description."""
         ...  # pragma: no cover
 
 
@@ -316,6 +327,7 @@ class SerialBackend:
         *,
         on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
+        """Evaluate items one by one in the calling thread."""
         _warm_structures_from_disk(self.structure_share, items)
         outcomes = []
         for i, item in enumerate(items):
@@ -325,6 +337,7 @@ class SerialBackend:
         return outcomes
 
     def describe(self) -> str:
+        """Short backend description (``serial``)."""
         return "serial"
 
 
@@ -372,6 +385,7 @@ class ProcessPoolBackend:
         *,
         on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
+        """Fan chunks of items over a process pool; input order preserved."""
         indexed = list(enumerate(items))
         if not indexed:
             return []
@@ -411,6 +425,7 @@ class ProcessPoolBackend:
         return outcomes  # type: ignore[return-value]
 
     def describe(self) -> str:
+        """Short backend description with worker count."""
         return f"process-pool(workers={self.max_workers})"
 
 
@@ -445,6 +460,7 @@ class ThreadPoolBackend:
         *,
         on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
+        """Evaluate items on a thread pool; input order preserved."""
         indexed = list(enumerate(items))
         if not indexed:
             return []
@@ -469,6 +485,7 @@ class ThreadPoolBackend:
                 return outcomes
 
     def describe(self) -> str:
+        """Short backend description with worker count."""
         return f"thread-pool(workers={self.max_workers})"
 
 
@@ -604,18 +621,27 @@ class VectorBackend:
     def _batch_kind(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> Optional[str]:
+        """Classify a canonical engine batch; ``None`` means fall back.
+
+        ``evaluate_auto`` (the sweep service's type-dispatching
+        evaluator) is recognised too, as long as the batch is
+        homogeneous — a mixed eval/survivability batch falls back to
+        the inner backend, which stays correct (``evaluate_auto``
+        dispatches per item) at per-point speed.
+        """
         from .batch import (
             EvalRequest,
             SurvivabilityRequest,
+            evaluate_auto,
             evaluate_request,
             evaluate_survivability_request,
         )
 
-        if fn is evaluate_request and all(
+        if fn in (evaluate_request, evaluate_auto) and all(
             isinstance(item, EvalRequest) for item in items
         ):
             return "model"
-        if fn is evaluate_survivability_request and all(
+        if fn in (evaluate_survivability_request, evaluate_auto) and all(
             isinstance(item, SurvivabilityRequest) for item in items
         ):
             return "survivability"
@@ -648,6 +674,9 @@ class VectorBackend:
         *,
         on_outcome: Optional[OutcomeFn] = None,
     ) -> list[PointOutcome]:
+        """Evaluate a batch, routing homogeneous engine requests to the
+        batched solvers and everything else to the per-point fallback.
+        """
         if not items:
             return []
         kind = self._batch_kind(fn, items)
@@ -741,6 +770,7 @@ class VectorBackend:
         return outcomes  # type: ignore[return-value]
 
     def describe(self) -> str:
+        """Short backend description (``vector`` or ``vector+procs``)."""
         if self.chunk_workers:
             return f"vector+procs(workers={self.chunk_workers})"
         return "vector"
@@ -773,7 +803,11 @@ def make_backend(
       solver; no worker processes needed);
     * ``"vector:N"`` / ``"vector:auto"`` — the vector+procs hybrid:
       batched solving *and* ``N`` (or one-per-CPU) pool workers, each
-      solving independent chunks of the batch.
+      solving independent chunks of the batch;
+    * ``"remote"`` / ``"remote:URL"`` — submit engine batches to a
+      sweep-service job server (:mod:`repro.service`) instead of
+      evaluating locally; the bare form reads the URL from
+      ``$REPRO_SERVICE_URL`` (default ``http://127.0.0.1:8765``).
 
     ``structure_share`` configures how backends hand
     :class:`~repro.core.fastpath.LatticeStructure` to their workers
@@ -787,6 +821,18 @@ def make_backend(
         spec = jobs.strip().lower()
         if spec == "serial":
             return SerialBackend(structure_share=structure_share)
+        if spec == "remote" or spec.startswith("remote:"):
+            # Import lazily: the engine must not depend on the service
+            # tier unless a remote backend is actually requested.
+            from ..service.client import DEFAULT_SERVICE_URL, RemoteBackend
+
+            # The URL keeps the caller's case (paths are case-sensitive).
+            url = jobs.strip()[len("remote:"):] if spec != "remote" else ""
+            if not url:
+                url = os.environ.get("REPRO_SERVICE_URL", DEFAULT_SERVICE_URL)
+            return RemoteBackend(
+                url, fallback=SerialBackend(structure_share=structure_share)
+            )
         if spec == "vector" or spec.startswith("vector:"):
             _, colon, count = spec.partition(":")
             if not colon:
@@ -835,8 +881,8 @@ def make_backend(
             jobs = int(spec)
         except ValueError:
             raise ParameterError(
-                "jobs must be N, 'auto', 'serial', 'vector[:N]' or "
-                f"'thread[:N]', got {jobs!r}"
+                "jobs must be N, 'auto', 'serial', 'vector[:N]', "
+                f"'thread[:N]' or 'remote[:URL]', got {jobs!r}"
             ) from None
     if jobs is not None and jobs < 0:
         raise ParameterError(f"jobs must be >= 0, got {jobs}")

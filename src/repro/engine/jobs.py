@@ -80,6 +80,7 @@ class SweepJob:
 
     # ------------------------------------------------------------------
     def assignments(self) -> list[dict[str, Any]]:
+        """Every axis combination in row-major grid order."""
         names = list(self.axes)
         return [
             dict(zip(names, combo))
@@ -87,6 +88,7 @@ class SweepJob:
         ]
 
     def requests(self) -> list[tuple[dict[str, Any], EvalRequest]]:
+        """One ``(assignment, EvalRequest)`` pair per grid point."""
         base_params = GCSParameters.paper_defaults(**self.base)
         return [
             (
@@ -106,6 +108,7 @@ class SweepJob:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready spec (inverse of :meth:`from_dict`)."""
         return {
             "name": self.name,
             "axes": {k: list(v) for k, v in self.axes.items()},
@@ -115,6 +118,9 @@ class SweepJob:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepJob":
+        """Rebuild a job from :meth:`to_dict` output (raises
+        :class:`ParameterError` when malformed).
+        """
         try:
             return cls(
                 name=data["name"],
@@ -134,6 +140,7 @@ class JobOutcome:
     points: tuple[tuple[Mapping[str, Any], Optional[GCSResult]], ...]
 
     def values(self, attr: str = "mttsf_s") -> list[Optional[float]]:
+        """One result attribute per grid point (``None`` where failed)."""
         return [
             getattr(result, attr) if result is not None else None
             for _, result in self.points
@@ -141,6 +148,7 @@ class JobOutcome:
 
     @property
     def n_failed(self) -> int:
+        """Number of failed grid points."""
         return sum(1 for _, result in self.points if result is None)
 
 
@@ -193,15 +201,20 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready spec (inverse of :meth:`from_dict`)."""
         return {"name": self.name, "jobs": [job.to_dict() for job in self.jobs]}
 
     def to_json(self, path: "str | Path") -> Path:
+        """Write the campaign spec to ``path`` as indented JSON."""
         path = Path(path)
         path.write_text(json.dumps(self.to_dict(), indent=2))
         return path
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Campaign":
+        """Rebuild a campaign from :meth:`to_dict` output (raises
+        :class:`ParameterError` when malformed).
+        """
         try:
             return cls(
                 name=data["name"],
@@ -221,6 +234,9 @@ class CampaignOutcome:
     errors: tuple[PointError, ...]
 
     def outcome(self, job_name: str) -> JobOutcome:
+        """The named job's outcome (raises :class:`ParameterError`
+        for unknown names).
+        """
         for job_outcome in self.outcomes:
             if job_outcome.job.name == job_name:
                 return job_outcome
@@ -265,6 +281,7 @@ class SurvivabilitySweep:
 
     # ------------------------------------------------------------------
     def assignments(self) -> list[dict[str, Any]]:
+        """Every axis combination in row-major grid order."""
         names = list(self.axes)
         return [
             dict(zip(names, combo))
@@ -272,6 +289,7 @@ class SurvivabilitySweep:
         ]
 
     def requests(self) -> list[tuple[dict[str, Any], SurvivabilityRequest]]:
+        """One ``(assignment, SurvivabilityRequest)`` pair per grid point."""
         base_params = GCSParameters.paper_defaults(**self.base)
         return [
             (
@@ -319,6 +337,7 @@ class SurvivabilitySweep:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready spec (inverse of :meth:`from_dict`)."""
         return {
             "kind": "survivability",
             "name": self.name,
@@ -330,6 +349,9 @@ class SurvivabilitySweep:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SurvivabilitySweep":
+        """Rebuild a sweep from :meth:`to_dict` output (raises
+        :class:`ParameterError` when malformed).
+        """
         try:
             return cls(
                 name=data["name"],
@@ -353,6 +375,7 @@ class SurvivabilityOutcome:
 
     @property
     def n_failed(self) -> int:
+        """Number of failed grid points."""
         return sum(1 for _, result in self.points if result is None)
 
     def curves(self) -> list[Optional[tuple[float, ...]]]:

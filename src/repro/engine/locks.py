@@ -103,9 +103,11 @@ class FileLock:
 
     @property
     def held(self) -> bool:
+        """True while this process holds the lock (reentrant depth > 0)."""
         return self._depth > 0
 
     def acquire(self) -> "FileLock":
+        """Take (or re-enter) the lock, blocking until it is available."""
         if self._depth == 0:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
@@ -119,6 +121,7 @@ class FileLock:
         return self
 
     def release(self) -> None:
+        """Drop one reentrant level; the OS lock is freed at depth zero."""
         if self._depth == 0:
             raise RuntimeError(f"release of unheld lock {self.path}")
         self._depth -= 1

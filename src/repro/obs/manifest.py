@@ -112,6 +112,7 @@ class RunManifest:
         return self
 
     def to_dict(self) -> dict:
+        """JSON-ready manifest payload."""
         return {
             "schema_version": self.schema_version,
             "command": self.command,
@@ -128,6 +129,7 @@ class RunManifest:
         }
 
     def write(self, path) -> None:
+        """Finalize and write the manifest to ``path`` as indented JSON."""
         self.finalize()
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2, sort_keys=False)

@@ -65,15 +65,19 @@ class Counter:
         self.value = value
 
     def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (default 1)."""
         self.value += amount
 
     def as_dict(self) -> dict:
+        """Serialized form for snapshots and cross-process merge."""
         return {"kind": "counter", "value": self.value}
 
     def merge_dict(self, payload: Mapping) -> None:
+        """Fold another counter's serialized value into this one."""
         self.value += float(payload.get("value", 0.0))
 
     def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        """Serialized delta vs an earlier snapshot (``None`` if unchanged)."""
         base = float(before.get("value", 0.0)) if before else 0.0
         delta = self.value - base
         if delta == 0.0:
@@ -91,15 +95,19 @@ class Gauge:
         self.value = value
 
     def set(self, value: float) -> None:
+        """Overwrite the current value."""
         self.value = value
 
     def as_dict(self) -> dict:
+        """Serialized form for snapshots and cross-process merge."""
         return {"kind": "gauge", "value": self.value}
 
     def merge_dict(self, payload: Mapping) -> None:
+        """Adopt another gauge's serialized value (last write wins)."""
         self.value = float(payload.get("value", 0.0))
 
     def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        """Serialized value vs an earlier snapshot (``None`` if unchanged)."""
         if before is not None and float(before.get("value", 0.0)) == self.value:
             return None
         return {"kind": "gauge", "value": self.value}
@@ -127,6 +135,7 @@ class Histogram:
         self.max = -math.inf
 
     def observe(self, value: float) -> None:
+        """Record one sample."""
         self.counts[bisect_right(self.edges, value)] += 1
         self.count += 1
         self.total += value
@@ -137,9 +146,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observed samples (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
+        """Serialized form for snapshots and cross-process merge."""
         return {
             "kind": "histogram",
             "count": self.count,
@@ -151,6 +162,7 @@ class Histogram:
         }
 
     def merge_dict(self, payload: Mapping) -> None:
+        """Fold a histogram with identical bin edges into this one."""
         counts = payload.get("counts") or []
         if list(payload.get("edges") or []) != list(self.edges):
             raise ValueError("histogram merge requires identical bin edges")
@@ -166,6 +178,7 @@ class Histogram:
             self.max = float(other_max)
 
     def diff_dict(self, before: Optional[Mapping]) -> Optional[dict]:
+        """Serialized delta vs an earlier snapshot (``None`` if unchanged)."""
         if before is None:
             return self.as_dict() if self.count else None
         delta_count = self.count - int(before.get("count", 0))
@@ -196,14 +209,17 @@ class MetricsRegistry:
         self._metrics: Dict[str, object] = {}
 
     def counter(self, name: str) -> Counter:
+        """Get or create the named :class:`Counter`."""
         return self._get(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the named :class:`Gauge`."""
         return self._get(name, Gauge)
 
     def histogram(
         self, name: str, edges: Optional[Iterable[float]] = None
     ) -> Histogram:
+        """Get or create the named :class:`Histogram`."""
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -224,6 +240,7 @@ class MetricsRegistry:
             return metric
 
     def as_dict(self) -> Dict[str, dict]:
+        """Serialized snapshot of every instrument, sorted by name."""
         with self._lock:
             return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
 
@@ -254,6 +271,7 @@ class MetricsRegistry:
             metric.merge_dict(entry)
 
     def clear(self) -> None:
+        """Drop every instrument (test isolation)."""
         with self._lock:
             self._metrics.clear()
 
@@ -267,4 +285,5 @@ def metrics() -> MetricsRegistry:
 
 
 def reset_metrics() -> None:
+    """Clear the process-global registry (test isolation)."""
     _REGISTRY.clear()

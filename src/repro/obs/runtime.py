@@ -125,14 +125,17 @@ _REPORTS: Deque[dict] = deque(maxlen=256)
 
 
 def record_batch_report(report: dict) -> None:
+    """Append a batch report to the bounded in-process ledger."""
     _REPORTS.append(report)
 
 
 def batch_reports() -> List[dict]:
+    """Snapshot of the recorded batch reports, oldest first."""
     return list(_REPORTS)
 
 
 def clear_batch_reports() -> None:
+    """Empty the batch-report ledger (test isolation)."""
     _REPORTS.clear()
 
 

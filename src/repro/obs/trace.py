@@ -61,6 +61,7 @@ class SpanRecord:
     attrs: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
+        """JSON-ready record (inverse of :func:`records_from_dicts`)."""
         return {
             "name": self.name,
             "start_s": self.start_s,
@@ -73,6 +74,7 @@ class SpanRecord:
 
 
 def records_from_dicts(payload: Iterable[Mapping]) -> List[SpanRecord]:
+    """Rebuild :class:`SpanRecord` objects from their dict form."""
     return [
         SpanRecord(
             name=str(d["name"]),
@@ -99,6 +101,7 @@ class _NullSpan:
         return False
 
     def set(self, **attrs) -> None:
+        """No-op attribute setter (tracing disabled)."""
         pass
 
 
@@ -114,6 +117,7 @@ class _Span:
         self.attrs = attrs
 
     def set(self, **attrs) -> None:
+        """Attach attributes to the span before it closes."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_Span":
@@ -154,6 +158,7 @@ class Tracer:
         self._local = threading.local()
 
     def span(self, name: str, **attrs):
+        """Context manager measuring one span (no-op when disabled)."""
         if not self.enabled:
             return NULL_SPAN
         return _Span(self, name, attrs)
@@ -163,6 +168,7 @@ class Tracer:
             self._records.append(record)
 
     def records(self) -> List[SpanRecord]:
+        """Copy of every buffered span record."""
         with self._lock:
             return list(self._records)
 
@@ -177,10 +183,12 @@ class Tracer:
             return list(self._records[mark:])
 
     def add_records(self, records: Iterable[SpanRecord]) -> None:
+        """Append records shipped from another process."""
         with self._lock:
             self._records.extend(records)
 
     def clear(self) -> None:
+        """Empty the span buffer."""
         with self._lock:
             self._records.clear()
 
@@ -189,18 +197,22 @@ _TRACER = Tracer()
 
 
 def tracer() -> Tracer:
+    """The process-global tracer."""
     return _TRACER
 
 
 def tracing_enabled() -> bool:
+    """Whether the global tracer is recording."""
     return _TRACER.enabled
 
 
 def enable_tracing() -> None:
+    """Start recording spans on the global tracer."""
     _TRACER.enabled = True
 
 
 def disable_tracing() -> None:
+    """Stop recording spans on the global tracer."""
     _TRACER.enabled = False
 
 
@@ -244,6 +256,7 @@ def to_chrome_trace(records: Optional[Iterable[SpanRecord]] = None) -> dict:
 def write_chrome_trace(
     path, records: Optional[Iterable[SpanRecord]] = None
 ) -> None:
+    """Write records as a Chrome/Perfetto ``traceEvents`` JSON file."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(to_chrome_trace(records), fh)
         fh.write("\n")

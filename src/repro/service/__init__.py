@@ -1,0 +1,71 @@
+"""repro.service — the sweep-service tier: an HTTP job server + client.
+
+Makes the engine *serve* traffic instead of only running CLI sweeps.
+Three modules, all stdlib-only (``asyncio`` + ``urllib``; no web
+framework):
+
+``repro.service.protocol``
+    The versioned JSON wire format: submit / poll / fetch payload
+    dataclasses, request and outcome (de)serialisation, and the
+    content-addressed job-id scheme.  Malformed payloads raise
+    :class:`~repro.service.protocol.ProtocolError`, which the server
+    maps onto 4xx responses.
+``repro.service.server``
+    :class:`~repro.service.server.SweepService` (job table + worker
+    thread around one shared :class:`~repro.engine.batch.BatchRunner`)
+    and :class:`~repro.service.server.ServiceServer` (the
+    asyncio HTTP front end; ``serve_forever()`` for the CLI,
+    ``start_in_background()`` for in-process tests).
+``repro.service.client``
+    :class:`~repro.service.client.ServiceClient` (thin HTTP wrapper)
+    and :class:`~repro.service.client.RemoteBackend` — the
+    ``--jobs remote[:URL]`` execution backend that submits engine
+    batches to a server and streams :class:`~repro.engine.PointOutcome`
+    records back.
+
+The service composes with — never reimplements — the engine: every
+submitted campaign runs through the server's content-addressed
+:class:`~repro.engine.cache.ResultCache` (concurrent clients hit the
+cache first; only misses fan out over the server's evaluation
+backend), progress and ``/health`` are rendered from the merged
+:mod:`repro.obs` metrics registry, and each campaign writes a
+:class:`~repro.obs.RunManifest`.  See ``docs/service.md`` for the
+operator guide.
+"""
+
+from .client import (
+    DEFAULT_SERVICE_URL,
+    RemoteBackend,
+    ServiceClient,
+    ServiceError,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    FetchResponse,
+    JobStatus,
+    ProtocolError,
+    SubmitRequest,
+    SubmitResponse,
+    job_id_for,
+    outcome_entry_to_dict,
+    result_to_dict,
+)
+from .server import ServiceServer, SweepService
+
+__all__ = [
+    "DEFAULT_SERVICE_URL",
+    "PROTOCOL_VERSION",
+    "FetchResponse",
+    "JobStatus",
+    "ProtocolError",
+    "RemoteBackend",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SubmitRequest",
+    "SubmitResponse",
+    "SweepService",
+    "job_id_for",
+    "outcome_entry_to_dict",
+    "result_to_dict",
+]

@@ -1,0 +1,295 @@
+"""Sweep-service HTTP client and the ``--jobs remote[:URL]`` backend.
+
+:class:`ServiceClient` is a thin stdlib (``urllib``) wrapper over the
+five endpoints — submit / poll / fetch / jobs / health — returning the
+:mod:`repro.service.protocol` dataclasses.  Transport and server-side
+failures surface as :class:`ServiceError` (a
+:class:`~repro.errors.ReproError`) carrying the server's JSON error
+message, never a raw traceback.
+
+:class:`RemoteBackend` plugs that client into the engine's
+:class:`~repro.engine.executor.ExecutionBackend` seam: the client-side
+:class:`~repro.engine.batch.BatchRunner` still does its own dedup and
+local cache lookup, and only the *misses* are submitted as a campaign.
+Outcomes stream back in completion order (driving ``--progress``
+exactly like a local pool would), results rebuild through the same
+``to_dict``/``result_from_dict`` round-trip the disk cache uses — which
+is why remote results are byte-identical to local ones — and the job's
+telemetry payload (metric deltas + spans, including the server's own
+pool workers) is absorbed into the local registry on completion, the
+same way a process-pool parent absorbs a worker's.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Optional, Sequence
+
+from ..engine.batch import (
+    EvalRequest,
+    SurvivabilityRequest,
+    evaluate_auto,
+    evaluate_request,
+    evaluate_survivability_request,
+)
+from ..engine.cache import result_from_dict
+from ..engine.executor import PointOutcome, SerialBackend
+from ..errors import ReproError
+from ..obs import absorb_telemetry
+from .protocol import (
+    FetchResponse,
+    JobStatus,
+    ProtocolError,
+    SubmitRequest,
+    SubmitResponse,
+)
+
+__all__ = [
+    "DEFAULT_SERVICE_URL",
+    "RemoteBackend",
+    "ServiceClient",
+    "ServiceError",
+]
+
+log = logging.getLogger(__name__)
+
+#: Where ``--jobs remote`` points when no URL is given (overridable via
+#: ``REPRO_SERVICE_URL``; see :func:`repro.engine.executor.make_backend`).
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+#: Evaluation callables the remote backend knows how to dispatch — the
+#: server always re-dispatches by request type (``evaluate_auto``), so
+#: only batches using the engine's own evaluators may go remote.
+_REMOTE_SAFE_EVALUATORS = (
+    evaluate_request,
+    evaluate_survivability_request,
+    evaluate_auto,
+)
+
+
+class ServiceError(ReproError):
+    """Transport failure or an error response from the sweep service."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous HTTP client for one sweep-service base URL."""
+
+    def __init__(
+        self,
+        url: str = DEFAULT_SERVICE_URL,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoint wrappers
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        requests: "Sequence[EvalRequest | SurvivabilityRequest]",
+        *,
+        name: str = "campaign",
+    ) -> SubmitResponse:
+        """Submit a campaign (idempotent: same requests → same job)."""
+        body = SubmitRequest(requests=tuple(requests), name=name).to_dict()
+        return SubmitResponse.from_dict(
+            self._post("/api/v1/campaigns", body)
+        )
+
+    def poll(self, job_id: str) -> JobStatus:
+        """One job's progress, counts, and (when done) its report."""
+        return JobStatus.from_dict(self._get(f"/api/v1/jobs/{job_id}"))
+
+    def fetch(self, job_id: str, offset: int = 0) -> FetchResponse:
+        """Outcome records from ``offset`` on, in completion order."""
+        return FetchResponse.from_dict(
+            self._get(f"/api/v1/jobs/{job_id}/results?offset={int(offset)}")
+        )
+
+    def jobs(self) -> list[JobStatus]:
+        """All jobs the server currently remembers."""
+        payload = self._get("/api/v1/jobs")
+        return [JobStatus.from_dict(item) for item in payload.get("jobs", [])]
+
+    def health(self) -> dict:
+        """The server's ``/health`` payload (merged obs metrics et al.)."""
+        return self._get("/health")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _get(self, path: str) -> dict:
+        return self._request(urllib.request.Request(self.url + path))
+
+    def _post(self, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            self.url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._request(request)
+
+    def _request(self, request: urllib.request.Request) -> dict:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                pass
+            message = detail or f"HTTP {exc.code}"
+            raise ServiceError(
+                f"service at {self.url} rejected request: {message}",
+                status=exc.code,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.url}: {exc}"
+            ) from exc
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"service at {self.url} returned non-JSON payload"
+            ) from exc
+
+
+class RemoteBackend:
+    """Execution backend that ships batches to a sweep service.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the service (``http://host:port``).
+    fallback:
+        Local backend used for work the wire format cannot carry —
+        batches whose items are not engine requests, or whose evaluator
+        is not one of the engine's own (the server always dispatches by
+        request type).  Defaults to a fresh
+        :class:`~repro.engine.executor.SerialBackend`.
+    poll_interval:
+        Sleep between fetches while the stream has no new entries.
+    name:
+        Campaign name attached to submissions (shows up in the
+        server's job list and manifest filenames).
+    """
+
+    def __init__(
+        self,
+        url: str = DEFAULT_SERVICE_URL,
+        *,
+        fallback: Optional[Any] = None,
+        client: Optional[ServiceClient] = None,
+        poll_interval: float = 0.05,
+        name: str = "remote-batch",
+    ) -> None:
+        self.client = client if client is not None else ServiceClient(url)
+        self.fallback = fallback if fallback is not None else SerialBackend()
+        self.poll_interval = poll_interval
+        self.name = name
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+    ) -> list[PointOutcome]:
+        """Submit ``items`` as a campaign and stream outcomes back.
+
+        Outcomes are delivered to ``on_outcome`` in the server's
+        completion order and returned in input order, exactly matching
+        the local backends' contract.
+        """
+        if not items:
+            return []
+        if not self._dispatchable(fn, items):
+            log.debug(
+                "remote backend: batch not wire-serializable, "
+                "running on fallback %s", self.fallback.describe(),
+            )
+            return self.fallback.run(fn, items, on_outcome=on_outcome)
+
+        submitted = self.client.submit(tuple(items), name=self.name)
+        job_id = submitted.job_id
+        log.debug(
+            "remote batch %s: %d points (resubmitted=%s)",
+            job_id[:12], len(items), submitted.resubmitted,
+        )
+
+        outcomes: list[Optional[PointOutcome]] = [None] * len(items)
+        offset = 0
+        while True:
+            fetched = self.client.fetch(job_id, offset)
+            for entry in fetched.entries:
+                outcome = self._outcome_from_entry(entry)
+                outcomes[outcome.index] = outcome
+                if on_outcome is not None:
+                    on_outcome(outcome)
+            offset = fetched.next_offset
+            if fetched.complete:
+                absorb_telemetry(fetched.telemetry)
+                break
+            if fetched.state == "failed":
+                status = self.client.poll(job_id)
+                raise ServiceError(
+                    f"remote job {job_id[:12]} failed server-side: "
+                    f"{status.detail or 'unknown error'}"
+                )
+            if not fetched.entries:
+                time.sleep(self.poll_interval)
+
+        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise ServiceError(
+                f"remote job {job_id[:12]} completed but left "
+                f"{len(missing)} points unaccounted for"
+            )
+        return outcomes  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        """Backend label recorded in batch reports and manifests."""
+        return f"remote:{self.client.url}"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dispatchable(fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
+        return fn in _REMOTE_SAFE_EVALUATORS and all(
+            isinstance(item, (EvalRequest, SurvivabilityRequest))
+            for item in items
+        )
+
+    @staticmethod
+    def _outcome_from_entry(entry: dict) -> PointOutcome:
+        try:
+            index = int(entry["index"])
+            source = entry["source"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed outcome entry: {entry!r}") from exc
+        if source == "error":
+            error = entry.get("error") or {}
+            return PointOutcome(
+                index=index,
+                error=error.get("error", "remote point failed"),
+                error_type=error.get("error_type", "PointError"),
+                traceback=error.get("traceback"),
+            )
+        record = entry.get("result")
+        if record is None:
+            raise ProtocolError(
+                f"outcome entry {index} has source {source!r} but no result"
+            )
+        return PointOutcome(index=index, value=result_from_dict(record))

@@ -1,0 +1,326 @@
+"""The sweep-service wire format: versioned JSON payload dataclasses.
+
+Everything that crosses the HTTP boundary is defined here, in plain
+dataclasses with ``to_dict``/``from_dict`` pairs, so the protocol can be
+tested without a socket and the server/client can never drift apart on
+field names.  The format is deliberately dumb JSON — no pickling, no
+framing — because the payloads are already JSON-shaped: engine requests
+serialise through :func:`repro.engine.batch.request_to_dict` (the same
+parameter dictionaries the content-addressed cache keys hash) and
+results through their ``to_dict()`` records (the same form the cache
+persists).
+
+Job identity is **content-addressed**: :func:`job_id_for` digests the
+batch's request fingerprints, so submitting the same campaign twice —
+from one client or many — names the same job.  Submission is therefore
+idempotent, concurrent clients share one evaluation, and a client can
+recover a finished campaign from a *restarted* server by simply
+resubmitting: the fresh job re-runs against the shared result cache and
+completes with 100% hits.
+
+Malformed payloads raise :class:`ProtocolError` (a
+:class:`~repro.errors.ReproError`), which the server maps onto a 400
+response — a bad request must never produce a traceback page.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from ..engine.batch import (
+    EvalRequest,
+    SurvivabilityRequest,
+    request_from_dict,
+    request_to_dict,
+)
+from ..errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SubmitRequest",
+    "SubmitResponse",
+    "JobStatus",
+    "FetchResponse",
+    "job_id_for",
+    "result_to_dict",
+    "outcome_entry_to_dict",
+]
+
+#: Version of the HTTP wire format.  Carried in every response (and
+#: checked on submit payloads that declare one) so mixed-version fleets
+#: fail loudly instead of misparsing each other.
+PROTOCOL_VERSION = 1
+
+#: Maximum request-body size the server accepts (16 MiB — a full
+#: N=100 paper campaign serialises to well under 1 MiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A malformed or unserviceable wire payload (maps onto HTTP 4xx)."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def job_id_for(requests: Sequence["EvalRequest | SurvivabilityRequest"]) -> str:
+    """Content-addressed job id: SHA-256 over the sorted fingerprints.
+
+    The same scheme as :func:`repro.obs.manifest.params_digest` — order
+    independent, so two clients enumerating the same grid in different
+    orders still share one job.
+    """
+    digest = hashlib.sha256()
+    for fingerprint in sorted(request.fingerprint() for request in requests):
+        digest.update(fingerprint.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def result_to_dict(result: Any) -> dict:
+    """A cacheable result's wire form (its own ``to_dict`` record)."""
+    return result.to_dict()
+
+
+def outcome_entry_to_dict(
+    index: int,
+    source: str,
+    *,
+    result: Optional[dict] = None,
+    error: Optional[dict] = None,
+) -> dict:
+    """One streamed outcome entry of a fetch response.
+
+    ``index`` is the position in the *submitted* request list;
+    ``source`` is ``"cache"`` / ``"evaluated"`` / ``"error"`` exactly as
+    the engine's progress callback reports it.
+    """
+    entry: dict[str, Any] = {"index": index, "source": source}
+    if result is not None:
+        entry["result"] = result
+    if error is not None:
+        entry["error"] = error
+    return entry
+
+
+def _require(data: Mapping[str, Any], key: str) -> Any:
+    try:
+        return data[key]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"payload missing required field {key!r}") from exc
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Body of ``POST /api/v1/campaigns``: a named list of requests."""
+
+    requests: tuple
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.requests:
+            raise ProtocolError("campaign has no requests")
+        for request in self.requests:
+            if not isinstance(request, (EvalRequest, SurvivabilityRequest)):
+                raise ProtocolError(
+                    f"unsupported request type {type(request).__name__!r}"
+                )
+
+    @property
+    def job_id(self) -> str:
+        """The content-addressed id this submission resolves to."""
+        return job_id_for(self.requests)
+
+    def to_dict(self) -> dict:
+        """JSON-ready submit body."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "name": self.name,
+            "requests": [request_to_dict(r) for r in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitRequest":
+        """Parse and validate a submit body (:class:`ProtocolError` on junk)."""
+        if not isinstance(data, Mapping):
+            raise ProtocolError("submit body must be a JSON object")
+        declared = data.get("protocol_version", PROTOCOL_VERSION)
+        if declared != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client sent {declared!r}, "
+                f"server speaks {PROTOCOL_VERSION}"
+            )
+        raw = _require(data, "requests")
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ProtocolError("'requests' must be a list")
+        try:
+            requests = tuple(request_from_dict(r) for r in raw)
+        except ReproError as exc:
+            raise ProtocolError(f"bad request record: {exc}") from exc
+        name = data.get("name", "campaign")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("'name' must be a non-empty string")
+        return cls(requests=requests, name=name)
+
+
+@dataclass(frozen=True)
+class SubmitResponse:
+    """Body of a successful submit: where to poll, and what was reused.
+
+    ``resubmitted`` is true when the content-addressed job already
+    existed (another client — or an earlier run of this one — submitted
+    the identical campaign), in which case the server did not enqueue
+    anything new.
+    """
+
+    job_id: str
+    total: int
+    state: str
+    resubmitted: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready submit response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "total": self.total,
+            "state": self.state,
+            "resubmitted": self.resubmitted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitResponse":
+        """Parse a submit response."""
+        return cls(
+            job_id=str(_require(data, "job_id")),
+            total=int(_require(data, "total")),
+            state=str(_require(data, "state")),
+            resubmitted=bool(data.get("resubmitted", False)),
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Body of ``GET /api/v1/jobs/<id>``: progress and provenance.
+
+    The progress counters (``done``/``cache_hits``/``evaluated``/
+    ``errors``) stream from the engine's per-outcome progress hook
+    while the job runs; ``report`` is the full
+    :meth:`~repro.engine.batch.BatchReport.as_dict` record once the job
+    finished, and ``metrics_delta`` is the slice of the server's merged
+    metrics registry (engine/cache/solver counters, pool-worker deltas
+    folded in) recorded since the job started.
+    """
+
+    job_id: str
+    name: str
+    state: str
+    total: int
+    done: int = 0
+    cache_hits: int = 0
+    evaluated: int = 0
+    errors: int = 0
+    created_at: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    resubmitted: bool = False
+    report: Optional[dict] = None
+    metrics_delta: dict = field(default_factory=dict)
+    manifest_path: Optional[str] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready poll response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "name": self.name,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "cache_hits": self.cache_hits,
+            "evaluated": self.evaluated,
+            "errors": self.errors,
+            "created_at": self.created_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "resubmitted": self.resubmitted,
+            "report": self.report,
+            "metrics_delta": self.metrics_delta,
+            "manifest_path": self.manifest_path,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobStatus":
+        """Parse a poll response."""
+        return cls(
+            job_id=str(_require(data, "job_id")),
+            name=str(data.get("name", "campaign")),
+            state=str(_require(data, "state")),
+            total=int(_require(data, "total")),
+            done=int(data.get("done", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            evaluated=int(data.get("evaluated", 0)),
+            errors=int(data.get("errors", 0)),
+            created_at=data.get("created_at"),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            resubmitted=bool(data.get("resubmitted", False)),
+            report=data.get("report"),
+            metrics_delta=dict(data.get("metrics_delta") or {}),
+            manifest_path=data.get("manifest_path"),
+            detail=data.get("detail"),
+        )
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Body of ``GET /api/v1/jobs/<id>/results?offset=K``.
+
+    ``entries`` are outcome records in **completion order** starting at
+    ``offset`` (see :func:`outcome_entry_to_dict`); ``next_offset`` is
+    what the client passes to resume the stream.  ``complete`` flips
+    once the job finished *and* this response reaches the end of the
+    stream; only then is ``telemetry`` attached — the
+    :func:`repro.obs.telemetry_capture` payload (metric deltas + spans,
+    pool-worker contributions already folded in) recorded around the
+    job's batch, which the client absorbs into its own registry exactly
+    like a pool parent absorbs a worker's.
+    """
+
+    job_id: str
+    state: str
+    entries: tuple = ()
+    next_offset: int = 0
+    complete: bool = False
+    telemetry: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready fetch response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "state": self.state,
+            "entries": list(self.entries),
+            "next_offset": self.next_offset,
+            "complete": self.complete,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FetchResponse":
+        """Parse a fetch response."""
+        entries = data.get("entries", [])
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+            raise ProtocolError("'entries' must be a list")
+        return cls(
+            job_id=str(_require(data, "job_id")),
+            state=str(_require(data, "state")),
+            entries=tuple(entries),
+            next_offset=int(data.get("next_offset", 0)),
+            complete=bool(data.get("complete", False)),
+            telemetry=data.get("telemetry"),
+        )

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Documentation gate: docstring audit + markdown link/mermaid checks.
+
+Three checks, run by the CI ``docs`` job (and runnable anywhere —
+stdlib only, no ruff or network required):
+
+``docstrings``
+    AST audit of ``src/repro/{engine,obs,service}`` mirroring the ruff
+    pydocstyle rules enabled in pyproject (D100 module, D101 public
+    class, D102 public method, D103 public function, D104 package):
+    every module and every public class/function/method must carry a
+    docstring. Nested functions, underscore-prefixed names and dunders
+    are exempt, matching the ruff configuration.
+``links``
+    Every relative markdown link in README.md, ROADMAP.md and
+    ``docs/*.md`` must point at an existing file, and same-file
+    ``#anchors`` must match a heading in the target document.
+    ``http(s)`` links are not fetched (CI must not depend on the
+    network) — only their syntax is accepted.
+``mermaid``
+    Every ```` ```mermaid ```` block must open with a known diagram
+    type and have balanced brackets/quotes — the failure modes that
+    silently render as an error box on GitHub.
+
+Exit status is non-zero when any check fails; failures are printed one
+per line as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Packages whose public surface must be documented (keep in sync with
+#: the per-file-ignores in pyproject.toml).
+DOCUMENTED_PACKAGES = ("src/repro/engine", "src/repro/obs", "src/repro/service")
+
+#: Markdown documents whose links and mermaid blocks are checked.
+MARKDOWN_DOCS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs")
+
+MERMAID_TYPES = (
+    "flowchart",
+    "graph",
+    "sequenceDiagram",
+    "classDiagram",
+    "stateDiagram",
+    "erDiagram",
+    "gantt",
+    "pie",
+    "mindmap",
+    "timeline",
+)
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _iter_py_files() -> "list[Path]":
+    files: list[Path] = []
+    for package in DOCUMENTED_PACKAGES:
+        files.extend(sorted((REPO / package).rglob("*.py")))
+    return files
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def check_docstrings() -> "list[str]":
+    """Missing-docstring findings for the documented packages."""
+    findings: list[str] = []
+    for path in _iter_py_files():
+        rel = path.relative_to(REPO)
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not _has_docstring(tree):
+            rule = "D104 package" if path.name == "__init__.py" else "D100 module"
+            findings.append(f"{rel}:1: {rule} docstring missing")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                if _is_public(node.name) and not _has_docstring(node):
+                    findings.append(
+                        f"{rel}:{node.lineno}: D101 class "
+                        f"{node.name!r} has no docstring"
+                    )
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(child.name):
+                        if not _has_docstring(child):
+                            findings.append(
+                                f"{rel}:{child.lineno}: D102 method "
+                                f"{node.name}.{child.name!r} has no docstring"
+                            )
+        for node in tree.body:  # module level only: nested defs exempt
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name) and not _has_docstring(node):
+                    findings.append(
+                        f"{rel}:{node.lineno}: D103 function "
+                        f"{node.name!r} has no docstring"
+                    )
+    return findings
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_\[\]()!]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _iter_markdown() -> "list[Path]":
+    files: list[Path] = []
+    for entry in MARKDOWN_DOCS:
+        path = REPO / entry
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_links() -> "list[str]":
+    """Broken relative links / unknown anchors across the doc set."""
+    findings: list[str] = []
+    for path in _iter_markdown():
+        rel = path.relative_to(REPO)
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            line = text.count("\n", 0, match.start()) + 1
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            dest = (path.parent / base).resolve() if base else path
+            if not dest.exists():
+                findings.append(f"{rel}:{line}: broken link -> {target}")
+                continue
+            if anchor and dest.suffix == ".md":
+                headings = {
+                    _slugify(h) for h in _HEADING_RE.findall(
+                        dest.read_text(encoding="utf-8")
+                    )
+                }
+                if _slugify(anchor) not in headings:
+                    findings.append(
+                        f"{rel}:{line}: unknown anchor -> {target}"
+                    )
+    return findings
+
+
+def _balanced(block: str) -> "str | None":
+    """Cheap structural validation: bracket/quote balance."""
+    # Strip quoted strings first (brackets inside labels are fine).
+    stripped = re.sub(r'"[^"]*"', '""', block)
+    if stripped.count('"') % 2:
+        return "unbalanced double quotes"
+    pairs = {"]": "[", ")": "(", "}": "{"}
+    stack: list[str] = []
+    for ch in stripped:
+        if ch in "[({":
+            stack.append(ch)
+        elif ch in "])}":
+            if not stack or stack.pop() != pairs[ch]:
+                return f"unbalanced {ch!r}"
+    if stack:
+        return f"unclosed {stack[-1]!r}"
+    return None
+
+
+def check_mermaid() -> "list[str]":
+    """Structural validation of every mermaid block in the doc set."""
+    findings: list[str] = []
+    fence = re.compile(r"```mermaid\n(.*?)```", re.DOTALL)
+    for path in _iter_markdown():
+        rel = path.relative_to(REPO)
+        text = path.read_text(encoding="utf-8")
+        for match in fence.finditer(text):
+            block = match.group(1)
+            line = text.count("\n", 0, match.start()) + 1
+            body = [
+                ln for ln in block.splitlines()
+                if ln.strip() and not ln.strip().startswith("%%")
+            ]
+            if not body:
+                findings.append(f"{rel}:{line}: empty mermaid block")
+                continue
+            first = body[0].strip()
+            if not first.startswith(MERMAID_TYPES):
+                findings.append(
+                    f"{rel}:{line}: mermaid block does not open with a "
+                    f"known diagram type (got {first.split()[0]!r})"
+                )
+            problem = _balanced(block)
+            if problem:
+                findings.append(f"{rel}:{line}: mermaid block {problem}")
+    return findings
+
+
+def main() -> int:
+    """Run all checks; print findings; non-zero exit on any failure."""
+    checks = (
+        ("docstrings", check_docstrings),
+        ("links", check_links),
+        ("mermaid", check_mermaid),
+    )
+    failed = False
+    for name, check in checks:
+        findings = check()
+        if findings:
+            failed = True
+            print(f"-- {name}: {len(findings)} finding(s)")
+            for finding in findings:
+                print(finding)
+        else:
+            print(f"-- {name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
