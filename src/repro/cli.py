@@ -18,7 +18,12 @@ Subcommands:
 * ``serve [--host H] [--port P] [--manifest-dir DIR]`` — run the sweep
   service: an HTTP job server (:mod:`repro.service`) other processes
   submit campaigns to with ``--jobs remote[:URL]`` (see
-  ``docs/service.md``).
+  ``docs/service.md``); ``--lease-ttl``/``--heartbeat-interval``/
+  ``--chunk-size``/``--max-chunk-attempts`` tune its worker pool;
+* ``work --server URL`` — run a pool worker against a sweep service:
+  register, lease chunks of submitted campaigns, evaluate them on a
+  local backend (``--jobs``), and report outcomes back; any number of
+  workers may join, and the server survives them dying mid-chunk.
 
 ``run``, ``paper``, ``sweep`` and ``survivability`` all accept
 ``--jobs N|auto|thread[:N]|vector[:N]|remote[:URL]`` (evaluation
@@ -47,6 +52,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 from pathlib import Path
 from typing import Any, Optional, Sequence
@@ -475,7 +482,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="retain at most K jobs; oldest finished jobs evicted first",
     )
+    p_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help=(
+            "seconds a worker may hold a chunk without heartbeating "
+            "before it is reassigned (default 5)"
+        ),
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="cadence workers are asked to heartbeat at (default 1)",
+    )
+    p_serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "points per leased chunk (default: auto, ~4 chunks per "
+            "live worker)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-chunk-attempts",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "attempts before a repeatedly-failing chunk is declared "
+            "poison and surfaced as a point error (default 3)"
+        ),
+    )
     _add_engine_flags(p_serve)
+
+    p_work = sub.add_parser(
+        "work", help="run a worker pulling chunks from a sweep service"
+    )
+    p_work.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help=(
+            "sweep-service base URL (default $REPRO_SERVICE_URL, then "
+            "http://127.0.0.1:8765)"
+        ),
+    )
+    p_work.add_argument(
+        "--name",
+        default=None,
+        help="worker label in the server's roster (default <host>:<pid>)",
+    )
+    p_work.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="K",
+        help="exit cleanly after K chunks (default: run until interrupted)",
+    )
+    p_work.add_argument(
+        "--jobs",
+        type=_jobs_spec,
+        default=None,
+        metavar="N",
+        help=(
+            "local backend leased chunks are evaluated on (same grammar "
+            "as the engine commands, except 'remote'); default serial"
+        ),
+    )
+    p_work.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable stdlib logging on the 'repro' logger at LEVEL",
+    )
 
     p_eval = sub.add_parser("evaluate", help="evaluate one parameter point")
     p_eval.add_argument("--n", type=int, default=100, help="group size N")
@@ -780,9 +865,27 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_stop_signals() -> None:
+    """Make SIGINT/SIGTERM raise KeyboardInterrupt, even when backgrounded.
+
+    Non-interactive shells start background jobs (``cmd &``) with SIGINT
+    set to ignore, so a ``kill -INT`` from a supervising script — the CI
+    jobs do exactly that — would never reach the clean-shutdown path.
+    Long-running commands (serve, work) opt back in and treat SIGTERM
+    the same way, so plain ``kill`` also deregisters/stops gracefully.
+    """
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, signal.default_int_handler)
+        except (ValueError, OSError):  # pragma: no cover — non-main thread
+            pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the sweep service until interrupted (SIGINT exits cleanly)."""
-    from .service import ServiceServer, SweepService
+    from .service import PoolConfig, ServiceServer, SweepService
+
+    _arm_stop_signals()
 
     jobs = args.jobs
     if isinstance(jobs, str) and jobs.strip().lower().startswith("remote"):
@@ -792,7 +895,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     runner = _build_runner(args) or BatchRunner()
     service = SweepService(
-        runner, manifest_dir=args.manifest_dir, max_jobs=args.max_jobs
+        runner,
+        manifest_dir=args.manifest_dir,
+        max_jobs=args.max_jobs,
+        pool_config=PoolConfig(
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_interval_s=args.heartbeat_interval,
+            chunk_size=args.chunk_size,
+            max_attempts=args.max_chunk_attempts,
+        ),
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     url = server.start_in_background()
@@ -806,6 +917,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    """Run one pool worker against a sweep service until stopped."""
+    from .engine.executor import make_backend
+    from .service import DEFAULT_SERVICE_URL, ServiceError, ServiceWorker
+    from .service.chaos import ChaosConfig
+
+    _arm_stop_signals()
+    if args.log_level:
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            raise ParameterError(str(exc)) from None
+    jobs = args.jobs
+    if isinstance(jobs, str) and jobs.strip().lower().startswith("remote"):
+        raise ParameterError(
+            "a worker cannot evaluate through --jobs remote (it IS the "
+            "remote end); pick a local backend"
+        )
+    backend = make_backend(jobs) if jobs is not None else None
+    url = (
+        args.server
+        or os.environ.get("REPRO_SERVICE_URL", "").strip()
+        or DEFAULT_SERVICE_URL
+    )
+    worker = ServiceWorker(
+        url,
+        backend=backend,
+        name=args.name,
+        chaos=ChaosConfig.from_env(),
+        max_chunks=args.max_chunks,
+    )
+    print(
+        f"worker {worker.name} pulling from {url} "
+        f"(backend {worker.backend.describe()})"
+    )
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        done = worker.chunks_completed
+        if worker.worker_id is not None:
+            try:
+                worker.client.deregister_worker(worker.worker_id)
+            except ServiceError:
+                pass
+        print("\nshutting down")
+    print(f"worker exiting after {done} chunks")
     return 0
 
 
@@ -858,6 +1019,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_evaluate(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "work":
+            return _cmd_work(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "survivability":

@@ -80,7 +80,7 @@ from .jobs import (
     paper_campaign,
 )
 from .keys import SCHEMA_VERSION, params_from_dict, scenario_fingerprint
-from .locks import FileLock
+from .locks import FileLock, LockTimeoutError
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -90,6 +90,7 @@ __all__ = [
     "ResultCache",
     "result_from_dict",
     "FileLock",
+    "LockTimeoutError",
     "ExecutionBackend",
     "OutcomeFn",
     "ProgressFn",

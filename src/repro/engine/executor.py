@@ -50,7 +50,7 @@ import pickle
 import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional, Protocol, Sequence, Union
 
 from ..errors import ParameterError
@@ -79,6 +79,7 @@ __all__ = [
     "StructureShareConfig",
     "available_cpus",
     "make_backend",
+    "run_chunk",
 ]
 
 
@@ -247,6 +248,39 @@ def _evaluate_one(fn: Callable[[Any], Any], index: int, item: Any) -> PointOutco
         )
 
 
+def run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: Sequence[tuple[int, Any]],
+    submitted_at: Optional[float] = None,
+    *,
+    backend: Optional["ExecutionBackend"] = None,
+) -> tuple[list[PointOutcome], dict]:
+    """Evaluate one ``(index, item)`` chunk under telemetry capture.
+
+    This is the chunk protocol every fan-out tier shares: process-pool
+    workers run it via the pickled :func:`_run_chunk` wrapper, and
+    service workers (:mod:`repro.service.worker`) call it directly on
+    leased chunks — same span, same telemetry-delta payload, so the
+    parent/server absorbs either origin identically.
+
+    ``backend=None`` evaluates serially in the calling thread; passing
+    a backend fans the chunk's items across it, with outcomes remapped
+    to the chunk's own indices.
+    """
+    with telemetry_capture(submitted_at) as capture:
+        with span("chunk.evaluate", points=len(chunk)):
+            if backend is None:
+                outcomes = [_evaluate_one(fn, index, item) for index, item in chunk]
+            else:
+                indices = [index for index, _ in chunk]
+                raw = backend.run(fn, [item for _, item in chunk])
+                outcomes = [
+                    replace(outcome, index=indices[local])
+                    for local, outcome in enumerate(raw)
+                ]
+    return outcomes, capture.payload
+
+
 def _run_chunk(
     fn: Callable[[Any], Any],
     chunk: Sequence[tuple[int, Any]],
@@ -258,10 +292,7 @@ def _run_chunk(
     and any spans recorded while the chunk ran — for the parent to
     absorb (see :mod:`repro.obs.runtime`).
     """
-    with telemetry_capture(submitted_at) as capture:
-        with span("chunk.evaluate", points=len(chunk)):
-            outcomes = [_evaluate_one(fn, index, item) for index, item in chunk]
-    return outcomes, capture.payload
+    return run_chunk(fn, chunk, submitted_at)
 
 
 def _run_solve_chunk(

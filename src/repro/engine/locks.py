@@ -20,6 +20,18 @@ exotic platforms with neither primitive it degrades to a no-op and says
 so via :attr:`FileLock.advisory`; single-process use stays correct
 because every write is still atomic.
 
+Acquisition is **time-bounded**: on filesystems where a crashed (or
+wedged) holder's lock lingers — NFS lockd hiccups, a process stuck in
+the kernel — a blocking ``flock`` would hang every other writer
+forever.  Instead the lock polls non-blockingly until ``timeout``
+(default 120 s, overridable via ``REPRO_LOCK_TIMEOUT_S`` or per
+instance; ``math.inf`` restores block-forever) and then raises
+:class:`LockTimeoutError` carrying *who* holds it: the holder's pid
+(written into the lockfile on every acquisition), whether that pid is
+still alive, and the lock's age.  Timeouts also bump the
+``lock.wait_timeout`` counter so a fleet-wide stuck lock shows up in
+``/health`` metrics, not just in one worker's traceback.
+
 Advisory means *cooperating* writers: processes that mutate the cache
 through :class:`~repro.engine.cache.ResultCache` exclude each other,
 while readers never block (they rely on atomic replace, not the lock).
@@ -27,18 +39,41 @@ while readers never block (they rely on atomic replace, not the lock).
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from pathlib import Path
 from types import TracebackType
 from typing import Optional
 
-__all__ = ["FileLock"]
+from ..errors import ReproError
+
+__all__ = ["FileLock", "LockTimeoutError"]
+
+#: Default acquisition timeout (seconds) when neither the constructor
+#: nor ``REPRO_LOCK_TIMEOUT_S`` says otherwise.  Generous — cache
+#: eviction holds the lock for milliseconds — but finite, so a dead
+#: holder surfaces as a diagnosable error instead of a hang.
+DEFAULT_TIMEOUT_S = 120.0
+
+#: Poll cadence while waiting: start fast (uncontended locks clear in
+#: one tick), back off to this ceiling.
+_MAX_POLL_S = 0.2
+
+
+class LockTimeoutError(ReproError):
+    """Could not acquire a :class:`FileLock` within its timeout."""
+
 
 try:  # POSIX
     import fcntl
 
-    def _acquire(fd: int) -> None:
-        fcntl.flock(fd, fcntl.LOCK_EX)
+    def _try_acquire(fd: int) -> bool:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except OSError:
+            return False
 
     def _release(fd: int) -> None:
         fcntl.flock(fd, fcntl.LOCK_UN)
@@ -48,18 +83,15 @@ except ImportError:  # pragma: no cover — Windows
     try:
         import msvcrt
 
-        def _acquire(fd: int) -> None:
-            # Lock one byte at offset 0. LK_LOCK is not truly blocking:
-            # it retries once per second for ~10 attempts and then
-            # raises OSError, so loop until the lock is actually held
-            # to match the fcntl path's block-until-available contract.
+        def _try_acquire(fd: int) -> bool:
+            # Lock one byte at offset 0; LK_NBLCK fails immediately
+            # when another process holds it.
             os.lseek(fd, 0, os.SEEK_SET)
-            while True:
-                try:
-                    msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
-                    return
-                except OSError:
-                    continue
+            try:
+                msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+                return True
+            except OSError:
+                return False
 
         def _release(fd: int) -> None:
             os.lseek(fd, 0, os.SEEK_SET)
@@ -68,13 +100,36 @@ except ImportError:  # pragma: no cover — Windows
         _HAVE_LOCKS = True
     except ImportError:  # pragma: no cover — neither primitive
 
-        def _acquire(fd: int) -> None:
-            pass
+        def _try_acquire(fd: int) -> bool:
+            return True
 
         def _release(fd: int) -> None:
             pass
 
         _HAVE_LOCKS = False
+
+
+def _default_timeout() -> float:
+    raw = os.environ.get("REPRO_LOCK_TIMEOUT_S", "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_TIMEOUT_S
+
+
+def _pid_alive(pid: int) -> Optional[bool]:
+    """Best-effort liveness of ``pid`` (None when undeterminable)."""
+    if pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists but not ours / platform quirk
+        return None
 
 
 class FileLock:
@@ -83,16 +138,22 @@ class FileLock:
     ``with FileLock(path):`` blocks until the calling process holds the
     exclusive advisory lock on ``path`` (created on demand, never
     deleted — deleting a lockfile while another process holds its fd
-    would split future lockers onto a fresh inode and void exclusion).
+    would split future lockers onto a fresh inode and void exclusion),
+    or raises :class:`LockTimeoutError` with holder diagnostics after
+    ``timeout`` seconds.
 
     Re-entrancy is per *instance*, which matches the cache's usage (one
     lock object per :class:`~repro.engine.cache.ResultCache`); the OS
     lock itself is per process, so nested instances in one process
-    would deadlock on ``flock`` platforms and must share the instance.
+    would deadlock-until-timeout on ``flock`` platforms and must share
+    the instance.
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(
+        self, path: "str | Path", *, timeout: Optional[float] = None
+    ) -> None:
         self.path = Path(path)
+        self.timeout = _default_timeout() if timeout is None else float(timeout)
         self._fd: Optional[int] = None
         self._depth = 0
 
@@ -107,16 +168,17 @@ class FileLock:
         return self._depth > 0
 
     def acquire(self) -> "FileLock":
-        """Take (or re-enter) the lock, blocking until it is available."""
+        """Take (or re-enter) the lock; :class:`LockTimeoutError` on timeout."""
         if self._depth == 0:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
             try:
-                _acquire(self._fd)
-            except OSError:
-                os.close(self._fd)
-                self._fd = None
+                self._wait_for_lock(fd)
+            except BaseException:
+                os.close(fd)
                 raise
+            self._fd = fd
+            self._write_holder(fd)
         self._depth += 1
         return self
 
@@ -131,6 +193,71 @@ class FileLock:
             finally:
                 os.close(self._fd)
                 self._fd = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wait_for_lock(self, fd: int) -> None:
+        if _try_acquire(fd):
+            return
+        deadline = (
+            math.inf
+            if math.isinf(self.timeout)
+            else time.monotonic() + max(0.0, self.timeout)
+        )
+        delay = 0.02
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                self._timed_out()
+            time.sleep(min(delay, _MAX_POLL_S, max(deadline - now, 0.001)))
+            delay = min(delay * 1.5, _MAX_POLL_S)
+            if _try_acquire(fd):
+                return
+
+    def _timed_out(self) -> None:
+        # Metrics import is deferred: locks is imported early in the
+        # engine package and must not pull obs in at module import.
+        from ..obs import metrics
+
+        metrics().counter("lock.wait_timeout").add()
+        raise LockTimeoutError(
+            f"could not acquire lock {self.path} within "
+            f"{self.timeout:g}s ({self._holder_diagnostics()}); "
+            f"if the holder is dead, remove the lockfile or raise "
+            f"REPRO_LOCK_TIMEOUT_S"
+        )
+
+    def _holder_diagnostics(self) -> str:
+        """Who holds the lock, per the pid stamped into the lockfile."""
+        pid: Optional[int] = None
+        try:
+            head = self.path.read_text(encoding="ascii", errors="replace")
+            first = head.split()[0] if head.split() else ""
+            pid = int(first) if first.isdigit() else None
+        except (OSError, ValueError):
+            pid = None
+        try:
+            age = time.time() - self.path.stat().st_mtime
+            age_text = f"lock age {age:.0f}s"
+        except OSError:
+            age_text = "lock age unknown"
+        if pid is None:
+            return f"holder pid unknown, {age_text}"
+        alive = _pid_alive(pid)
+        liveness = {True: "alive", False: "DEAD", None: "liveness unknown"}[alive]
+        return f"holder pid {pid} ({liveness}), {age_text}"
+
+    @staticmethod
+    def _write_holder(fd: int) -> None:
+        """Stamp pid + wallclock into the lockfile (diagnostics only)."""
+        try:
+            stamp = f"{os.getpid()} {time.strftime('%Y-%m-%dT%H:%M:%S%z')}\n"
+            os.ftruncate(fd, 0)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.write(fd, stamp.encode("ascii"))
+        except OSError:  # pragma: no cover — diagnostics are best-effort
+            pass
 
     def __enter__(self) -> "FileLock":
         return self.acquire()

@@ -1,12 +1,13 @@
-"""repro.service — the sweep-service tier: an HTTP job server + client.
+"""repro.service — the sweep-service tier: HTTP job server, client, pool.
 
 Makes the engine *serve* traffic instead of only running CLI sweeps.
-Three modules, all stdlib-only (``asyncio`` + ``urllib``; no web
+Six modules, all stdlib-only (``asyncio`` + ``urllib``; no web
 framework):
 
 ``repro.service.protocol``
     The versioned JSON wire format: submit / poll / fetch payload
-    dataclasses, request and outcome (de)serialisation, and the
+    dataclasses, the worker registration / lease / heartbeat / report
+    payloads, request and outcome (de)serialisation, and the
     content-addressed job-id scheme.  Malformed payloads raise
     :class:`~repro.service.protocol.ProtocolError`, which the server
     maps onto 4xx responses.
@@ -17,54 +18,91 @@ framework):
     asyncio HTTP front end; ``serve_forever()`` for the CLI,
     ``start_in_background()`` for in-process tests).
 ``repro.service.client``
-    :class:`~repro.service.client.ServiceClient` (thin HTTP wrapper)
-    and :class:`~repro.service.client.RemoteBackend` — the
+    :class:`~repro.service.client.ServiceClient` (retrying HTTP
+    wrapper) and :class:`~repro.service.client.RemoteBackend` — the
     ``--jobs remote[:URL]`` execution backend that submits engine
     batches to a server and streams :class:`~repro.engine.PointOutcome`
-    records back.
+    records back, surviving transient failures and server restarts.
+``repro.service.pool``
+    The fault-tolerant multi-host fan-out:
+    :class:`~repro.service.pool.WorkerPool` (time-bounded leases,
+    heartbeat liveness, capped retries with backoff, poison-chunk
+    detection, worker quarantine, local fallback) and
+    :class:`~repro.service.pool.DistributedBackend`, the execution
+    backend every service wraps its local backend in.
+``repro.service.worker``
+    :class:`~repro.service.worker.ServiceWorker` — the pull-side peer
+    behind ``repro-experiments work --server URL``: register, lease,
+    heartbeat, evaluate via the engine's shared chunk protocol,
+    report.
+``repro.service.chaos``
+    Deterministic fault injection
+    (:class:`~repro.service.chaos.ChaosConfig`): kill a worker
+    mid-chunk, delay heartbeats, drop reports, corrupt chunks by
+    seed — the hooks the robustness tests and the CI chaos job drive.
 
 The service composes with — never reimplements — the engine: every
 submitted campaign runs through the server's content-addressed
 :class:`~repro.engine.cache.ResultCache` (concurrent clients hit the
-cache first; only misses fan out over the server's evaluation
-backend), progress and ``/health`` are rendered from the merged
+cache first; only misses fan out over the worker pool or the server's
+own backend), progress and ``/health`` are rendered from the merged
 :mod:`repro.obs` metrics registry, and each campaign writes a
 :class:`~repro.obs.RunManifest`.  See ``docs/service.md`` for the
 operator guide.
 """
 
+from .chaos import ChaosConfig
 from .client import (
     DEFAULT_SERVICE_URL,
     RemoteBackend,
     ServiceClient,
     ServiceError,
 )
+from .pool import DistributedBackend, PoolConfig, WorkerPool
 from .protocol import (
     PROTOCOL_VERSION,
+    ChunkLease,
+    ChunkReport,
     FetchResponse,
+    HeartbeatAck,
     JobStatus,
+    LeaseResponse,
     ProtocolError,
     SubmitRequest,
     SubmitResponse,
+    WorkerRegistered,
+    WorkerRegistration,
     job_id_for,
     outcome_entry_to_dict,
     result_to_dict,
 )
 from .server import ServiceServer, SweepService
+from .worker import ServiceWorker
 
 __all__ = [
     "DEFAULT_SERVICE_URL",
     "PROTOCOL_VERSION",
+    "ChaosConfig",
+    "ChunkLease",
+    "ChunkReport",
+    "DistributedBackend",
     "FetchResponse",
+    "HeartbeatAck",
     "JobStatus",
+    "LeaseResponse",
+    "PoolConfig",
     "ProtocolError",
     "RemoteBackend",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceWorker",
     "SubmitRequest",
     "SubmitResponse",
     "SweepService",
+    "WorkerPool",
+    "WorkerRegistered",
+    "WorkerRegistration",
     "job_id_for",
     "outcome_entry_to_dict",
     "result_to_dict",

@@ -24,28 +24,29 @@ from __future__ import annotations
 
 import json
 import logging
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Optional, Sequence
 
-from ..engine.batch import (
-    EvalRequest,
-    SurvivabilityRequest,
-    evaluate_auto,
-    evaluate_request,
-    evaluate_survivability_request,
-)
+from ..engine.batch import EvalRequest, SurvivabilityRequest
 from ..engine.cache import result_from_dict
 from ..engine.executor import PointOutcome, SerialBackend
 from ..errors import ReproError
 from ..obs import absorb_telemetry
 from .protocol import (
+    ChunkReport,
     FetchResponse,
+    HeartbeatAck,
     JobStatus,
+    LeaseResponse,
     ProtocolError,
     SubmitRequest,
     SubmitResponse,
+    WorkerRegistered,
+    WorkerRegistration,
+    wire_dispatchable,
 )
 
 __all__ = [
@@ -61,15 +62,6 @@ log = logging.getLogger(__name__)
 #: ``REPRO_SERVICE_URL``; see :func:`repro.engine.executor.make_backend`).
 DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
 
-#: Evaluation callables the remote backend knows how to dispatch — the
-#: server always re-dispatches by request type (``evaluate_auto``), so
-#: only batches using the engine's own evaluators may go remote.
-_REMOTE_SAFE_EVALUATORS = (
-    evaluate_request,
-    evaluate_survivability_request,
-    evaluate_auto,
-)
-
 
 class ServiceError(ReproError):
     """Transport failure or an error response from the sweep service."""
@@ -80,16 +72,28 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    """Synchronous HTTP client for one sweep-service base URL."""
+    """Synchronous HTTP client for one sweep-service base URL.
+
+    Transient transport failures — connection errors and HTTP 5xx —
+    are retried ``retries`` times with exponential backoff and jitter
+    before a :class:`ServiceError` surfaces.  Every endpoint here is
+    idempotent (submission is content-addressed, worker reports are
+    exactly-once server-side), so blind retries are safe.  4xx
+    responses are never retried: they mean the *request* is wrong.
+    """
 
     def __init__(
         self,
         url: str = DEFAULT_SERVICE_URL,
         *,
         timeout: float = 30.0,
+        retries: int = 3,
+        retry_backoff_s: float = 0.2,
     ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------
     # Endpoint wrappers
@@ -126,6 +130,46 @@ class ServiceClient:
         return self._get("/health")
 
     # ------------------------------------------------------------------
+    # Worker endpoints (used by repro.service.worker)
+    # ------------------------------------------------------------------
+    def register_worker(
+        self, *, name: str, pid: int, host: str = "", backend: str = "serial"
+    ) -> WorkerRegistered:
+        """Join the server's worker pool; returns id + pool cadence."""
+        body = WorkerRegistration(
+            name=name, pid=pid, host=host, backend=backend
+        ).to_dict()
+        return WorkerRegistered.from_dict(self._post("/api/v1/workers", body))
+
+    def lease_chunk(self, worker_id: str) -> LeaseResponse:
+        """Ask for a chunk of work (``chunk=None`` when queue is empty)."""
+        return LeaseResponse.from_dict(
+            self._post(f"/api/v1/workers/{worker_id}/lease", {})
+        )
+
+    def heartbeat(
+        self, worker_id: str, chunk_ids: Sequence[str] = ()
+    ) -> HeartbeatAck:
+        """Report liveness; re-arms the leases on ``chunk_ids``."""
+        return HeartbeatAck.from_dict(
+            self._post(
+                f"/api/v1/workers/{worker_id}/heartbeat",
+                {"chunks": list(chunk_ids)},
+            )
+        )
+
+    def report_chunk(self, worker_id: str, report: ChunkReport) -> bool:
+        """Ship a chunk's outcomes back; False when the report was stale."""
+        payload = self._post(
+            f"/api/v1/workers/{worker_id}/result", report.to_dict()
+        )
+        return bool(payload.get("accepted", False))
+
+    def deregister_worker(self, worker_id: str) -> None:
+        """Leave the pool cleanly (held leases requeue immediately)."""
+        self._post(f"/api/v1/workers/{worker_id}/deregister", {})
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _get(self, path: str) -> dict:
@@ -141,30 +185,48 @@ class ServiceClient:
         return self._request(request)
 
     def _request(self, request: urllib.request.Request) -> dict:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                raw = resp.read()
-        except urllib.error.HTTPError as exc:
-            detail = ""
+        for attempt in range(self.retries):
+            final = attempt + 1 >= self.retries
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:  # noqa: BLE001 — error body is best-effort
-                pass
-            message = detail or f"HTTP {exc.code}"
-            raise ServiceError(
-                f"service at {self.url} rejected request: {message}",
-                status=exc.code,
-            ) from exc
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceError(
-                f"cannot reach sweep service at {self.url}: {exc}"
-            ) from exc
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise ServiceError(
-                f"service at {self.url} returned non-JSON payload"
-            ) from exc
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    raw = resp.read()
+            except urllib.error.HTTPError as exc:
+                detail = ""
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+                except Exception:  # noqa: BLE001 — error body is best-effort
+                    pass
+                if exc.code >= 500 and not final:
+                    self._retry_sleep(attempt, f"HTTP {exc.code}")
+                    continue
+                message = detail or f"HTTP {exc.code}"
+                raise ServiceError(
+                    f"service at {self.url} rejected request: {message}",
+                    status=exc.code,
+                ) from exc
+            except (urllib.error.URLError, OSError) as exc:
+                if not final:
+                    self._retry_sleep(attempt, str(exc))
+                    continue
+                raise ServiceError(
+                    f"cannot reach sweep service at {self.url} "
+                    f"(after {self.retries} attempts): {exc}"
+                ) from exc
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ServiceError(
+                    f"service at {self.url} returned non-JSON payload"
+                ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _retry_sleep(self, attempt: int, reason: str) -> None:
+        delay = self.retry_backoff_s * (2**attempt) * random.uniform(0.75, 1.25)
+        log.debug(
+            "transient failure talking to %s (%s) — retry %d in %.2fs",
+            self.url, reason, attempt + 1, delay,
+        )
+        time.sleep(delay)
 
 
 class RemoteBackend:
@@ -181,10 +243,24 @@ class RemoteBackend:
         request type).  Defaults to a fresh
         :class:`~repro.engine.executor.SerialBackend`.
     poll_interval:
-        Sleep between fetches while the stream has no new entries.
+        Base sleep between fetches while the stream has no new
+        entries; consecutive empty fetches back off exponentially
+        (jittered) up to ``poll_max_interval``, and a server
+        ``retry_after_s`` hint overrides the computed delay.
+    poll_timeout:
+        Overall deadline (seconds) for one batch; ``None`` waits
+        forever.  On expiry a :class:`ServiceError` naming the job id
+        is raised.
     name:
         Campaign name attached to submissions (shows up in the
         server's job list and manifest filenames).
+
+    A server restart mid-stream is survived transparently: the fetch
+    404s (the restarted server has no such job), the backend resubmits
+    the identical campaign — content-addressing yields the *same* job
+    id, re-run against the shared result cache — and restarts the
+    stream from offset 0, dropping entries for points it already has,
+    so every outcome is delivered exactly once.
     """
 
     def __init__(
@@ -194,11 +270,17 @@ class RemoteBackend:
         fallback: Optional[Any] = None,
         client: Optional[ServiceClient] = None,
         poll_interval: float = 0.05,
+        poll_max_interval: float = 2.0,
+        poll_timeout: Optional[float] = None,
+        max_resubmits: int = 5,
         name: str = "remote-batch",
     ) -> None:
         self.client = client if client is not None else ServiceClient(url)
         self.fallback = fallback if fallback is not None else SerialBackend()
         self.poll_interval = poll_interval
+        self.poll_max_interval = poll_max_interval
+        self.poll_timeout = poll_timeout
+        self.max_resubmits = max(0, int(max_resubmits))
         self.name = name
 
     def run(
@@ -230,12 +312,47 @@ class RemoteBackend:
             job_id[:12], len(items), submitted.resubmitted,
         )
 
+        deadline = (
+            time.monotonic() + self.poll_timeout
+            if self.poll_timeout is not None
+            else None
+        )
         outcomes: list[Optional[PointOutcome]] = [None] * len(items)
+        received: set[int] = set()
         offset = 0
+        resubmits = 0
+        empty_fetches = 0
         while True:
-            fetched = self.client.fetch(job_id, offset)
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {self.poll_timeout:g}s waiting for "
+                    f"remote job {job_id} ({len(received)}/{len(items)} "
+                    f"outcomes received)"
+                )
+            try:
+                fetched = self.client.fetch(job_id, offset)
+            except ServiceError as exc:
+                if exc.status == 404 and resubmits < self.max_resubmits:
+                    # Server restarted and forgot the job: resubmit (same
+                    # content-addressed id, re-runs against the shared
+                    # cache) and resume the stream from the start —
+                    # `received` filters out what we already have.
+                    resubmits += 1
+                    log.info(
+                        "remote job %s unknown to server (restart?) — "
+                        "resubmitting (%d/%d)",
+                        job_id[:12], resubmits, self.max_resubmits,
+                    )
+                    self.client.submit(tuple(items), name=self.name)
+                    offset = 0
+                    empty_fetches = 0
+                    continue
+                raise
             for entry in fetched.entries:
                 outcome = self._outcome_from_entry(entry)
+                if outcome.index in received:
+                    continue
+                received.add(outcome.index)
                 outcomes[outcome.index] = outcome
                 if on_outcome is not None:
                     on_outcome(outcome)
@@ -250,7 +367,10 @@ class RemoteBackend:
                     f"{status.detail or 'unknown error'}"
                 )
             if not fetched.entries:
-                time.sleep(self.poll_interval)
+                empty_fetches += 1
+                time.sleep(self._poll_delay(empty_fetches, fetched.retry_after_s))
+            else:
+                empty_fetches = 0
 
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
         if missing:
@@ -265,12 +385,21 @@ class RemoteBackend:
         return f"remote:{self.client.url}"
 
     # ------------------------------------------------------------------
+    def _poll_delay(
+        self, empty_fetches: int, retry_after_s: Optional[float]
+    ) -> float:
+        """Backed-off sleep before the next fetch of an idle stream."""
+        if retry_after_s is not None:
+            return max(0.0, retry_after_s)
+        delay = min(
+            self.poll_max_interval,
+            self.poll_interval * (2 ** max(0, empty_fetches - 1)),
+        )
+        return delay * random.uniform(0.75, 1.25)
+
     @staticmethod
     def _dispatchable(fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
-        return fn in _REMOTE_SAFE_EVALUATORS and all(
-            isinstance(item, (EvalRequest, SurvivabilityRequest))
-            for item in items
-        )
+        return wire_dispatchable(fn, items)
 
     @staticmethod
     def _outcome_from_entry(entry: dict) -> PointOutcome:

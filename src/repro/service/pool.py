@@ -1,0 +1,756 @@
+"""Fault-tolerant worker pool: leases, heartbeats, reassignment, fallback.
+
+This is the server half of the multi-host fan-out.  The
+:class:`~repro.service.server.SweepService` wraps its local execution
+backend in a :class:`DistributedBackend`; when a batch's cache misses
+reach the evaluate phase, the backend splits them into content-addressed
+chunks and parks them on the :class:`WorkerPool` queue.  Registered
+workers (see :mod:`repro.service.worker`) pull chunks under
+**time-bounded leases**, heartbeat while evaluating, and report outcomes
+back; the HTTP routes are thin wrappers over the pool's
+``register`` / ``lease`` / ``heartbeat`` / ``report`` methods, all of
+which are quick state transitions under one lock — safe to call from
+the server's event-loop thread while ``run_distributed`` blocks on the
+service worker thread.
+
+Fault tolerance is the design constraint, in the spirit of the source
+paper's premise that distributed detection must survive failed and
+compromised nodes:
+
+* **Worker death / network partition** — a missed heartbeat lets the
+  lease expire; the reaper requeues the chunk for the next live worker
+  (``service.leases_expired`` / ``service.chunks_reassigned``).
+* **Capped retries with backoff** — each requeue waits
+  ``backoff_base_s · 2^(attempt−1)`` (capped, deterministically
+  jittered by chunk id) so a flapping worker cannot hot-loop a chunk.
+* **Poison chunks** — a chunk that fails ``max_attempts`` times stops
+  retrying and resolves to per-point error outcomes carrying the last
+  worker's traceback, surfacing as
+  :class:`~repro.engine.batch.PointError` exactly like a local failure
+  (``service.chunks_poisoned``).
+* **Worker quarantine** — a worker that keeps failing chunks is
+  quarantined and no longer leased to (``service.workers_quarantined``).
+* **Empty / dead pool** — with no live worker the pool evaluates
+  chunks on the server's local fallback backend
+  (``service.chunks_local_fallback``), so ``--jobs remote`` is never
+  worse than the single-host service tier.
+
+Results are **exactly-once**: a chunk is resolved the first time a
+complete report lands; late duplicates from slow workers are counted
+(``service.duplicate_results``) and dropped.  Byte-identity with
+``--jobs serial`` holds because workers evaluate through the same
+:func:`repro.engine.executor.run_chunk` protocol and results round-trip
+through the same ``to_dict``/``result_from_dict`` records the disk
+cache uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import math
+import random
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..engine.cache import result_from_dict
+from ..engine.executor import OutcomeFn, PointOutcome, run_chunk
+from ..obs import absorb_telemetry, metrics
+from .protocol import (
+    ChunkLease,
+    ChunkReport,
+    HeartbeatAck,
+    LeaseResponse,
+    ProtocolError,
+    WorkerRegistered,
+    WorkerRegistration,
+    wire_dispatchable,
+)
+
+__all__ = [
+    "DistributedBackend",
+    "PoolConfig",
+    "WorkerInfo",
+    "WorkerPool",
+]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Tuning knobs for the worker pool (see docs/service.md for guidance).
+
+    The defaults suit chunk evaluations of a few seconds on a LAN; the
+    in-process test layer shrinks everything by ~10× to make fault
+    windows cheap to hit.
+    """
+
+    #: Seconds a worker may hold a chunk without heartbeating before
+    #: the lease expires and the chunk is reassigned.
+    lease_ttl_s: float = 5.0
+    #: Cadence the server asks workers to heartbeat at.  Each heartbeat
+    #: re-arms the worker's held leases, so ``lease_ttl_s`` only needs
+    #: to cover the heartbeat gap, not the whole chunk evaluation.
+    heartbeat_interval_s: float = 1.0
+    #: Suggested sleep between empty lease polls (returned to workers
+    #: as ``retry_after_s``).
+    poll_interval_s: float = 0.5
+    #: Attempts (first try included) before a chunk is declared poison.
+    max_attempts: int = 3
+    #: Chunk failures before a worker is quarantined.
+    quarantine_after: int = 3
+    #: Points per chunk; ``None`` auto-sizes to ~4 chunks per live
+    #: worker (load balancing vs. per-chunk HTTP overhead).
+    chunk_size: Optional[int] = None
+    #: How often the dispatching thread wakes to reap expired leases.
+    reap_tick_s: float = 0.25
+    #: Requeue backoff: ``backoff_base_s · 2^(attempt-1)`` capped at
+    #: ``backoff_cap_s``, jittered ±25% (deterministic per chunk+attempt).
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+
+    @property
+    def lost_after_s(self) -> float:
+        """Heartbeat silence after which a worker no longer counts as live."""
+        return max(self.lease_ttl_s, 3.0 * self.heartbeat_interval_s)
+
+
+@dataclass
+class WorkerInfo:
+    """Server-side record of one registered worker."""
+
+    worker_id: str
+    name: str
+    pid: int
+    host: str
+    backend: str
+    registered_at: float
+    last_seen: float
+    state: str = "idle"  # idle | busy | quarantined
+    leases: set = field(default_factory=set)
+    chunks_completed: int = 0
+    chunks_failed: int = 0
+
+    def live(self, now: float, lost_after_s: float) -> bool:
+        """True when this worker may be leased new work."""
+        return (
+            self.state != "quarantined"
+            and now - self.last_seen <= lost_after_s
+        )
+
+    def roster_entry(self, now: float, lost_after_s: float) -> dict:
+        """The ``/health`` roster record for this worker."""
+        age = now - self.last_seen
+        state = self.state
+        if state != "quarantined" and age > lost_after_s:
+            state = "lost"
+        return {
+            "id": self.worker_id,
+            "name": self.name,
+            "pid": self.pid,
+            "host": self.host,
+            "backend": self.backend,
+            "state": state,
+            "leases": sorted(self.leases),
+            "last_heartbeat_age_s": round(age, 3),
+            "chunks_completed": self.chunks_completed,
+            "chunks_failed": self.chunks_failed,
+        }
+
+
+def _chunk_id_for(seq: int, items: Sequence[Any]) -> str:
+    """Content-addressed chunk id — stable across lease reassignments."""
+    digest = hashlib.sha256()
+    digest.update(f"{seq}\n".encode("ascii"))
+    for item in items:
+        digest.update(item.fingerprint().encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class _Chunk:
+    """One unit of leasable work: a slice of a batch's cache misses."""
+
+    __slots__ = (
+        "chunk_id",
+        "job_id",
+        "fn",
+        "indices",
+        "items",
+        "run",
+        "attempts",
+        "state",  # pending | leased | done
+        "worker_id",
+        "expires_at",
+        "not_before",
+        "failures",
+        "outcomes",
+    )
+
+    def __init__(self, chunk_id, job_id, fn, indices, items, run):
+        self.chunk_id = chunk_id
+        self.job_id = job_id
+        self.fn = fn
+        self.indices = tuple(indices)
+        self.items = tuple(items)
+        self.run = run
+        self.attempts = 0
+        self.state = "pending"
+        self.worker_id: Optional[str] = None
+        self.expires_at = math.inf
+        self.not_before = 0.0
+        self.failures: list[dict] = []
+        self.outcomes: Optional[list[PointOutcome]] = None
+
+    def pairs(self) -> list[tuple[int, Any]]:
+        """The ``(global_index, item)`` pairs :func:`run_chunk` expects."""
+        return list(zip(self.indices, self.items))
+
+
+class _RunState:
+    """Book-keeping for one ``run_distributed`` call."""
+
+    __slots__ = ("chunks", "pending", "completed", "done_count")
+
+    def __init__(self, chunks: "list[_Chunk]") -> None:
+        self.chunks = chunks
+        self.pending: deque[_Chunk] = deque(chunks)
+        self.completed: deque[_Chunk] = deque()
+        self.done_count = 0
+
+
+class WorkerPool:
+    """Lease queue + worker roster with reassignment and local fallback.
+
+    All public methods are thread-safe.  The HTTP-facing ones
+    (``register`` … ``report``) only flip state and notify the
+    dispatcher; the blocking work happens in :meth:`run_distributed`,
+    which the sweep service calls from its job thread.
+    """
+
+    def __init__(self, config: Optional[PoolConfig] = None) -> None:
+        self.config = config if config is not None else PoolConfig()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: dict[str, WorkerInfo] = {}
+        self._chunks: dict[str, _Chunk] = {}
+        self._runs: list[_RunState] = []
+
+    # ------------------------------------------------------------------
+    # Worker-facing API (called from the HTTP routes)
+    # ------------------------------------------------------------------
+    def register(self, registration: WorkerRegistration) -> WorkerRegistered:
+        """Add a worker to the roster and hand back its pool cadence."""
+        worker_id = uuid.uuid4().hex[:12]
+        now = time.monotonic()
+        with self._cond:
+            self._workers[worker_id] = WorkerInfo(
+                worker_id=worker_id,
+                name=registration.name,
+                pid=registration.pid,
+                host=registration.host,
+                backend=registration.backend,
+                registered_at=now,
+                last_seen=now,
+            )
+            self._cond.notify_all()
+        metrics().counter("service.workers_registered").add()
+        log.info(
+            "worker %s registered: %s (pid %d on %s)",
+            worker_id, registration.name, registration.pid,
+            registration.host or "?",
+        )
+        return WorkerRegistered(
+            worker_id=worker_id,
+            lease_ttl_s=self.config.lease_ttl_s,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            poll_interval_s=self.config.poll_interval_s,
+        )
+
+    def deregister(self, worker_id: str) -> None:
+        """Remove a worker; its held leases requeue immediately."""
+        now = time.monotonic()
+        with self._cond:
+            worker = self._require_worker(worker_id)
+            for chunk_id in sorted(worker.leases):
+                chunk = self._chunks.get(chunk_id)
+                if chunk is not None and chunk.state == "leased":
+                    self._requeue_or_poison_locked(
+                        chunk,
+                        now,
+                        failure={
+                            "error": f"worker {worker.name} deregistered mid-chunk",
+                            "error_type": "WorkerGone",
+                            "traceback": None,
+                        },
+                    )
+            del self._workers[worker_id]
+            self._cond.notify_all()
+        log.info("worker %s deregistered", worker_id)
+
+    def lease(self, worker_id: str) -> LeaseResponse:
+        """Hand the first eligible pending chunk to ``worker_id``."""
+        now = time.monotonic()
+        with self._cond:
+            worker = self._require_worker(worker_id)
+            worker.last_seen = now
+            if worker.state == "quarantined":
+                return LeaseResponse(retry_after_s=self.config.poll_interval_s)
+            chunk = self._pop_pending_locked(now)
+            if chunk is None:
+                if worker.state != "quarantined" and not worker.leases:
+                    worker.state = "idle"
+                return LeaseResponse(retry_after_s=self.config.poll_interval_s)
+            chunk.state = "leased"
+            chunk.worker_id = worker_id
+            chunk.attempts += 1
+            chunk.expires_at = now + self.config.lease_ttl_s
+            worker.leases.add(chunk.chunk_id)
+            worker.state = "busy"
+            metrics().counter("service.chunks_dispatched").add()
+            log.debug(
+                "chunk %s leased to worker %s (attempt %d, %d points)",
+                chunk.chunk_id, worker_id, chunk.attempts, len(chunk.items),
+            )
+            return LeaseResponse(
+                chunk=ChunkLease(
+                    chunk_id=chunk.chunk_id,
+                    job_id=chunk.job_id,
+                    attempt=chunk.attempts,
+                    requests=chunk.items,
+                    lease_ttl_s=self.config.lease_ttl_s,
+                )
+            )
+
+    def heartbeat(
+        self, worker_id: str, chunk_ids: Sequence[str] = ()
+    ) -> HeartbeatAck:
+        """Record liveness, extend held leases, flag stale chunk ids."""
+        now = time.monotonic()
+        with self._cond:
+            worker = self._require_worker(worker_id)
+            worker.last_seen = now
+            stale = []
+            for chunk_id in chunk_ids:
+                chunk = self._chunks.get(chunk_id)
+                if (
+                    chunk is not None
+                    and chunk.state == "leased"
+                    and chunk.worker_id == worker_id
+                ):
+                    chunk.expires_at = now + self.config.lease_ttl_s
+                else:
+                    stale.append(chunk_id)
+            return HeartbeatAck(ok=True, stale=tuple(stale))
+
+    def report(self, worker_id: str, report: ChunkReport) -> bool:
+        """Resolve a chunk from a worker's report; False for duplicates."""
+        now = time.monotonic()
+        accepted_outcomes: Optional[list[PointOutcome]] = None
+        with self._cond:
+            worker = self._require_worker(worker_id)
+            worker.last_seen = now
+            worker.leases.discard(report.chunk_id)
+            if not worker.leases and worker.state == "busy":
+                worker.state = "idle"
+            chunk = self._chunks.get(report.chunk_id)
+            if chunk is None or chunk.state == "done":
+                metrics().counter("service.duplicate_results").add()
+                log.debug(
+                    "worker %s reported stale chunk %s — dropped",
+                    worker_id, report.chunk_id,
+                )
+                return False
+            if report.failed is not None:
+                self._record_worker_failure_locked(worker)
+                self._requeue_or_poison_locked(
+                    chunk, now, failure=dict(report.failed)
+                )
+                return True
+            try:
+                accepted_outcomes = self._rebuild_outcomes(chunk, report)
+            except ProtocolError as exc:
+                self._record_worker_failure_locked(worker)
+                self._requeue_or_poison_locked(
+                    chunk,
+                    now,
+                    failure={
+                        "error": str(exc),
+                        "error_type": "ProtocolError",
+                        "traceback": None,
+                    },
+                )
+                return True
+            worker.chunks_completed += 1
+            self._resolve_locked(chunk, accepted_outcomes)
+            metrics().counter("service.chunks_completed").add()
+        absorb_telemetry(report.telemetry)
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatcher API (called from the sweep service's job thread)
+    # ------------------------------------------------------------------
+    def run_distributed(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        fallback: Any,
+        on_outcome: Optional[OutcomeFn] = None,
+        job_id: str = "",
+    ) -> list[PointOutcome]:
+        """Fan ``items`` over the pool; block until every chunk resolves.
+
+        Outcomes are delivered to ``on_outcome`` in chunk-completion
+        order and returned in input order — the standard
+        :class:`~repro.engine.executor.ExecutionBackend` contract.
+        Chunks that no live worker picks up run on ``fallback`` in this
+        thread, so the call always terminates.
+        """
+        if not items:
+            return []
+        chunk_size = self._effective_chunk_size(len(items))
+        chunks: list[_Chunk] = []
+        run = _RunState([])
+        for seq, start in enumerate(range(0, len(items), chunk_size)):
+            indices = range(start, min(start + chunk_size, len(items)))
+            chunk_items = [items[i] for i in indices]
+            chunks.append(
+                _Chunk(
+                    chunk_id=_chunk_id_for(seq, chunk_items),
+                    job_id=job_id,
+                    fn=fn,
+                    indices=indices,
+                    items=chunk_items,
+                    run=run,
+                )
+            )
+        run.chunks = chunks
+        run.pending = deque(chunks)
+        log.debug(
+            "distributing %d points as %d chunks (chunk_size=%d)",
+            len(items), len(chunks), chunk_size,
+        )
+
+        with self._cond:
+            self._runs.append(run)
+            for chunk in chunks:
+                self._chunks[chunk.chunk_id] = chunk
+            self._cond.notify_all()
+        try:
+            self._drive(run, fallback, on_outcome)
+        finally:
+            with self._cond:
+                self._runs.remove(run)
+                for chunk in chunks:
+                    self._chunks.pop(chunk.chunk_id, None)
+
+        outcomes: list[Optional[PointOutcome]] = [None] * len(items)
+        for chunk in chunks:
+            assert chunk.outcomes is not None
+            for outcome in chunk.outcomes:
+                outcomes[outcome.index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection (health endpoint)
+    # ------------------------------------------------------------------
+    def live_worker_count(self) -> int:
+        """Workers currently eligible for leases."""
+        now = time.monotonic()
+        with self._lock:
+            return sum(
+                1
+                for w in self._workers.values()
+                if w.live(now, self.config.lost_after_s)
+            )
+
+    def roster(self) -> dict:
+        """The ``/health`` ``workers`` section."""
+        now = time.monotonic()
+        with self._lock:
+            entries = [
+                w.roster_entry(now, self.config.lost_after_s)
+                for w in sorted(self._workers.values(), key=lambda w: w.registered_at)
+            ]
+        by_state: dict[str, int] = {
+            "idle": 0, "busy": 0, "quarantined": 0, "lost": 0
+        }
+        for entry in entries:
+            by_state[entry["state"]] = by_state.get(entry["state"], 0) + 1
+        return {
+            "total": len(entries),
+            "idle": by_state["idle"],
+            "busy": by_state["busy"],
+            "quarantined": by_state["quarantined"],
+            "lost": by_state["lost"],
+            "roster": entries,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        run: _RunState,
+        fallback: Any,
+        on_outcome: Optional[OutcomeFn],
+    ) -> None:
+        while True:
+            local_chunk: Optional[_Chunk] = None
+            deliver: list[_Chunk] = []
+            with self._cond:
+                now = time.monotonic()
+                self._reap_locked(now)
+                while run.completed:
+                    deliver.append(run.completed.popleft())
+                if not deliver:
+                    if run.done_count == len(run.chunks):
+                        return
+                    if run.pending and not self._live_workers_locked(now):
+                        local_chunk = run.pending.popleft()
+                        local_chunk.state = "leased"
+                        local_chunk.worker_id = None
+                        local_chunk.attempts += 1
+                        local_chunk.expires_at = math.inf
+                    else:
+                        self._cond.wait(timeout=self.config.reap_tick_s)
+            for chunk in deliver:
+                if on_outcome is not None:
+                    assert chunk.outcomes is not None
+                    for outcome in chunk.outcomes:
+                        on_outcome(outcome)
+            if local_chunk is not None:
+                self._run_local(local_chunk, fallback)
+
+    def _run_local(self, chunk: _Chunk, fallback: Any) -> None:
+        """Evaluate a chunk on the server's own backend (pool empty/dead)."""
+        log.debug(
+            "chunk %s: no live workers, evaluating on local %s",
+            chunk.chunk_id, fallback.describe(),
+        )
+        # The captured telemetry delta is discarded, not absorbed: the
+        # fallback runs in *this* process, so its counters already
+        # landed in the global registry (absorbing would double-count —
+        # unlike worker reports, which arrive from other processes).
+        outcomes, _telemetry = run_chunk(chunk.fn, chunk.pairs(), backend=fallback)
+        metrics().counter("service.chunks_local_fallback").add()
+        with self._cond:
+            if chunk.state != "done":
+                self._resolve_locked(chunk, outcomes)
+
+    def _effective_chunk_size(self, total: int) -> int:
+        if self.config.chunk_size is not None:
+            return max(1, self.config.chunk_size)
+        live = max(1, self.live_worker_count())
+        return max(1, math.ceil(total / (4 * live)))
+
+    def _require_worker(self, worker_id: str) -> WorkerInfo:
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise ProtocolError(
+                f"unknown worker id {worker_id!r} (re-register)", status=404
+            )
+        return worker
+
+    def _live_workers_locked(self, now: float) -> bool:
+        return any(
+            w.live(now, self.config.lost_after_s)
+            for w in self._workers.values()
+        )
+
+    def _pop_pending_locked(self, now: float) -> Optional[_Chunk]:
+        for run in self._runs:
+            for _ in range(len(run.pending)):
+                chunk = run.pending.popleft()
+                if chunk.not_before <= now:
+                    return chunk
+                run.pending.append(chunk)
+        return None
+
+    def _reap_locked(self, now: float) -> None:
+        for run in self._runs:
+            for chunk in run.chunks:
+                if chunk.state == "leased" and chunk.expires_at < now:
+                    worker = self._workers.get(chunk.worker_id or "")
+                    holder = worker.name if worker is not None else "<gone>"
+                    metrics().counter("service.leases_expired").add()
+                    log.warning(
+                        "lease on chunk %s expired (worker %s, attempt %d)",
+                        chunk.chunk_id, holder, chunk.attempts,
+                    )
+                    if worker is not None:
+                        worker.leases.discard(chunk.chunk_id)
+                        if not worker.leases and worker.state == "busy":
+                            worker.state = "idle"
+                        self._record_worker_failure_locked(worker)
+                    self._requeue_or_poison_locked(
+                        chunk,
+                        now,
+                        failure={
+                            "error": (
+                                f"lease expired after {self.config.lease_ttl_s:g}s "
+                                f"on worker {holder} (attempt {chunk.attempts})"
+                            ),
+                            "error_type": "LeaseExpired",
+                            "traceback": None,
+                        },
+                    )
+
+    def _record_worker_failure_locked(self, worker: WorkerInfo) -> None:
+        worker.chunks_failed += 1
+        if (
+            worker.state != "quarantined"
+            and worker.chunks_failed >= self.config.quarantine_after
+        ):
+            worker.state = "quarantined"
+            worker.leases.clear()
+            metrics().counter("service.workers_quarantined").add()
+            log.warning(
+                "worker %s quarantined after %d chunk failures",
+                worker.worker_id, worker.chunks_failed,
+            )
+
+    def _requeue_or_poison_locked(
+        self,
+        chunk: _Chunk,
+        now: float,
+        *,
+        failure: dict,
+    ) -> None:
+        chunk.failures.append(failure)
+        chunk.worker_id = None
+        chunk.expires_at = math.inf
+        metrics().counter("service.chunks_failed").add()
+        if chunk.attempts >= self.config.max_attempts:
+            last = chunk.failures[-1]
+            outcomes = [
+                PointOutcome(
+                    index=index,
+                    error=(
+                        f"poison chunk {chunk.chunk_id}: failed "
+                        f"{chunk.attempts} attempts; last: {last.get('error')}"
+                    ),
+                    error_type=last.get("error_type") or "PoisonChunk",
+                    traceback=last.get("traceback"),
+                )
+                for index in chunk.indices
+            ]
+            metrics().counter("service.chunks_poisoned").add()
+            log.error(
+                "chunk %s poisoned after %d attempts: %s",
+                chunk.chunk_id, chunk.attempts, last.get("error"),
+            )
+            self._resolve_locked(chunk, outcomes)
+            return
+        backoff = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2 ** (chunk.attempts - 1)),
+        )
+        jitter = random.Random(f"{chunk.chunk_id}:{chunk.attempts}")
+        chunk.not_before = now + backoff * (0.75 + 0.5 * jitter.random())
+        chunk.state = "pending"
+        chunk.run.pending.append(chunk)
+        metrics().counter("service.chunks_reassigned").add()
+        self._cond.notify_all()
+
+    def _resolve_locked(
+        self, chunk: _Chunk, outcomes: list[PointOutcome]
+    ) -> None:
+        chunk.outcomes = outcomes
+        chunk.state = "done"
+        chunk.run.completed.append(chunk)
+        chunk.run.done_count += 1
+        self._cond.notify_all()
+
+    @staticmethod
+    def _rebuild_outcomes(
+        chunk: _Chunk, report: ChunkReport
+    ) -> list[PointOutcome]:
+        """Turn wire records back into outcomes with the chunk's indices."""
+        if len(report.outcomes) != len(chunk.items):
+            raise ProtocolError(
+                f"chunk {chunk.chunk_id} report has {len(report.outcomes)} "
+                f"outcomes, expected {len(chunk.items)}"
+            )
+        outcomes: list[Optional[PointOutcome]] = [None] * len(chunk.items)
+        for record in report.outcomes:
+            local = record["index"]
+            if not 0 <= local < len(chunk.items) or outcomes[local] is not None:
+                raise ProtocolError(
+                    f"chunk {chunk.chunk_id} report has bad/duplicate "
+                    f"local index {local}"
+                )
+            global_index = chunk.indices[local]
+            if "result" in record:
+                try:
+                    value = result_from_dict(record["result"])
+                except Exception as exc:  # noqa: BLE001 — wire payload is untrusted
+                    raise ProtocolError(
+                        f"chunk {chunk.chunk_id} outcome {local} does not "
+                        f"deserialize: {exc}"
+                    ) from exc
+                outcomes[local] = PointOutcome(index=global_index, value=value)
+            else:
+                outcomes[local] = PointOutcome(
+                    index=global_index,
+                    error=record.get("error", "remote point failed"),
+                    error_type=record.get("error_type", "Exception"),
+                    traceback=record.get("traceback"),
+                )
+        return outcomes  # type: ignore[return-value]
+
+
+class DistributedBackend:
+    """Execution backend fronting the pool, with a guaranteed fallback.
+
+    Wraps the sweep service's local backend: batches the wire format
+    can carry go through :meth:`WorkerPool.run_distributed` (which
+    itself falls back chunk-by-chunk when the pool is empty); anything
+    else runs directly on the local backend.  ``describe()`` reports
+    the plain fallback label while no worker is live, so single-host
+    deployments keep their exact PR 7 reports/manifests.
+    """
+
+    def __init__(self, pool: WorkerPool, fallback: Any) -> None:
+        self.pool = pool
+        self.fallback = fallback
+        #: Job id stamped onto chunks (set by the sweep service before
+        #: each job runs; purely informational for workers/logs).
+        self.job_id = ""
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        on_outcome: Optional[OutcomeFn] = None,
+    ) -> list[PointOutcome]:
+        """Fan a batch over the pool, or run locally when it can't ship."""
+        if not items:
+            return []
+        if not wire_dispatchable(fn, items):
+            log.debug(
+                "distributed backend: batch not wire-serializable, "
+                "running on local %s", self.fallback.describe(),
+            )
+            return self.fallback.run(fn, items, on_outcome=on_outcome)
+        return self.pool.run_distributed(
+            fn,
+            items,
+            fallback=self.fallback,
+            on_outcome=on_outcome,
+            job_id=self.job_id,
+        )
+
+    def describe(self) -> str:
+        """Pool-aware backend label (plain fallback label when empty)."""
+        live = self.pool.live_worker_count()
+        if live == 0:
+            return self.fallback.describe()
+        return f"pool(workers={live})+{self.fallback.describe()}"

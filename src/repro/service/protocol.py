@@ -32,6 +32,9 @@ from typing import Any, Mapping, Optional, Sequence
 from ..engine.batch import (
     EvalRequest,
     SurvivabilityRequest,
+    evaluate_auto,
+    evaluate_request,
+    evaluate_survivability_request,
     request_from_dict,
     request_to_dict,
 )
@@ -44,9 +47,18 @@ __all__ = [
     "SubmitResponse",
     "JobStatus",
     "FetchResponse",
+    "WorkerRegistration",
+    "WorkerRegistered",
+    "ChunkLease",
+    "LeaseResponse",
+    "HeartbeatAck",
+    "ChunkReport",
     "job_id_for",
+    "chunk_outcome_to_dict",
+    "chunk_outcome_from_dict",
     "result_to_dict",
     "outcome_entry_to_dict",
+    "wire_dispatchable",
 ]
 
 #: Version of the HTTP wire format.  Carried in every response (and
@@ -81,9 +93,73 @@ def job_id_for(requests: Sequence["EvalRequest | SurvivabilityRequest"]) -> str:
     return digest.hexdigest()
 
 
+#: Evaluation callables the wire format can carry — the receiving end
+#: always re-dispatches by request type (``evaluate_auto``), so only
+#: batches using the engine's own evaluators may cross the boundary.
+_WIRE_SAFE_EVALUATORS = (
+    evaluate_request,
+    evaluate_survivability_request,
+    evaluate_auto,
+)
+
+
+def wire_dispatchable(fn: Any, items: Sequence[Any]) -> bool:
+    """True when ``(fn, items)`` can be shipped over the service wire.
+
+    Shared by :class:`~repro.service.client.RemoteBackend` (client →
+    server) and :class:`~repro.service.pool.DistributedBackend`
+    (server → workers): both sides serialise requests with
+    :func:`~repro.engine.batch.request_to_dict` and re-dispatch with
+    ``evaluate_auto``, so arbitrary callables or item types must stay
+    on a local backend.
+    """
+    return fn in _WIRE_SAFE_EVALUATORS and all(
+        isinstance(item, (EvalRequest, SurvivabilityRequest)) for item in items
+    )
+
+
 def result_to_dict(result: Any) -> dict:
     """A cacheable result's wire form (its own ``to_dict`` record)."""
     return result.to_dict()
+
+
+def chunk_outcome_to_dict(outcome: Any) -> dict:
+    """One evaluated point of a chunk report, keyed by chunk-local index.
+
+    ``outcome`` is a :class:`~repro.engine.executor.PointOutcome`; the
+    wire form carries either the result record (the same ``to_dict``
+    form the disk cache persists) or the captured failure triple.
+    """
+    if outcome.ok:
+        return {"index": int(outcome.index), "result": outcome.value.to_dict()}
+    return {
+        "index": int(outcome.index),
+        "error": outcome.error or "point evaluation failed",
+        "error_type": outcome.error_type or "Exception",
+        "traceback": outcome.traceback,
+    }
+
+
+def chunk_outcome_from_dict(data: Mapping[str, Any]) -> dict:
+    """Validate one chunk-report outcome record (still a plain dict).
+
+    The server keeps the record in wire form until it rebuilds a
+    :class:`~repro.engine.executor.PointOutcome` with the cache's
+    ``result_from_dict`` — this hook only rejects junk early with a
+    :class:`ProtocolError` carrying a useful message.
+    """
+    if not isinstance(data, Mapping):
+        raise ProtocolError("chunk outcome must be a JSON object")
+    index = _require(data, "index")
+    try:
+        index = int(index)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"chunk outcome index {index!r} is not an int") from exc
+    if "result" not in data and "error" not in data:
+        raise ProtocolError(f"chunk outcome {index} has neither result nor error")
+    record = dict(data)
+    record["index"] = index
+    return record
 
 
 def outcome_entry_to_dict(
@@ -297,10 +373,11 @@ class FetchResponse:
     next_offset: int = 0
     complete: bool = False
     telemetry: Optional[dict] = None
+    retry_after_s: Optional[float] = None
 
     def to_dict(self) -> dict:
         """JSON-ready fetch response."""
-        return {
+        payload = {
             "protocol_version": PROTOCOL_VERSION,
             "job_id": self.job_id,
             "state": self.state,
@@ -309,6 +386,9 @@ class FetchResponse:
             "complete": self.complete,
             "telemetry": self.telemetry,
         }
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = self.retry_after_s
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FetchResponse":
@@ -316,6 +396,7 @@ class FetchResponse:
         entries = data.get("entries", [])
         if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
             raise ProtocolError("'entries' must be a list")
+        retry_after = data.get("retry_after_s")
         return cls(
             job_id=str(_require(data, "job_id")),
             state=str(_require(data, "state")),
@@ -323,4 +404,238 @@ class FetchResponse:
             next_offset=int(data.get("next_offset", 0)),
             complete=bool(data.get("complete", False)),
             telemetry=data.get("telemetry"),
+            retry_after_s=float(retry_after) if retry_after is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class WorkerRegistration:
+    """Body of ``POST /api/v1/workers``: who is offering to evaluate.
+
+    ``backend`` is the worker's *local* backend label (what it will run
+    leased chunks on), recorded in the ``/health`` roster so an operator
+    can see the pool's composition at a glance.
+    """
+
+    name: str
+    pid: int
+    host: str
+    backend: str = "serial"
+
+    def to_dict(self) -> dict:
+        """JSON-ready registration body."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "name": self.name,
+            "pid": self.pid,
+            "host": self.host,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerRegistration":
+        """Parse and validate a registration body."""
+        if not isinstance(data, Mapping):
+            raise ProtocolError("registration body must be a JSON object")
+        name = _require(data, "name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("'name' must be a non-empty string")
+        try:
+            pid = int(_require(data, "pid"))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("'pid' must be an int") from exc
+        return cls(
+            name=name,
+            pid=pid,
+            host=str(data.get("host", "")),
+            backend=str(data.get("backend", "serial")),
+        )
+
+
+@dataclass(frozen=True)
+class WorkerRegistered:
+    """Server's answer to a registration: identity plus pool cadence.
+
+    The worker must heartbeat at ``heartbeat_interval_s`` and finish
+    each chunk inside ``lease_ttl_s`` (heartbeats extend the lease);
+    ``poll_interval_s`` is the suggested sleep between empty lease
+    polls.
+    """
+
+    worker_id: str
+    lease_ttl_s: float
+    heartbeat_interval_s: float
+    poll_interval_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready registration response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "worker_id": self.worker_id,
+            "lease_ttl_s": self.lease_ttl_s,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "poll_interval_s": self.poll_interval_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerRegistered":
+        """Parse a registration response."""
+        return cls(
+            worker_id=str(_require(data, "worker_id")),
+            lease_ttl_s=float(_require(data, "lease_ttl_s")),
+            heartbeat_interval_s=float(_require(data, "heartbeat_interval_s")),
+            poll_interval_s=float(_require(data, "poll_interval_s")),
+        )
+
+
+@dataclass(frozen=True)
+class ChunkLease:
+    """One leased chunk of work: requests to evaluate under a deadline.
+
+    ``chunk_id`` is content-addressed over the chunk's request
+    fingerprints (stable across reassignments — the retry of a chunk is
+    *the same chunk*, which is what makes poison-chunk detection and
+    seeded fault injection deterministic); ``attempt`` counts from 1.
+    """
+
+    chunk_id: str
+    job_id: str
+    attempt: int
+    requests: tuple
+    lease_ttl_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+
+    def to_dict(self) -> dict:
+        """JSON-ready lease payload."""
+        return {
+            "chunk_id": self.chunk_id,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "requests": [request_to_dict(r) for r in self.requests],
+            "lease_ttl_s": self.lease_ttl_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChunkLease":
+        """Parse a lease payload (:class:`ProtocolError` on junk)."""
+        raw = _require(data, "requests")
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ProtocolError("'requests' must be a list")
+        try:
+            requests = tuple(request_from_dict(r) for r in raw)
+        except ReproError as exc:
+            raise ProtocolError(f"bad leased request record: {exc}") from exc
+        return cls(
+            chunk_id=str(_require(data, "chunk_id")),
+            job_id=str(_require(data, "job_id")),
+            attempt=int(_require(data, "attempt")),
+            requests=requests,
+            lease_ttl_s=float(_require(data, "lease_ttl_s")),
+        )
+
+
+@dataclass(frozen=True)
+class LeaseResponse:
+    """Body of ``POST /api/v1/workers/<id>/lease``.
+
+    ``chunk`` is ``None`` when no work is pending, in which case
+    ``retry_after_s`` tells the worker how long to sleep before asking
+    again.
+    """
+
+    chunk: Optional[ChunkLease] = None
+    retry_after_s: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready lease response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "chunk": self.chunk.to_dict() if self.chunk is not None else None,
+            "retry_after_s": self.retry_after_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LeaseResponse":
+        """Parse a lease response."""
+        raw = data.get("chunk")
+        retry_after = data.get("retry_after_s")
+        return cls(
+            chunk=ChunkLease.from_dict(raw) if raw is not None else None,
+            retry_after_s=float(retry_after) if retry_after is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Server's answer to a heartbeat: which held leases are now stale.
+
+    A chunk id in ``stale`` means the server already reassigned (or
+    finished) it — the worker should abandon the evaluation and must
+    not expect its eventual report to count.
+    """
+
+    ok: bool = True
+    stale: tuple = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready heartbeat response."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "ok": self.ok,
+            "stale": list(self.stale),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HeartbeatAck":
+        """Parse a heartbeat response."""
+        return cls(
+            ok=bool(data.get("ok", True)),
+            stale=tuple(str(c) for c in data.get("stale", [])),
+        )
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """Body of ``POST /api/v1/workers/<id>/result``: one chunk's outcome.
+
+    Either ``outcomes`` (per-point wire records, chunk-local indices)
+    with an optional ``telemetry`` payload to fold into the server's
+    registry, or ``failed`` — a chunk-level failure triple
+    (``error``/``error_type``/``traceback``) when the worker could not
+    evaluate the chunk at all.
+    """
+
+    chunk_id: str
+    outcomes: tuple = ()
+    telemetry: Optional[dict] = None
+    failed: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready chunk report."""
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "chunk_id": self.chunk_id,
+            "outcomes": list(self.outcomes),
+            "telemetry": self.telemetry,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChunkReport":
+        """Parse and validate a chunk report."""
+        if not isinstance(data, Mapping):
+            raise ProtocolError("chunk report must be a JSON object")
+        raw = data.get("outcomes", [])
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ProtocolError("'outcomes' must be a list")
+        failed = data.get("failed")
+        if failed is not None and not isinstance(failed, Mapping):
+            raise ProtocolError("'failed' must be a JSON object")
+        return cls(
+            chunk_id=str(_require(data, "chunk_id")),
+            outcomes=tuple(chunk_outcome_from_dict(o) for o in raw),
+            telemetry=data.get("telemetry"),
+            failed=dict(failed) if failed is not None else None,
         )

@@ -23,11 +23,23 @@ Two layers, deliberately separable:
 
 Routes (all JSON; see ``docs/service.md`` for the operator guide)::
 
-    POST /api/v1/campaigns              submit (idempotent by content)
-    GET  /api/v1/jobs                   list jobs
-    GET  /api/v1/jobs/<id>              poll one job's progress
-    GET  /api/v1/jobs/<id>/results      fetch outcomes (?offset=K)
-    GET  /health                        liveness + merged obs metrics
+    POST /api/v1/campaigns                    submit (idempotent by content)
+    GET  /api/v1/jobs                         list jobs
+    GET  /api/v1/jobs/<id>                    poll one job's progress
+    GET  /api/v1/jobs/<id>/results            fetch outcomes (?offset=K)
+    GET  /health                              liveness + metrics + worker roster
+    POST /api/v1/workers                      register a pool worker
+    POST /api/v1/workers/<id>/lease           pull a chunk under a lease
+    POST /api/v1/workers/<id>/heartbeat       re-arm held leases
+    POST /api/v1/workers/<id>/result          report a chunk's outcomes
+    POST /api/v1/workers/<id>/deregister      leave the pool cleanly
+
+The worker routes front the fault-tolerant
+:class:`~repro.service.pool.WorkerPool`: every service wraps its local
+backend in a :class:`~repro.service.pool.DistributedBackend`, so
+registered workers share each job's evaluation, dead workers' chunks
+are reassigned, and an empty pool falls back to local evaluation —
+single-host behaviour is unchanged.
 
 Failure behaviour is part of the contract: malformed payloads are 400s
 with a JSON error body, unknown jobs/routes are 404s, and an unexpected
@@ -58,14 +70,17 @@ from ..obs import (
     span,
     telemetry_capture,
 )
+from .pool import DistributedBackend, PoolConfig, WorkerPool
 from .protocol import (
     MAX_BODY_BYTES,
     PROTOCOL_VERSION,
+    ChunkReport,
     FetchResponse,
     JobStatus,
     ProtocolError,
     SubmitRequest,
     SubmitResponse,
+    WorkerRegistration,
     outcome_entry_to_dict,
 )
 
@@ -157,6 +172,14 @@ class SweepService:
     max_jobs:
         Bound on the job table; the oldest *terminal* jobs are evicted
         first (running/queued jobs are never dropped).
+    pool, pool_config:
+        The fault-tolerant :class:`~repro.service.pool.WorkerPool`
+        jobs fan out over once workers register (built from
+        ``pool_config`` when not given).  The runner's backend is
+        wrapped in a :class:`~repro.service.pool.DistributedBackend`
+        whose fallback is the original backend — with no registered
+        worker, execution (and the reported backend label) is exactly
+        the single-host service tier.
     """
 
     def __init__(
@@ -167,10 +190,15 @@ class SweepService:
         backend: Optional[ExecutionBackend] = None,
         manifest_dir: Optional[str] = None,
         max_jobs: int = 64,
+        pool: Optional[WorkerPool] = None,
+        pool_config: Optional[PoolConfig] = None,
     ) -> None:
         if runner is None:
             runner = BatchRunner(cache=cache, backend=backend)
         self.runner = runner
+        self.pool = pool if pool is not None else WorkerPool(pool_config)
+        self._distributed = DistributedBackend(self.pool, runner.backend)
+        runner.backend = self._distributed
         self.manifest_dir = manifest_dir
         self.max_jobs = max(1, int(max_jobs))
         self.started_at = time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
@@ -281,6 +309,14 @@ class SweepService:
             next_offset=cursor,
             complete=complete,
             telemetry=telemetry if complete else None,
+            # Nothing new this time: hint how long the client should
+            # back off before the next fetch (queued jobs move slower
+            # than a mid-run stream pause).
+            retry_after_s=(
+                (0.25 if state == "queued" else 0.05)
+                if not complete and not entries
+                else None
+            ),
         )
 
     def health(self) -> dict:
@@ -307,6 +343,7 @@ class SweepService:
                 "failed": states.count("failed"),
             },
             "cache": cache.stats.as_dict(),
+            "workers": self.pool.roster(),
             "metrics": metrics().snapshot(),
         }
 
@@ -400,13 +437,17 @@ class SweepService:
                 else:
                     job.errors += 1
 
-        with telemetry_capture() as capture:
-            with span("service.job", job_id=job.job_id[:12], points=job.total):
-                batch = self.runner.run(
-                    list(job.submit.requests),
-                    evaluate=evaluate_auto,
-                    progress=progress,
-                )
+        self._distributed.job_id = job.job_id
+        try:
+            with telemetry_capture() as capture:
+                with span("service.job", job_id=job.job_id[:12], points=job.total):
+                    batch = self.runner.run(
+                        list(job.submit.requests),
+                        evaluate=evaluate_auto,
+                        progress=progress,
+                    )
+        finally:
+            self._distributed.job_id = ""
         manifest_path = self._write_manifest(job, batch)
 
         with self._lock:
@@ -613,12 +654,42 @@ class ServiceServer:
         if path == "/api/v1/campaigns":
             if method != "POST":
                 return 405, {"error": "use POST"}
-            try:
-                data = json.loads(body.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError) as exc:
-                raise ProtocolError(f"body is not valid JSON: {exc}") from exc
-            submit = SubmitRequest.from_dict(data)
+            submit = SubmitRequest.from_dict(self._json_body(body))
             return 200, service.submit(submit).to_dict()
+        if path == "/api/v1/workers":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            registration = WorkerRegistration.from_dict(self._json_body(body))
+            return 200, service.pool.register(registration).to_dict()
+        if path.startswith("/api/v1/workers/"):
+            rest = path[len("/api/v1/workers/"):]
+            worker_id, _, action = rest.partition("/")
+            if not worker_id or "/" in action:
+                return 404, {"error": f"no route for {method} {path}"}
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            if action == "lease":
+                return 200, service.pool.lease(worker_id).to_dict()
+            if action == "heartbeat":
+                data = self._json_body(body) if body else {}
+                chunks = data.get("chunks", [])
+                if not isinstance(chunks, list):
+                    raise ProtocolError("'chunks' must be a list")
+                ack = service.pool.heartbeat(
+                    worker_id, [str(c) for c in chunks]
+                )
+                return 200, ack.to_dict()
+            if action == "result":
+                report = ChunkReport.from_dict(self._json_body(body))
+                accepted = service.pool.report(worker_id, report)
+                return 200, {
+                    "protocol_version": PROTOCOL_VERSION,
+                    "accepted": accepted,
+                }
+            if action == "deregister":
+                service.pool.deregister(worker_id)
+                return 200, {"protocol_version": PROTOCOL_VERSION, "ok": True}
+            return 404, {"error": f"no route for {method} {path}"}
         if path == "/api/v1/jobs":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -639,6 +710,16 @@ class ServiceServer:
                     return 405, {"error": "use GET"}
                 return 200, service.status(rest).to_dict()
         return 404, {"error": f"no route for {method} {path}"}
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ProtocolError("body must be a JSON object")
+        return data
 
     @staticmethod
     def _int_param(query: dict, name: str, default: int) -> int:

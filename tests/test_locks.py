@@ -1,0 +1,121 @@
+"""Timeout and diagnostics behaviour of the advisory FileLock.
+
+The cache's multi-file mutations serialise on :class:`FileLock`; with
+the worker-pool tier a wedged holder would otherwise hang every writer
+in the fleet.  Acquisition is therefore time-bounded: it polls
+non-blockingly until ``timeout`` and then raises
+:class:`LockTimeoutError` naming the holder (pid stamped into the
+lockfile, its liveness, the lock's age) and bumps the
+``lock.wait_timeout`` counter so the stall is visible in ``/health``.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.locks import (
+    DEFAULT_TIMEOUT_S,
+    FileLock,
+    LockTimeoutError,
+)
+from repro.obs import metrics, reset_observability
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+def _lock_pair(tmp_path, timeout=0.2):
+    """A held lock plus a second instance contending for the same file.
+
+    ``flock`` is per open file description, so two instances in one
+    process genuinely exclude each other — no subprocess needed.
+    """
+    path = tmp_path / "cache.lock"
+    holder = FileLock(path)
+    if not holder.advisory:  # pragma: no cover — exotic platforms
+        pytest.skip("no advisory lock primitive on this platform")
+    holder.acquire()
+    return holder, FileLock(path, timeout=timeout)
+
+
+class TestTimeout:
+    def test_timeout_raises_with_holder_diagnostics(self, tmp_path):
+        holder, waiter = _lock_pair(tmp_path)
+        try:
+            with pytest.raises(LockTimeoutError) as excinfo:
+                waiter.acquire()
+            message = str(excinfo.value)
+            assert str(waiter.path) in message
+            assert "0.2s" in message
+            # The holder is this very process: pid stamped at acquire,
+            # liveness probed at timeout.
+            assert f"holder pid {os.getpid()} (alive)" in message
+            assert "lock age" in message
+            assert "REPRO_LOCK_TIMEOUT_S" in message
+        finally:
+            holder.release()
+
+    def test_timeout_bumps_wait_timeout_counter(self, tmp_path):
+        holder, waiter = _lock_pair(tmp_path)
+        try:
+            with pytest.raises(LockTimeoutError):
+                waiter.acquire()
+        finally:
+            holder.release()
+        assert metrics().snapshot()["lock.wait_timeout"]["value"] == 1
+
+    def test_timed_out_waiter_leaves_lock_usable(self, tmp_path):
+        holder, waiter = _lock_pair(tmp_path)
+        with pytest.raises(LockTimeoutError):
+            waiter.acquire()
+        assert not waiter.held
+        holder.release()
+        # Once the holder lets go, the same waiter acquires cleanly.
+        with waiter:
+            assert waiter.held
+
+    def test_waiter_gets_lock_when_released_within_timeout(self, tmp_path):
+        path = tmp_path / "cache.lock"
+        holder = FileLock(path)
+        holder.acquire()
+        holder.release()
+        with FileLock(path, timeout=5.0) as lock:
+            assert lock.held
+
+
+class TestConfiguration:
+    def test_default_timeout_constant(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_TIMEOUT_S", raising=False)
+        assert FileLock(tmp_path / "l").timeout == DEFAULT_TIMEOUT_S
+
+    def test_env_var_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_S", "7.5")
+        assert FileLock(tmp_path / "l").timeout == 7.5
+
+    def test_explicit_timeout_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_S", "7.5")
+        assert FileLock(tmp_path / "l", timeout=0.1).timeout == 0.1
+
+    def test_garbage_env_value_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_S", "soon-ish")
+        assert FileLock(tmp_path / "l").timeout == DEFAULT_TIMEOUT_S
+
+
+class TestHolderStamp:
+    def test_lockfile_records_holder_pid(self, tmp_path):
+        path = tmp_path / "cache.lock"
+        with FileLock(path):
+            stamped = path.read_text().split()
+            assert stamped[0] == str(os.getpid())
+
+    def test_reentrant_acquire_still_works(self, tmp_path):
+        lock = FileLock(tmp_path / "cache.lock", timeout=1.0)
+        with lock:
+            with lock:
+                assert lock.held
+            assert lock.held
+        assert not lock.held
