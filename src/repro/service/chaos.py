@@ -17,6 +17,11 @@ hook points in the chunk lifecycle:
 * **drop result** — evaluate a chunk but never report it (a lost
   response on the wire); the lease expires and the chunk is
   reassigned.
+* **slow worker** — sleep a fixed delay inside every chunk evaluation
+  (while the heartbeat sidecar keeps the lease alive). The worker is a
+  *straggler*, not a corpse: the scheduler must route around it with
+  throughput-aware sizing, work stealing, and tail speculation rather
+  than lease expiry.
 * **corrupt chunk** — deterministically fail the evaluation of
   selected chunks, reported as a chunk-level failure with a traceback.
   Selection is seeded by ``(seed, chunk_id)`` — chunk ids are
@@ -32,6 +37,7 @@ arms hooks for which a ``REPRO_CHAOS_*`` variable is set:
 ========================================  =====================================
 ``REPRO_CHAOS_KILL_AFTER_CHUNKS=N``       die mid-chunk after N completed chunks
 ``REPRO_CHAOS_HEARTBEAT_DELAY_S=X``       add X seconds before every heartbeat
+``REPRO_CHAOS_CHUNK_DELAY_S=X``           add X seconds inside every evaluation
 ``REPRO_CHAOS_DROP_RESULTS=N``            swallow the first N chunk reports
 ``REPRO_CHAOS_CORRUPT_SEED=S``            arm seeded chunk corruption
 ``REPRO_CHAOS_CORRUPT_ONE_IN=K``          corrupt ~1/K of chunks (default 1)
@@ -43,6 +49,7 @@ from __future__ import annotations
 import os
 import random
 import threading
+import time
 from typing import Mapping, Optional
 
 __all__ = ["ChaosConfig", "ChaosCorruption", "ChaosKill"]
@@ -75,6 +82,7 @@ class ChaosConfig:
         *,
         kill_after_chunks: Optional[int] = None,
         heartbeat_delay_s: float = 0.0,
+        chunk_delay_s: float = 0.0,
         drop_results: int = 0,
         corrupt_seed: Optional[int] = None,
         corrupt_one_in: int = 1,
@@ -86,6 +94,7 @@ class ChaosConfig:
             raise ValueError(f"corrupt_one_in must be >= 1, got {corrupt_one_in}")
         self.kill_after_chunks = kill_after_chunks
         self.heartbeat_delay_s = float(heartbeat_delay_s)
+        self.chunk_delay_s = float(chunk_delay_s)
         self.corrupt_seed = corrupt_seed
         self.corrupt_one_in = int(corrupt_one_in)
         self.kill_mode = kill_mode
@@ -108,6 +117,7 @@ class ChaosConfig:
         return cls(
             kill_after_chunks=int(kill) if kill is not None else None,
             heartbeat_delay_s=float(_get("REPRO_CHAOS_HEARTBEAT_DELAY_S") or 0.0),
+            chunk_delay_s=float(_get("REPRO_CHAOS_CHUNK_DELAY_S") or 0.0),
             drop_results=int(_get("REPRO_CHAOS_DROP_RESULTS") or 0),
             corrupt_seed=int(seed) if seed is not None else None,
             corrupt_one_in=int(_get("REPRO_CHAOS_CORRUPT_ONE_IN") or 1),
@@ -120,6 +130,7 @@ class ChaosConfig:
         return (
             self.kill_after_chunks is not None
             or self.heartbeat_delay_s > 0.0
+            or self.chunk_delay_s > 0.0
             or self._drops_left > 0
             or self.corrupt_seed is not None
         )
@@ -167,3 +178,16 @@ class ChaosConfig:
     def heartbeat_sleep_s(self, interval_s: float) -> float:
         """The (possibly stretched) gap before the next heartbeat."""
         return interval_s + self.heartbeat_delay_s
+
+    def chunk_sleep(self, stop: Optional[threading.Event] = None) -> None:
+        """Straggle: sleep the configured delay inside a chunk evaluation.
+
+        Interruptible via ``stop`` so a slowed worker still exits
+        promptly when asked.
+        """
+        if self.chunk_delay_s <= 0.0:
+            return
+        if stop is not None:
+            stop.wait(timeout=self.chunk_delay_s)
+        else:
+            time.sleep(self.chunk_delay_s)

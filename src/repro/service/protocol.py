@@ -63,8 +63,10 @@ __all__ = [
 
 #: Version of the HTTP wire format.  Carried in every response (and
 #: checked on submit payloads that declare one) so mixed-version fleets
-#: fail loudly instead of misparsing each other.
-PROTOCOL_VERSION = 1
+#: fail loudly instead of misparsing each other.  v2 added the
+#: scheduling fields: ``ChunkLease.speculative`` and
+#: ``ChunkReport.elapsed_s``.
+PROTOCOL_VERSION = 2
 
 #: Maximum request-body size the server accepts (16 MiB — a full
 #: N=100 paper campaign serialises to well under 1 MiB).
@@ -496,6 +498,10 @@ class ChunkLease:
     fingerprints (stable across reassignments — the retry of a chunk is
     *the same chunk*, which is what makes poison-chunk detection and
     seeded fault injection deterministic); ``attempt`` counts from 1.
+    ``speculative`` marks a duplicate lease on a chunk another worker
+    is still evaluating (tail speculation) — informational: the worker
+    evaluates it identically, and the server's first-report-wins dedup
+    resolves the race.
     """
 
     chunk_id: str
@@ -503,6 +509,7 @@ class ChunkLease:
     attempt: int
     requests: tuple
     lease_ttl_s: float
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "requests", tuple(self.requests))
@@ -515,6 +522,7 @@ class ChunkLease:
             "attempt": self.attempt,
             "requests": [request_to_dict(r) for r in self.requests],
             "lease_ttl_s": self.lease_ttl_s,
+            "speculative": self.speculative,
         }
 
     @classmethod
@@ -533,6 +541,7 @@ class ChunkLease:
             attempt=int(_require(data, "attempt")),
             requests=requests,
             lease_ttl_s=float(_require(data, "lease_ttl_s")),
+            speculative=bool(data.get("speculative", False)),
         )
 
 
@@ -604,13 +613,16 @@ class ChunkReport:
     with an optional ``telemetry`` payload to fold into the server's
     registry, or ``failed`` — a chunk-level failure triple
     (``error``/``error_type``/``traceback``) when the worker could not
-    evaluate the chunk at all.
+    evaluate the chunk at all.  ``elapsed_s`` is the worker's wall-clock
+    evaluation time for the chunk — the observation behind the server's
+    per-worker throughput EWMA that drives adaptive chunk sizing.
     """
 
     chunk_id: str
     outcomes: tuple = ()
     telemetry: Optional[dict] = None
     failed: Optional[dict] = None
+    elapsed_s: Optional[float] = None
 
     def to_dict(self) -> dict:
         """JSON-ready chunk report."""
@@ -620,6 +632,7 @@ class ChunkReport:
             "outcomes": list(self.outcomes),
             "telemetry": self.telemetry,
             "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
         }
 
     @classmethod
@@ -633,9 +646,16 @@ class ChunkReport:
         failed = data.get("failed")
         if failed is not None and not isinstance(failed, Mapping):
             raise ProtocolError("'failed' must be a JSON object")
+        elapsed = data.get("elapsed_s")
+        if elapsed is not None:
+            try:
+                elapsed = float(elapsed)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("'elapsed_s' must be a number") from exc
         return cls(
             chunk_id=str(_require(data, "chunk_id")),
             outcomes=tuple(chunk_outcome_from_dict(o) for o in raw),
             telemetry=data.get("telemetry"),
             failed=dict(failed) if failed is not None else None,
+            elapsed_s=elapsed,
         )

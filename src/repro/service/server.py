@@ -344,6 +344,7 @@ class SweepService:
             },
             "cache": cache.stats.as_dict(),
             "workers": self.pool.roster(),
+            "scheduling": self.pool.config.summary(),
             "metrics": metrics().snapshot(),
         }
 

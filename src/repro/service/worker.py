@@ -30,6 +30,7 @@ import logging
 import os
 import socket
 import threading
+import time
 import traceback as traceback_module
 from typing import Any, Optional
 
@@ -184,11 +185,18 @@ class ServiceWorker:
         heartbeat.start()
         try:
             self.chaos.maybe_kill(self.chunks_completed)
+            # The chaos slow-down sleeps inside the timed window (the
+            # heartbeat sidecar keeps the lease alive), so a slowed
+            # worker *measures* as slow and the server's throughput
+            # EWMA shrinks its future chunks.
+            started = time.perf_counter()
+            self.chaos.chunk_sleep(self._stop)
             outcomes, telemetry = run_chunk(
                 evaluate_auto,
                 list(enumerate(chunk.requests)),
                 backend=self.backend,
             )
+            elapsed_s = time.perf_counter() - started
         finally:
             stop_heartbeat.set()
             heartbeat.join(timeout=5.0)
@@ -203,6 +211,7 @@ class ServiceWorker:
             chunk_id=chunk.chunk_id,
             outcomes=tuple(chunk_outcome_to_dict(o) for o in outcomes),
             telemetry=telemetry,
+            elapsed_s=elapsed_s,
         )
         if self.client.report_chunk(self.worker_id, report):
             self.chunks_completed += 1

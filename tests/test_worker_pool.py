@@ -73,6 +73,18 @@ def _requests(count=3):
     return [EvalRequest(params=p) for p in scenarios[:count]]
 
 
+def _many_requests(count):
+    """``count`` distinct points (a grid over the detection interval)."""
+    return [
+        EvalRequest(
+            params=GCSParameters.small_test().replacing(
+                detection_interval_s=60.0 + i
+            )
+        )
+        for i in range(count)
+    ]
+
+
 def _strip_timings(record: dict) -> dict:
     return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
 
@@ -151,7 +163,7 @@ def _lease_blocking(pool, worker_id, timeout=15.0):
     raise AssertionError(f"no chunk leased within {timeout}s")
 
 
-def _evaluate_report(chunk):
+def _evaluate_report(chunk, elapsed_s=None):
     """What a well-behaved worker reports for a leased chunk."""
     outcomes, _telemetry = run_chunk(
         evaluate_auto, list(enumerate(chunk.requests)), backend=SerialBackend()
@@ -159,6 +171,7 @@ def _evaluate_report(chunk):
     return ChunkReport(
         chunk_id=chunk.chunk_id,
         outcomes=tuple(chunk_outcome_to_dict(o) for o in outcomes),
+        elapsed_s=elapsed_s,
     )
 
 
@@ -351,6 +364,296 @@ class TestWorkerPoolUnit:
         assert backend.describe() == "serial"
         _register(pool)
         assert backend.describe() == "pool(workers=1)+serial"
+
+
+class TestAdaptiveScheduling:
+    """The ISSUE 9 scheduling layer: per-lease sizing, EWMA throughput,
+    work stealing, tail speculation, and the satellite correctness
+    fixes (empty-pool carving, lost-worker recovery, backoff hints)."""
+
+    def test_lease_sizing_uses_capability_prior_then_throughput_ewma(self):
+        """A ``vector`` worker gets bigger chunks than a ``serial`` one
+        from its capability prior; once chunk timings arrive, measured
+        throughput (EWMA points/sec) takes over and is in the roster."""
+        pool = WorkerPool(
+            _fast_config(
+                chunk_size=None,
+                chunks_per_worker=2,
+                steal=False,
+                speculate=False,
+            )
+        )
+        vec = pool.register(
+            WorkerRegistration(
+                name="vec", pid=1, host="h", backend="vector"
+            )
+        )
+        ser = pool.register(
+            WorkerRegistration(
+                name="ser", pid=2, host="h", backend="serial"
+            )
+        )
+        driver = _RunThread(pool, _many_requests(12))
+        driver.start()
+        try:
+            # Capability prior (vector_weight=4 vs 1, mean 2.5):
+            # vec gets ceil(12/4 · 1.6) = 5 points, ser ceil(7/4 · 0.4) = 1.
+            vec_chunk = _lease_blocking(pool, vec.worker_id)
+            ser_chunk = _lease_blocking(pool, ser.worker_id)
+            assert len(vec_chunk.requests) == 5
+            assert len(ser_chunk.requests) == 1
+            assert len(vec_chunk.requests) > len(ser_chunk.requests)
+
+            # Timed reports seed the EWMA (first observation verbatim).
+            assert pool.report(
+                vec.worker_id, _evaluate_report(vec_chunk, elapsed_s=0.5)
+            )
+            assert pool.report(
+                ser.worker_id, _evaluate_report(ser_chunk, elapsed_s=2.0)
+            )
+            by_name = {
+                e["name"]: e for e in pool.roster()["roster"]
+            }
+            assert by_name["vec"]["throughput_points_per_s"] == pytest.approx(
+                10.0
+            )
+            assert by_name["ser"]["throughput_points_per_s"] == pytest.approx(
+                0.5
+            )
+            assert by_name["vec"]["points_completed"] == 5
+
+            # Measured throughput now drives sizing (10 vs 0.5 pps,
+            # mean 5.25): vec gets ceil(6/4 · 10/5.25) = 3 points.
+            vec_chunk = _lease_blocking(pool, vec.worker_id)
+            assert len(vec_chunk.requests) == 3
+            # A second observation blends: 0.3·3 + 0.7·10 = 7.9.
+            assert pool.report(
+                vec.worker_id, _evaluate_report(vec_chunk, elapsed_s=1.0)
+            )
+            by_name = {e["name"]: e for e in pool.roster()["roster"]}
+            assert by_name["vec"]["throughput_points_per_s"] == pytest.approx(
+                7.9
+            )
+
+            while driver.is_alive():
+                response = pool.lease(vec.worker_id)
+                if response.chunk is None:
+                    time.sleep(0.01)
+                    continue
+                pool.report(vec.worker_id, _evaluate_report(response.chunk))
+            driver.join(timeout=30)
+            assert driver.error is None
+            assert all(o.ok for o in driver.outcomes)
+        finally:
+            driver.join(timeout=30)
+
+    def test_empty_pool_at_submit_spreads_over_late_workers(self, tmp_path):
+        """Regression (ISSUE 9 satellite): chunk sizes must NOT freeze
+        at distribution time.  A job submitted to an empty pool used to
+        be pre-split into ``ceil(total/4)`` mega-chunks sized for the
+        instantaneous live count (0 → 1); workers that registered a
+        moment later inherited those four oversized chunks.  With
+        per-lease carving, a late worker's first lease is sized for the
+        pool as it exists *now*."""
+        pool = WorkerPool(
+            _fast_config(
+                chunk_size=None,
+                chunks_per_worker=2,
+                steal=False,
+                speculate=False,
+            )
+        )
+        requests = _many_requests(12)
+        # Submit with NO workers registered; the slow local fallback
+        # keeps the run alive long enough for workers to join.
+        outcome_box = {}
+
+        def _drive():
+            outcome_box["outcomes"] = pool.run_distributed(
+                evaluate_auto, requests, fallback=_SlowSerial(0.3)
+            )
+
+        thread = threading.Thread(target=_drive, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # let the fallback grab (and sit on) one chunk
+
+        late = [
+            pool.register(
+                WorkerRegistration(
+                    name=f"late-{i}", pid=i, host="h", backend="serial"
+                )
+            )
+            for i in range(3)
+        ]
+        # Three live workers now: every fresh lease is carved at
+        # ceil(remaining / (3 workers · 2 chunks-per-worker)) — small
+        # shares, NOT a quarter of the whole job.
+        seen_sizes = []
+        deadline = time.monotonic() + 30
+        while thread.is_alive() and time.monotonic() < deadline:
+            progressed = False
+            for registered in late:
+                response = pool.lease(registered.worker_id)
+                if response.chunk is not None:
+                    seen_sizes.append(len(response.chunk.requests))
+                    pool.report(
+                        registered.worker_id,
+                        _evaluate_report(response.chunk),
+                    )
+                    progressed = True
+            if not progressed:
+                time.sleep(0.01)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert all(o.ok for o in outcome_box["outcomes"])
+        assert seen_sizes, "late workers never leased anything"
+        # 12 points over 6 target chunks: every late lease is ≤ 2
+        # points (the old frozen sizing would have handed out 3s).
+        assert max(seen_sizes) <= 2
+        assert len(seen_sizes) >= 3
+
+    def test_steal_splits_straggler_tail_byte_identical(self, tmp_path):
+        """An idle worker steals the tail half of a straggler's leased
+        chunk; both report, per-point first-wins keeps the batch
+        byte-identical to serial."""
+        pool = WorkerPool(
+            _fast_config(
+                chunk_size=4,
+                speculate=False,
+                tail_min_lease_age_s=0.0,
+            )
+        )
+        slow = _register(pool, name="straggler")
+        fast = _register(pool, name="thief")
+        requests = _many_requests(4)
+        driver = _RunThread(pool, requests)
+        driver.start()
+
+        victim = _lease_blocking(pool, slow.worker_id)
+        assert len(victim.requests) == 4
+        # Nothing pending, nothing to carve: the idle worker splits the
+        # straggler's tail (last 2 of 4 points) off as a new chunk.
+        stolen = _lease_blocking(pool, fast.worker_id)
+        assert stolen.chunk_id != victim.chunk_id
+        assert not stolen.speculative
+        assert [r.fingerprint() for r in stolen.requests] == [
+            r.fingerprint() for r in victim.requests[2:]
+        ]
+        assert _counter("service.chunks_stolen") == 1
+
+        # Thief reports first; the straggler's full report then only
+        # fills the 2 points the thief didn't already resolve.
+        assert pool.report(fast.worker_id, _evaluate_report(stolen))
+        assert pool.report(slow.worker_id, _evaluate_report(victim))
+        driver.join(timeout=30)
+        assert driver.error is None
+
+        outcomes = driver.outcomes
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.ok for o in outcomes)
+        for outcome, reference in zip(
+            outcomes, _serial_reference(requests, tmp_path)
+        ):
+            assert _strip_timings(outcome.value.to_dict()) == _strip_timings(
+                reference.to_dict()
+            )
+
+    def test_speculative_duplicate_lease_first_report_wins(self):
+        """Near the tail (nothing to carve or steal) an idle worker
+        duplicate-leases the in-flight chunk; the first report resolves
+        it and the loser is dropped by the exactly-once dedup."""
+        pool = WorkerPool(
+            _fast_config(
+                chunk_size=2,
+                steal=False,
+                tail_min_lease_age_s=0.0,
+            )
+        )
+        slow = _register(pool, name="straggler")
+        fast = _register(pool, name="spectre")
+        driver = _RunThread(pool, _requests(2))
+        driver.start()
+
+        original = _lease_blocking(pool, slow.worker_id)
+        assert not original.speculative
+        duplicate = _lease_blocking(pool, fast.worker_id)
+        assert duplicate.chunk_id == original.chunk_id
+        assert duplicate.speculative
+        assert duplicate.attempt == 2
+        assert _counter("service.leases_speculated") == 1
+
+        assert pool.report(fast.worker_id, _evaluate_report(duplicate))
+        # The straggler's late copy is a duplicate — counted, dropped.
+        assert not pool.report(slow.worker_id, _evaluate_report(original))
+        driver.join(timeout=30)
+        assert driver.error is None
+        assert all(o.ok for o in driver.outcomes)
+        assert _counter("service.duplicate_results") == 1
+        assert _counter("service.chunks_completed") == 1
+
+    def test_backoff_blocked_lease_hints_actual_eligibility_wait(self):
+        """When every pending chunk is backoff-blocked the lease
+        response's ``retry_after_s`` is the real wait until the
+        earliest ``not_before``, not the generic poll interval."""
+        pool = WorkerPool(
+            _fast_config(
+                backoff_base_s=0.5,
+                backoff_cap_s=1.0,
+                steal=False,
+                speculate=False,
+                max_attempts=3,
+            )
+        )
+        registered = _register(pool)
+        # No runs at all: the generic poll hint applies.
+        idle_hint = pool.lease(registered.worker_id)
+        assert idle_hint.chunk is None
+        assert idle_hint.retry_after_s == pytest.approx(0.05)
+
+        driver = _RunThread(pool, _requests(1))
+        driver.start()
+        chunk = _lease_blocking(pool, registered.worker_id)
+        pool.report(
+            registered.worker_id,
+            ChunkReport(chunk_id=chunk.chunk_id, failed=dict(_FAILURE)),
+        )
+        # Requeued with ~0.5s backoff (±25% jitter): the hint must
+        # reflect that wait, not the 0.05s poll default.
+        blocked = pool.lease(registered.worker_id)
+        assert blocked.chunk is None
+        assert 0.2 < blocked.retry_after_s <= 0.65
+
+        retry = _lease_blocking(pool, registered.worker_id)
+        assert retry.chunk_id == chunk.chunk_id
+        pool.report(registered.worker_id, _evaluate_report(retry))
+        driver.join(timeout=30)
+        assert driver.error is None
+        assert all(o.ok for o in driver.outcomes)
+
+    def test_lost_worker_recovers_on_heartbeat(self):
+        """Satellite fix: a worker the reaper marked ``lost`` goes back
+        to ``idle`` on its next heartbeat — not only on its next lease."""
+        pool = WorkerPool(
+            _fast_config(lease_ttl_s=0.2, heartbeat_interval_s=0.05)
+        )
+        registered = _register(pool)
+        driver = _RunThread(pool, _requests(1))
+        driver.start()
+        # Hold a lease and go silent: the lease expires, the chunk
+        # completes on the local fallback (the pool has no live worker
+        # left), and the reaper stores state="lost".
+        _lease_blocking(pool, registered.worker_id)
+        driver.join(timeout=30)
+        assert driver.error is None
+        assert all(o.ok for o in driver.outcomes)
+        assert pool.roster()["roster"][0]["state"] == "lost"
+        assert pool.live_worker_count() == 0
+
+        # One heartbeat brings it back — visible immediately in the
+        # roster and the live count, without needing a lease first.
+        pool.heartbeat(registered.worker_id)
+        assert pool.roster()["roster"][0]["state"] == "idle"
+        assert pool.live_worker_count() == 1
 
 
 class _WorkerThread(threading.Thread):
@@ -568,6 +871,99 @@ class TestServiceWorkerEndToEnd:
                 worker.stop()
             server.stop()
 
+    def test_slow_worker_tail_stolen_or_speculated_byte_identical(
+        self, tmp_path
+    ):
+        """The ISSUE 9 chaos scenario: one worker is deliberately slowed
+        (chaos chunk delay ≫ the fast worker's evaluation time) but
+        keeps heartbeating — a straggler, not a corpse.  The scheduler
+        must finish the job tail via stealing/speculation instead of
+        waiting the straggler out, stay byte-identical to serial, and
+        surface per-worker throughput in the roster."""
+        server = _boot_server(
+            tmp_path,
+            pool_config=_fast_config(
+                chunk_size=None, tail_min_lease_age_s=0.1
+            ),
+        )
+        tortoise = hare = None
+        try:
+            requests = _many_requests(4)
+            tortoise = _WorkerThread(
+                server.url,
+                name="tortoise",
+                chaos=ChaosConfig(chunk_delay_s=1.5),
+            )
+            tortoise.start()
+            _wait_for_workers(server, 1)
+
+            started = time.monotonic()
+            client = _ClientThread(
+                server.url, requests, tmp_path / "client-cache"
+            )
+            client.start()
+            # Let the tortoise actually lease (and sit on) a chunk
+            # before the hare joins — otherwise a fast hare could drain
+            # the whole queue and leave no straggler tail to rescue.
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                roster = ServiceClient(server.url).health()["workers"]
+                held = [
+                    e for e in roster["roster"]
+                    if e["name"] == "tortoise" and e["leases"]
+                ]
+                if held:
+                    break
+                time.sleep(0.02)
+            assert held, "tortoise never leased a chunk"
+
+            hare = _WorkerThread(server.url, name="hare")
+            hare.start()
+            client.join(timeout=60)
+            elapsed = time.monotonic() - started
+            assert client.error is None
+            batch = client.batch
+            batch.report.raise_on_error()
+            assert all(result is not None for result in batch.results)
+            # The tortoise sleeps 1.5s per chunk; had the tail waited
+            # for it the job could not finish under ~1.5s per held
+            # chunk.  (Generous bound — the point is "not serialized
+            # behind the straggler", not a precise speedup.)
+            assert elapsed < 20
+
+            # Byte-identity vs serial over the server's cache (100%
+            # hits, timing fields measured once on whichever worker
+            # won each point).
+            with_server_cache = BatchRunner(
+                cache=ResultCache(
+                    cache_dir=server.service.runner.cache.cache_dir
+                ),
+                backend=SerialBackend(),
+            ).run(requests, evaluate=evaluate_auto)
+            assert with_server_cache.report.n_cache_hits == len(requests)
+            for ours, theirs in zip(batch.results, with_server_cache.results):
+                assert json.dumps(ours.to_dict(), sort_keys=True) == json.dumps(
+                    theirs.to_dict(), sort_keys=True
+                )
+
+            health = ServiceClient(server.url).health()
+            rescued = _health_counter(
+                health, "service.chunks_stolen"
+            ) + _health_counter(health, "service.leases_speculated")
+            assert rescued >= 1
+            by_name = {
+                e["name"]: e for e in health["workers"]["roster"]
+            }
+            assert by_name["hare"]["throughput_points_per_s"] is not None
+            assert by_name["hare"]["throughput_points_per_s"] > 0
+            assert by_name["hare"]["backend"] == "serial"
+            assert by_name["tortoise"]["backend"] == "serial"
+        finally:
+            for worker in (tortoise, hare):
+                if worker is not None:
+                    worker.stop()
+            server.stop()
+
     def test_health_workers_section_schema(self, tmp_path):
         server = _boot_server(tmp_path, pool_config=_fast_config())
         try:
@@ -587,12 +983,19 @@ class TestServiceWorkerEndToEnd:
             assert set(entry) == {
                 "id", "name", "pid", "host", "backend", "state", "leases",
                 "last_heartbeat_age_s", "chunks_completed", "chunks_failed",
+                "points_completed", "throughput_points_per_s",
             }
             assert entry["name"] == "probe"
             assert entry["pid"] == 4242
             assert entry["host"] == "host-a"
             assert entry["state"] == "idle"
             assert entry["leases"] == []
+            assert entry["points_completed"] == 0
+            assert entry["throughput_points_per_s"] is None
+            scheduling = client.health()["scheduling"]
+            assert scheduling["steal"] is True
+            assert scheduling["speculate"] is True
+            assert scheduling["chunks_per_worker"] == 4
         finally:
             server.stop()
 
@@ -790,6 +1193,7 @@ class TestChaosConfig:
             {
                 "REPRO_CHAOS_KILL_AFTER_CHUNKS": "2",
                 "REPRO_CHAOS_HEARTBEAT_DELAY_S": "1.5",
+                "REPRO_CHAOS_CHUNK_DELAY_S": "0.25",
                 "REPRO_CHAOS_DROP_RESULTS": "3",
                 "REPRO_CHAOS_CORRUPT_SEED": "42",
                 "REPRO_CHAOS_CORRUPT_ONE_IN": "4",
@@ -799,10 +1203,13 @@ class TestChaosConfig:
         assert chaos.armed
         assert chaos.kill_after_chunks == 2
         assert chaos.heartbeat_delay_s == 1.5
+        assert chaos.chunk_delay_s == 0.25
         assert chaos.corrupt_seed == 42
         assert chaos.corrupt_one_in == 4
         assert chaos.kill_mode == "raise"
         assert chaos.heartbeat_sleep_s(0.5) == 2.0
+        # chunk_delay alone arms the config (slow worker, no other hooks).
+        assert ChaosConfig(chunk_delay_s=0.1).armed
 
     def test_maybe_kill_raises_at_threshold(self):
         chaos = ChaosConfig(kill_after_chunks=1, kill_mode="raise")
