@@ -4,14 +4,22 @@ The CI ``bench`` job runs the solver benchmarks (each of which writes
 its own machine-readable report), then calls this script to
 
 * merge them into one normalized trajectory record
-  ``BENCH_<sha>.json`` — ``{"sha", "benches": {name: metrics}}`` with
-  only scalar metrics kept (outcome objects and None values dropped);
-* compare it against the previous record restored from the
-  ``actions/cache`` baseline directory and emit a **warn-only**
-  markdown delta table (appended to the job summary). Regressions here
-  never fail the job — the hard gates are the
-  ``REPRO_BENCH_REQUIRE_*`` assertions inside the benchmarks
-  themselves.
+  ``BENCH_<sha>.<kernel>-py<ver>.json`` — ``{"sha", "kernel",
+  "python", "benches": {name: metrics}}`` with only scalar metrics
+  kept (outcome objects and None values dropped). The kernel tag and
+  python version are part of the record *and* the filename so A/B legs
+  (fused vs numba, 3.11 vs 3.13t) roll forward separate baselines
+  instead of clobbering each other in the shared ``actions/cache``
+  directory;
+* compare it against the most recent cached baseline **with the same
+  kernel tag and python version** and emit a markdown delta table
+  (appended to the job summary);
+* **hard-gate** the metrics named by ``--gate`` (repeatable): a
+  regression beyond ``--gate-threshold`` percent (default 15) in any
+  gated metric fails the job with exit status 1.
+  ``REPRO_BENCH_ALLOW_REGRESSION=1`` (set by the workflow when the PR
+  carries the ``bench-regression-ok`` label) downgrades the failure to
+  a loud warning. Ungated metrics stay warn-only.
 
 Usage::
 
@@ -20,20 +28,23 @@ Usage::
         --input transient_batch=bench-artifacts/transient_batch.json \\
         --out bench-artifacts \\
         --baseline-dir bench-baseline \\
+        --gate phases.evaluate --gate vector_s \\
         --summary-file "$GITHUB_STEP_SUMMARY"
 
-Exit status is always 0 unless the inputs themselves are unreadable.
+Exit status: 1 on a gated regression (unless overridden) or unreadable
+inputs, 0 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 #: Metrics where *larger* is better; everything else numeric is assumed
-#: smaller-is-better (seconds). Used only for the delta arrow.
+#: smaller-is-better (seconds). Used for the delta arrow and the gate.
 _HIGHER_IS_BETTER = ("points_per_s", "speedup")
 
 
@@ -63,15 +74,42 @@ def _scalar_metrics(payload: dict) -> dict:
     return metrics
 
 
-def merge(sha: str, inputs: dict[str, Path]) -> dict:
+def python_tag() -> str:
+    """``major.minor`` plus a ``t`` suffix on free-threaded builds."""
+    tag = f"{sys.version_info.major}.{sys.version_info.minor}"
+    if sys.version_info >= (3, 13) and not sys._is_gil_enabled():  # noqa: SLF001
+        tag += "t"
+    return tag
+
+
+def variant(record: dict) -> str:
+    """Filename-safe baseline key: ``<kernel>-py<python>``."""
+    return f"{record.get('kernel', 'fused')}-py{record.get('python', '?')}"
+
+
+def merge(sha: str, inputs: dict[str, Path], *, kernel: str, python: str) -> dict:
     benches = {}
     for name, path in inputs.items():
         payload = json.loads(Path(path).read_text())
         benches[name] = _scalar_metrics(payload)
-    return {"sha": sha, "benches": benches}
+    return {"sha": sha, "kernel": kernel, "python": python, "benches": benches}
 
 
-def find_baseline(baseline_dir: Path) -> "Path | None":
+def _baseline_matches(current: dict, candidate: dict) -> bool:
+    """Whether a cached record is comparable to the current one.
+
+    Records written before the kernel/python keying existed carry
+    neither field; treat them as the default ``fused`` tier on any
+    python, so the first keyed run still gets a trajectory row instead
+    of a silent fresh start.
+    """
+    if candidate.get("kernel", "fused") != current.get("kernel", "fused"):
+        return False
+    return candidate.get("python") in (None, current.get("python"))
+
+
+def find_baseline(baseline_dir: Path, current: dict) -> "dict | None":
+    """Newest cached ``BENCH_*.json`` with a matching kernel/python."""
     if not baseline_dir.is_dir():
         return None
     candidates = sorted(
@@ -79,15 +117,47 @@ def find_baseline(baseline_dir: Path) -> "Path | None":
         key=lambda p: p.stat().st_mtime,
         reverse=True,
     )
-    return candidates[0] if candidates else None
+    for path in candidates:
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if _baseline_matches(current, record):
+            return record
+    return None
 
 
-def delta_report(current: dict, baseline: dict) -> str:
+def gate_violations(
+    current: dict, baseline: dict, gates: list[str], threshold_pct: float
+) -> list[str]:
+    """Gated metrics that regressed beyond the threshold, as messages."""
+    violations = []
+    for bench, metrics in sorted(current.get("benches", {}).items()):
+        previous_metrics = baseline.get("benches", {}).get(bench, {})
+        for metric in gates:
+            value = metrics.get(metric)
+            previous = previous_metrics.get(metric)
+            if value is None or previous is None or previous == 0:
+                continue
+            pct = 100.0 * (value - previous) / abs(previous)
+            if _is_improvement(metric, pct):
+                continue
+            if abs(pct) > threshold_pct:
+                violations.append(
+                    f"{bench}.{metric}: {previous:.4g} → {value:.4g} "
+                    f"({pct:+.1f}%, threshold ±{threshold_pct:g}%)"
+                )
+    return violations
+
+
+def delta_report(current: dict, baseline: dict, gates: list[str]) -> str:
+    gated = set(gates)
     lines = [
         "## Bench trajectory",
         "",
         f"`{baseline.get('sha', '?')[:12]}` → `{current.get('sha', '?')[:12]}`"
-        " (warn-only; hard gates are the REPRO_BENCH_REQUIRE_* assertions)",
+        f" [{variant(current)}] — gated metrics (⛔ on regression): "
+        + (", ".join(f"`{g}`" for g in gates) if gates else "none"),
         "",
         "| bench | metric | previous | current | delta |",
         "|---|---|---:|---:|---:|",
@@ -96,8 +166,9 @@ def delta_report(current: dict, baseline: dict) -> str:
         previous_metrics = baseline.get("benches", {}).get(bench, {})
         for metric, value in sorted(metrics.items()):
             previous = previous_metrics.get(metric)
+            name = f"{metric} ⛔" if metric in gated else metric
             if previous is None:
-                lines.append(f"| {bench} | {metric} | — | {value:.4g} | new |")
+                lines.append(f"| {bench} | {name} | — | {value:.4g} | new |")
                 continue
             if previous == 0:
                 delta = "n/a"
@@ -106,7 +177,7 @@ def delta_report(current: dict, baseline: dict) -> str:
                 arrow = "✅" if _is_improvement(metric, pct) else "⚠️"
                 delta = f"{pct:+.1f}% {arrow}"
             lines.append(
-                f"| {bench} | {metric} | {previous:.4g} | {value:.4g} | {delta} |"
+                f"| {bench} | {name} | {previous:.4g} | {value:.4g} | {delta} |"
             )
     return "\n".join(lines) + "\n"
 
@@ -115,8 +186,8 @@ def fresh_report(current: dict) -> str:
     lines = [
         "## Bench trajectory",
         "",
-        f"`{current.get('sha', '?')[:12]}` — no previous baseline "
-        "(first run or cache miss)",
+        f"`{current.get('sha', '?')[:12]}` [{variant(current)}] — no "
+        "previous baseline for this kernel/python (first run or cache miss)",
         "",
         "| bench | metric | value |",
         "|---|---|---:|",
@@ -139,11 +210,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", required=True, metavar="DIR",
-        help="directory for BENCH_<sha>.json",
+        help="directory for BENCH_<sha>.<variant>.json",
     )
     parser.add_argument(
         "--baseline-dir", default=None, metavar="DIR",
         help="directory holding the previous BENCH_*.json (actions/cache)",
+    )
+    parser.add_argument(
+        "--kernel", default=None, metavar="TIER",
+        help="kernel tag for the record (default: $REPRO_KERNEL or 'fused')",
+    )
+    parser.add_argument(
+        "--gate", action="append", default=[], metavar="METRIC",
+        help="hard-gated metric, e.g. phases.evaluate or vector_s "
+        "(repeatable; regression beyond --gate-threshold exits 1)",
+    )
+    parser.add_argument(
+        "--gate-threshold", type=float, default=15.0, metavar="PCT",
+        help="allowed regression for gated metrics (default: 15%%)",
     )
     parser.add_argument(
         "--summary-file", default=None, metavar="PATH",
@@ -159,40 +243,64 @@ def main(argv=None) -> int:
             parser.error(f"--input must look like NAME=PATH, got {spec!r}")
         inputs[name] = Path(path)
 
-    current = merge(args.sha, inputs)
+    kernel = args.kernel or os.environ.get("REPRO_KERNEL") or "fused"
+    current = merge(args.sha, inputs, kernel=kernel, python=python_tag())
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / f"BENCH_{args.sha}.json"
+    out_path = out_dir / f"BENCH_{args.sha}.{variant(current)}.json"
     out_path.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)
 
-    baseline_path = (
-        find_baseline(Path(args.baseline_dir)) if args.baseline_dir else None
+    baseline = (
+        find_baseline(Path(args.baseline_dir), current)
+        if args.baseline_dir
+        else None
     )
-    if baseline_path is not None:
-        try:
-            baseline = json.loads(baseline_path.read_text())
-        except (OSError, ValueError):
-            baseline = None
-    else:
-        baseline = None
-
     if baseline is not None and baseline.get("sha") == current.get("sha"):
         # Workflow re-run for the same commit: the rolled-forward
         # baseline is this very record, and "current vs itself" would
         # masquerade as a flat trajectory. Report fresh values instead.
         baseline = None
+
     report = (
-        delta_report(current, baseline)
+        delta_report(current, baseline, args.gate)
         if baseline is not None
         else fresh_report(current)
     )
+
+    status = 0
+    if baseline is not None and args.gate:
+        violations = gate_violations(
+            current, baseline, args.gate, args.gate_threshold
+        )
+        if violations:
+            allow = os.environ.get("REPRO_BENCH_ALLOW_REGRESSION") == "1"
+            verdict = (
+                "overridden by REPRO_BENCH_ALLOW_REGRESSION=1"
+                if allow
+                else "failing the job"
+            )
+            report += (
+                f"\n### ⛔ Gated regressions ({verdict})\n\n"
+                + "\n".join(f"- {v}" for v in violations)
+                + "\n"
+            )
+            for violation in violations:
+                print(f"gated regression: {violation}", file=sys.stderr)
+            if not allow:
+                status = 1
+            else:
+                print(
+                    "regressions overridden by REPRO_BENCH_ALLOW_REGRESSION=1",
+                    file=sys.stderr,
+                )
+
     if args.summary_file:
         with open(args.summary_file, "a", encoding="utf-8") as handle:
             handle.write(report)
     else:
         print(report)
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,130 @@
+"""Thread pool vs process pool on the paper campaign.
+
+Motivation: on free-threaded CPython (3.13t, ``Py_GIL_DISABLED``) the
+engine's :class:`~repro.engine.executor.ThreadPoolBackend` should be
+able to match or beat the process pool — same parallelism, no spawn or
+pickling cost. On a GIL build, threads only win where the solver spends
+its time inside GIL-releasing scipy/BLAS calls. The CI ``tests-cp313t``
+leg runs this benchmark and records the verdict in its step summary so
+the trajectory of "are threads competitive yet?" is visible per commit.
+
+Reports wall-clock for both pools at the same worker count plus the
+``thread_vs_process`` ratio (> 1 means threads are faster), the GIL
+state, and bit-identity of the two result sets (asserted, as always).
+
+Standalone:
+``PYTHONPATH=src python benchmarks/bench_thread_vs_process.py [--workers N]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.fastpath import clear_structure_cache
+from repro.engine import BatchRunner, available_cpus, make_backend
+from repro.engine.jobs import paper_campaign
+from repro.voting.majority import clear_table_cache
+
+
+def _gil_enabled() -> "bool | None":
+    """``False`` on a free-threaded build running with the GIL off."""
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe() if probe is not None else True
+
+
+def _timed_run(campaign, jobs):
+    clear_structure_cache()
+    clear_table_cache()
+    runner = BatchRunner(backend=make_backend(jobs))
+    t0 = time.perf_counter()
+    outcome = campaign.run(runner)
+    return outcome, time.perf_counter() - t0
+
+
+def _campaign_values(outcome):
+    return [
+        (
+            job_outcome.job.name,
+            tuple(job_outcome.values("mttsf_s")),
+            tuple(job_outcome.values("ctotal_hop_bits_s")),
+        )
+        for job_outcome in outcome.outcomes
+    ]
+
+
+def _run_all(*, workers: "int | None" = None):
+    campaign = paper_campaign(quick=True)
+    n = workers or max(2, min(4, available_cpus()))
+
+    outcome_threads, thread_s = _timed_run(campaign, f"thread:{n}")
+    outcome_procs, process_s = _timed_run(campaign, n)
+
+    assert outcome_threads.report.n_errors == 0
+    assert outcome_procs.report.n_errors == 0
+    assert _campaign_values(outcome_threads) == _campaign_values(outcome_procs)
+
+    return {
+        "campaign": campaign.name,
+        "n_points": len(campaign),
+        "workers": n,
+        "cpus": available_cpus(),
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "gil_enabled": _gil_enabled(),
+        "thread_s": thread_s,
+        "process_s": process_s,
+        "thread_vs_process": process_s / thread_s,
+        "threads_win": thread_s < process_s,
+    }
+
+
+def _write_json(r, path) -> None:
+    path = path or os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(r, indent=2) + "\n")
+    print(f"json report: {path}")
+
+
+def bench_thread_vs_process(once):
+    r = once(_run_all)
+    _write_json(r, None)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool size for both backends (default: min(4, cpus), >= 2)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable report here "
+        "(default: $REPRO_BENCH_JSON if set)",
+    )
+    args = parser.parse_args(argv)
+
+    r = _run_all(workers=args.workers)
+    gil = r["gil_enabled"]
+    gil_label = "on" if gil else ("off (free-threaded)" if gil is False else "?")
+    print(
+        f"campaign: {r['campaign']} ({r['n_points']} points, "
+        f"{r['workers']} workers, {r['cpus']} cpus, "
+        f"python {r['python']}, GIL {gil_label})"
+    )
+    print(f"{'thread pool':14s} {r['thread_s']:8.2f}s")
+    print(f"{'process pool':14s} {r['process_s']:8.2f}s")
+    verdict = "threads win" if r["threads_win"] else "processes win"
+    print(f"ratio: {r['thread_vs_process']:.2f}x ({verdict})")
+    print("bit-identical: yes (asserted)")
+    _write_json(r, args.json)
+
+
+if __name__ == "__main__":
+    main()

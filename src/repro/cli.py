@@ -37,8 +37,10 @@ result cache, safe to share between concurrent processes),
 ``--cache-cap-mb MB`` (LRU disk eviction cap), ``--structure-cache
 DIR|off`` (cross-worker lattice-structure sharing: shared memory by
 default, an on-disk ``.npz`` cache under DIR, or ``off`` to rebuild
-per worker) and ``--verbose`` (cache hit/miss/eviction statistics plus
-per-phase batch timings).
+per worker), ``--kernel numba|fused|numpy`` (batched-solver kernel
+tier — sets ``REPRO_KERNEL``; all tiers bit-identical) and
+``--verbose`` (cache hit/miss/eviction statistics plus per-phase batch
+timings).
 
 They also share the observability flags (:mod:`repro.obs`):
 ``--trace FILE`` (span trace; Chrome/Perfetto JSON, or JSONL when FILE
@@ -135,6 +137,18 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "'off' disables sharing (rebuild per worker); default is "
             "shared memory, plus <cache-dir>/structures when "
             "--cache-dir is set"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("numba", "fused", "numpy"),
+        default=None,
+        help=(
+            "batched-solver kernel tier (sets REPRO_KERNEL for this run "
+            "and every pool worker): 'numba' = jitted one-pass sweep "
+            "(needs the optional numba extra; falls back to 'fused' "
+            "when missing), 'fused' = fused-gather NumPy (default), "
+            "'numpy' = pre-fusion reference; all tiers are bit-identical"
         ),
     )
     parser.add_argument(
@@ -584,6 +598,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_work.add_argument(
+        "--kernel",
+        choices=("numba", "fused", "numpy"),
+        default=None,
+        help=(
+            "batched-solver kernel tier for leased chunks (sets "
+            "REPRO_KERNEL; advertised in the server's /health roster)"
+        ),
+    )
+    p_work.add_argument(
         "--log-level",
         default=None,
         metavar="LEVEL",
@@ -1018,6 +1041,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "kernel", None):
+            # Applied via the environment so the selection reaches every
+            # layer — dispatch seam, pool workers, manifest — without
+            # threading a parameter through each one.
+            os.environ["REPRO_KERNEL"] = args.kernel
         if hasattr(args, "trace"):  # engine-backed command: fresh obs state
             _configure_obs(args)
         if args.command == "list":

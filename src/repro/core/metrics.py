@@ -502,6 +502,7 @@ def _solve_prepared(
     prepared: Sequence[_PreparedPoint],
     *,
     include_variance: bool,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, Optional[np.ndarray], float]:
     """Run the shared backward sweep for one chunk of prepared points."""
     t0 = time.perf_counter()
@@ -522,13 +523,13 @@ def _solve_prepared(
     boundary[structure.depletion_states, 3 + n_rewards] = 1.0
 
     values = np.stack([point.values for point in prepared])
-    x = solve_dag_batch(structure.dag, values, numer, boundary)
+    x = solve_dag_batch(structure.dag, values, numer, boundary, kernel=kernel)
 
     m2: Optional[np.ndarray] = None
     if include_variance:
         numer2 = np.ascontiguousarray(2.0 * x[:, :, 0:1])
         m2 = solve_dag_batch(
-            structure.dag, values, numer2, np.zeros((n, 1))
+            structure.dag, values, numer2, np.zeros((n, 1)), kernel=kernel
         )[:, :, 0]
     return x, m2, time.perf_counter() - t0
 
@@ -589,6 +590,7 @@ def evaluate_batch_outcomes(
     include_variance: bool = False,
     sizes: Optional[MessageSizes] = None,
     max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+    kernel: Optional[str] = None,
 ) -> list[tuple[Optional[GCSResult], Optional[BaseException]]]:
     """Batched evaluation with per-point error capture.
 
@@ -598,6 +600,12 @@ def evaluate_batch_outcomes(
     is the contract the engine's
     :class:`~repro.engine.executor.VectorBackend` builds
     :class:`~repro.engine.executor.PointOutcome` records from.
+
+    ``kernel`` selects the batched-sweep tier explicitly
+    (``numba``/``fused``/``numpy``); ``None`` follows ``REPRO_KERNEL``
+    — see :func:`repro.ctmc.kernels.resolve_kernel`. Every tier
+    produces bit-identical results, so the choice never enters cache
+    keys or request fingerprints.
     """
     outcomes: list[tuple[Optional[GCSResult], Optional[BaseException]]] = [
         (None, None)
@@ -667,7 +675,10 @@ def evaluate_batch_outcomes(
             if not prepared:
                 continue
             x, m2, elapsed = _solve_prepared(
-                structure, prepared, include_variance=include_variance
+                structure,
+                prepared,
+                include_variance=include_variance,
+                kernel=kernel,
             )
             share = elapsed / len(prepared)
             for j, point in enumerate(prepared):
@@ -818,6 +829,8 @@ def evaluate_survivability_batch_outcomes(
     sizes: Optional[MessageSizes] = None,
     eps: float = 1e-12,
     max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+    kernel: Optional[str] = None,
+    transient_backend: Optional[str] = None,
 ) -> list[tuple[Optional[SurvivabilityResult], Optional[BaseException]]]:
     """Batched survivability with per-point error capture.
 
@@ -826,6 +839,10 @@ def evaluate_survivability_batch_outcomes(
     group shares one cached :class:`~repro.core.fastpath.LatticeStructure`
     and one multi-point uniformization sweep
     (:func:`repro.ctmc.transient.transient_distribution_batch`).
+    ``kernel`` picks the matvec tier and ``transient_backend`` the
+    algorithm (``uniformization``/``expm``); both default to their
+    environment switches (``REPRO_KERNEL`` /
+    ``REPRO_TRANSIENT_BACKEND``).
     """
     outcomes: list[
         tuple[Optional[SurvivabilityResult], Optional[BaseException]]
@@ -882,6 +899,8 @@ def evaluate_survivability_batch_outcomes(
                     np.asarray(times),
                     structure.initial_state,
                     eps=eps,
+                    kernel=kernel,
+                    backend=transient_backend,
                 )
             except Exception as exc:  # noqa: BLE001 — chunk-level capture
                 # A shared-sweep failure (e.g. invalid eps) fails every

@@ -29,13 +29,22 @@ from .acyclic import (
 )
 from .birth_death import BirthDeathProcess
 from .chain import CTMC
+from .kernels import (
+    KERNEL_CHOICES,
+    fused_gather_enabled,
+    numba_available,
+    resolve_kernel,
+)
 from .linear import solve_linear_system
 from .poisson import poisson_weights
 from .stationary import stationary_distribution
 from .transient import (
     BATCH_EQUIVALENCE_RTOL,
+    EXPM_EQUIVALENCE_RTOL,
+    TRANSIENT_BACKEND_CHOICES,
     absorption_cdf,
     absorption_cdf_batch,
+    resolve_transient_backend,
     transient_distribution,
     transient_distribution_batch,
 )
@@ -57,6 +66,13 @@ __all__ = [
     "transient_distribution_batch",
     "absorption_cdf_batch",
     "BATCH_EQUIVALENCE_RTOL",
+    "EXPM_EQUIVALENCE_RTOL",
+    "KERNEL_CHOICES",
+    "TRANSIENT_BACKEND_CHOICES",
+    "fused_gather_enabled",
+    "numba_available",
+    "resolve_kernel",
+    "resolve_transient_backend",
     "stationary_distribution",
     "BirthDeathProcess",
 ]

@@ -22,7 +22,6 @@ indicator probabilities), and for transient states
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -31,6 +30,7 @@ import numpy as np
 from ..errors import SolverError
 from ..obs import metrics, span
 from .chain import CTMC
+from .kernels import fused_gather_enabled, resolve_kernel
 
 __all__ = [
     "DagStructure",
@@ -41,20 +41,6 @@ __all__ = [
     "solve_dag_batch",
     "fused_gather_enabled",
 ]
-
-
-def fused_gather_enabled() -> bool:
-    """Whether the fused-gather batch kernel is enabled (default: yes).
-
-    ``REPRO_FUSED_GATHER=0`` selects the pre-fusion (PR 4) code path —
-    same results bit-for-bit, kept for A/B benchmarking and as a
-    fallback; anything else (or unset) selects the fused kernel.
-    """
-    return os.environ.get("REPRO_FUSED_GATHER", "1").strip().lower() not in (
-        "0",
-        "off",
-        "false",
-    )
 
 
 @dataclass(frozen=True)
@@ -405,6 +391,7 @@ def solve_dag_batch(
     boundary: np.ndarray,
     *,
     fused: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Solve the boundary-value recurrence for ``P`` rate fills at once.
 
@@ -423,13 +410,21 @@ def solve_dag_batch(
         ``(n, k)`` (shared) or ``(P, n, k)`` prescribed values at
         absorbing states; ignored at transient states.
     fused:
-        ``True``/``False`` selects the fused-gather or the legacy
-        (pre-fusion) kernel explicitly; ``None`` (default) follows
-        :func:`fused_gather_enabled` (``REPRO_FUSED_GATHER``). The two
-        kernels compute the *same* IEEE operation sequence per element
-        — equal results (the fused kernel folds the pad-masking pass
-        into a sentinel-slot gather and skips no-op absorbing masks; it
-        never reorders a single addition).
+        Legacy switch: ``True``/``False`` selects the fused-gather or
+        the pre-fusion (``numpy``) kernel explicitly; ``None``
+        (default) defers to ``kernel``. The two kernels compute the
+        *same* IEEE operation sequence per element — equal results
+        (the fused kernel folds the pad-masking pass into a
+        sentinel-slot gather and skips no-op absorbing masks; it never
+        reorders a single addition).
+    kernel:
+        Explicit kernel tier (``"numba"``/``"fused"``/``"numpy"``);
+        ``None`` (default) follows ``REPRO_KERNEL`` then the legacy
+        ``REPRO_FUSED_GATHER`` switch — see
+        :func:`repro.ctmc.kernels.resolve_kernel`. The ``numba`` tier
+        runs the jitted one-pass sweep (bit-identical to ``fused``)
+        and degrades to ``fused`` when numba is absent or the jit
+        fails.
 
     Returns
     -------
@@ -459,14 +454,25 @@ def solve_dag_batch(
             f"boundary must have shape ({n}, {k}) or ({P}, {n}, {k}), "
             f"got {boundary.shape}"
         )
-    if fused is None:
-        fused = fused_gather_enabled()
-    kernel = "fused" if fused else "legacy"
+    kernel = resolve_kernel(kernel, fused=fused)
+    if kernel == "numba":
+        # Compile (and warm) the jitted kernels up front: a jit failure
+        # degrades to the fused tier *before* the span opens, so the
+        # recorded kernel tag is always the tier that actually ran.
+        try:
+            from ._numba_kernels import ensure_compiled
+
+            ensure_compiled()
+        except Exception:  # noqa: BLE001 — jit failure must not kill a solve
+            metrics().counter("solver.kernel_jit_failures").add()
+            kernel = "fused"
     levels = len(shared.structure.level_states)
     with span(
         "solve_dag_batch", points=P, states=n, levels=levels, kernel=kernel
     ):
-        if fused:
+        if kernel == "numba":
+            result = _solve_dag_batch_numba(shared, values, numerators, boundary)
+        elif kernel == "fused":
             result = _solve_dag_batch_fused(shared, values, numerators, boundary)
         else:
             result = _solve_dag_batch_legacy(shared, values, numerators, boundary)
@@ -575,4 +581,57 @@ def _solve_dag_batch_fused(
                 absorbing[:, rows, None], x[:, rows, :], solved
             )
 
+    return x
+
+
+def _solve_dag_batch_numba(
+    shared: BatchDagStructure,
+    values: np.ndarray,
+    numerators: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Jitted one-pass sweep: the fused kernel compiled and point-parallel.
+
+    Setup (out-rates, absorbing masks, boundary scatter, sentinel
+    extension) is byte-for-byte the fused kernel's — in particular
+    ``q`` keeps coming from :func:`_row_sums`, whose pairwise
+    ``np.add.reduceat`` grouping is what matches scipy's row sums; only
+    the level sweep itself moves into
+    :func:`repro.ctmc._numba_kernels.dag_sweep`, which fuses the
+    per-level gather → MAC → divide chain into one compiled pass with
+    the parallel axis on *points* (levels within a point stay
+    sequential). The jitted MAC accumulates in the same CSR slot order
+    from the same unseeded first term, so results are bit-identical to
+    the fused (and hence the numpy and per-point) kernels.
+    """
+    from ._numba_kernels import dag_sweep
+
+    P, n, k = numerators.shape
+
+    q = _row_sums(shared, values, fast_grouping=True)
+    absorbing = q == 0.0
+    struct_abs = shared.structure.levels == 0
+    uniform = bool(np.array_equal(absorbing, np.broadcast_to(struct_abs, (P, n))))
+    if uniform:
+        x = np.zeros((P, n, k))
+        idx = np.flatnonzero(struct_abs)
+        x[:, idx, :] = boundary[:, idx, :]
+        safe_q = q  # levels >= 1 are non-absorbing for every point
+    else:
+        x = np.where(absorbing[:, :, None], boundary, 0.0)
+        safe_q = np.where(absorbing, 1.0, q)
+
+    vals_ext = np.concatenate([values, np.zeros((P, 1))], axis=1)
+    dag_sweep(
+        vals_ext,
+        shared.lvl_rows,
+        shared.lvl_row_bounds,
+        shared.lvl_ell_slots,
+        shared.lvl_ell_cols,
+        np.ascontiguousarray(numerators),
+        np.ascontiguousarray(safe_q),
+        np.ascontiguousarray(absorbing),
+        uniform,
+        x,
+    )
     return x

@@ -156,14 +156,39 @@ def _export_shared_structures(
         return None
 
 
-def _init_pool_worker(share_spec, obs_config) -> None:
-    """Composed pool initializer: observability handoff + structure attach.
+#: Environment switches that pick solver kernels/backends. Snapshotted
+#: in the parent at pool creation and re-applied in every worker, so a
+#: kernel chosen programmatically (``os.environ`` mutated after other
+#: modules cached state, exec'd workers with a scrubbed environment, …)
+#: binds the whole pool, not just the parent — a mixed-kernel pool
+#: would silently break A/B benchmarking even though results agree.
+_KERNEL_ENV_VARS = (
+    "REPRO_KERNEL",
+    "REPRO_FUSED_GATHER",
+    "REPRO_TRANSIENT_BACKEND",
+)
+
+
+def _kernel_env_snapshot() -> dict:
+    """The parent's kernel/backend env selection, for worker handoff."""
+    return {
+        name: os.environ[name]
+        for name in _KERNEL_ENV_VARS
+        if name in os.environ
+    }
+
+
+def _init_pool_worker(share_spec, obs_config, kernel_env=None) -> None:
+    """Composed pool initializer: obs handoff + kernel env + attach.
 
     Runs once per worker process.  Observability first (so the attach
-    itself is traced when tracing is on), then the structure-share
-    attach when the parent exported one.
+    itself is traced when tracing is on), then the parent's kernel
+    selection, then the structure-share attach when the parent exported
+    one.
     """
     init_worker(obs_config)
+    for name, value in (kernel_env or {}).items():
+        os.environ[name] = value
     with span("worker.init", share=share_spec is not None):
         metrics().counter("pool.workers_initialized").add()
         if share_spec is not None:
@@ -173,11 +198,11 @@ def _init_pool_worker(share_spec, obs_config) -> None:
 
 
 def _pool_init_kwargs(share) -> dict:
-    """ProcessPoolExecutor initializer kwargs (obs config + any share)."""
+    """ProcessPoolExecutor initializer kwargs (obs + kernel env + share)."""
     share_spec = share.spec if share is not None else None
     return {
         "initializer": _init_pool_worker,
-        "initargs": (share_spec, worker_config()),
+        "initargs": (share_spec, worker_config(), _kernel_env_snapshot()),
     }
 
 

@@ -33,7 +33,12 @@ MANIFEST_SCHEMA_VERSION = 1
 
 # Environment switches that change which kernels/paths run.  Recorded
 # raw (as set) and resolved (what the code will actually do).
-_KERNEL_ENV_VARS = ("REPRO_FUSED_GATHER", "REPRO_STRUCTURE_SHARE")
+_KERNEL_ENV_VARS = (
+    "REPRO_KERNEL",
+    "REPRO_FUSED_GATHER",
+    "REPRO_STRUCTURE_SHARE",
+    "REPRO_TRANSIENT_BACKEND",
+)
 
 
 def git_revision(cwd: Optional[str] = None) -> Optional[str]:
@@ -57,16 +62,44 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
 
 
 def _env_flag_default_on(name: str) -> bool:
-    # Mirrors ``acyclic.fused_gather_enabled`` / ``structshare`` exactly
+    # Mirrors ``kernels.fused_gather_enabled`` / ``structshare`` exactly
     # (obs stays import-light, so the resolution is duplicated here).
     return os.environ.get(name, "1").strip().lower() not in ("0", "off", "false")
+
+
+def _resolved_kernel() -> str:
+    # Mirrors ``repro.ctmc.kernels.resolve_kernel`` without importing
+    # the solver stack: REPRO_KERNEL beats the legacy fused switch, and
+    # a numba request degrades to fused when numba isn't installed
+    # (checked via find_spec so obs never actually imports numba).
+    # Best-effort: a jit *failure* at solve time isn't visible here.
+    requested = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if requested not in ("numba", "fused", "numpy"):
+        requested = (
+            "fused" if _env_flag_default_on("REPRO_FUSED_GATHER") else "numpy"
+        )
+    if requested == "numba":
+        import importlib.util
+
+        if importlib.util.find_spec("numba") is None:
+            return "fused"
+    return requested
+
+
+def _resolved_transient_backend() -> str:
+    # Mirrors ``repro.ctmc.transient.resolve_transient_backend``:
+    # unrecognised values fall back to the default, never raise.
+    raw = os.environ.get("REPRO_TRANSIENT_BACKEND", "").strip().lower()
+    return raw if raw in ("uniformization", "expm") else "uniformization"
 
 
 def kernel_flags() -> Dict[str, object]:
     """Raw and resolved kernel/feature switches (default: both on)."""
     return {
+        "kernel": _resolved_kernel(),
         "fused_gather": _env_flag_default_on("REPRO_FUSED_GATHER"),
         "structure_share": _env_flag_default_on("REPRO_STRUCTURE_SHARE"),
+        "transient_backend": _resolved_transient_backend(),
         "env": {name: os.environ.get(name) for name in _KERNEL_ENV_VARS},
     }
 

@@ -133,11 +133,17 @@ class ServiceClient:
     # Worker endpoints (used by repro.service.worker)
     # ------------------------------------------------------------------
     def register_worker(
-        self, *, name: str, pid: int, host: str = "", backend: str = "serial"
+        self,
+        *,
+        name: str,
+        pid: int,
+        host: str = "",
+        backend: str = "serial",
+        kernel: str = "fused",
     ) -> WorkerRegistered:
         """Join the server's worker pool; returns id + pool cadence."""
         body = WorkerRegistration(
-            name=name, pid=pid, host=host, backend=backend
+            name=name, pid=pid, host=host, backend=backend, kernel=kernel
         ).to_dict()
         return WorkerRegistered.from_dict(self._post("/api/v1/workers", body))
 

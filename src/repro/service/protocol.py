@@ -65,8 +65,10 @@ __all__ = [
 #: checked on submit payloads that declare one) so mixed-version fleets
 #: fail loudly instead of misparsing each other.  v2 added the
 #: scheduling fields: ``ChunkLease.speculative`` and
-#: ``ChunkReport.elapsed_s``.
-PROTOCOL_VERSION = 2
+#: ``ChunkReport.elapsed_s``.  v3 added the
+#: ``WorkerRegistration.kernel`` capability echo (advisory — absent
+#: values parse as ``fused``).
+PROTOCOL_VERSION = 3
 
 #: Maximum request-body size the server accepts (16 MiB — a full
 #: N=100 paper campaign serialises to well under 1 MiB).
@@ -415,14 +417,19 @@ class WorkerRegistration:
     """Body of ``POST /api/v1/workers``: who is offering to evaluate.
 
     ``backend`` is the worker's *local* backend label (what it will run
-    leased chunks on), recorded in the ``/health`` roster so an operator
-    can see the pool's composition at a glance.
+    leased chunks on) and ``kernel`` its resolved solver tier
+    (``numba``/``fused``/``numpy``); both are recorded in the
+    ``/health`` roster so an operator can see the pool's composition —
+    and a mixed pool's kernel capabilities — at a glance. ``kernel``
+    is advisory (every tier is bit-identical, so the scheduler never
+    routes on it) and tolerated absent for pre-v3 workers.
     """
 
     name: str
     pid: int
     host: str
     backend: str = "serial"
+    kernel: str = "fused"
 
     def to_dict(self) -> dict:
         """JSON-ready registration body."""
@@ -432,6 +439,7 @@ class WorkerRegistration:
             "pid": self.pid,
             "host": self.host,
             "backend": self.backend,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -451,6 +459,7 @@ class WorkerRegistration:
             pid=pid,
             host=str(data.get("host", "")),
             backend=str(data.get("backend", "serial")),
+            kernel=str(data.get("kernel", "fused")),
         )
 
 
